@@ -1,0 +1,113 @@
+// Experiment E10 — cost-model validation (supports Section 4): the linear
+// cost model claims answering γ_A σ_B from view V with index I_D costs
+// |V| / |E| rows. We generate a scaled TPC-D fact table, materialize a full
+// physical design, execute every slice-query shape against the real B-tree
+// engine, and compare measured rows-processed against the model.
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "common/table_printer.h"
+#include "cost/linear_cost_model.h"
+#include "data/fact_generator.h"
+#include "engine/executor.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+void Run() {
+  std::printf("== E10: engine-measured cost vs linear cost model ==\n\n");
+  TpcdScaledConfig config;
+  config.rows = 60'000;
+  FactTable fact = GenerateTpcdScaledFacts(config);
+  CubeSchema schema = fact.schema();
+  Catalog catalog(&fact);
+
+  // Exact view sizes from full materialization.
+  ViewSizes sizes(3);
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    sizes.Set(attrs, static_cast<double>(catalog.MaterializeView(attrs)));
+  }
+  // Build every fat index.
+  CubeLattice lattice(schema);
+  for (uint32_t v = 0; v < lattice.num_views(); ++v) {
+    for (const IndexKey& key : lattice.FatIndexes(v)) {
+      catalog.BuildIndex(lattice.AttrsOf(v), key);
+    }
+  }
+  LinearCostModel model(&sizes);
+  Executor executor(&catalog);
+
+  std::printf("Scaled TPC-D: %zu rows; |ps|=%s |pc|=%s |sc|=%s (paper "
+              "shape: ps tiny, pc/sc near base)\n\n",
+              fact.num_rows(),
+              FormatRowCount(sizes.SizeOf(AttributeSet::Of({0, 1}))).c_str(),
+              FormatRowCount(sizes.SizeOf(AttributeSet::Of({0, 2}))).c_str(),
+              FormatRowCount(sizes.SizeOf(AttributeSet::Of({1, 2})))
+                  .c_str());
+
+  TablePrinter t({"query", "plan", "model rows", "measured avg rows",
+                  "ratio"});
+  Workload all = AllSliceQueries(lattice);
+  Pcg32 rng(99);
+  double worst_ratio = 1.0;
+  for (const WeightedQuery& wq : all.queries()) {
+    const SliceQuery& q = wq.query;
+    // Average measured cost over several random selection constants.
+    constexpr int kTrials = 8;
+    double measured = 0.0;
+    ExecutionStats stats;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<uint32_t> values;
+      for (int a : q.selection().ToVector()) {
+        values.push_back(rng.NextBounded(
+            static_cast<uint32_t>(schema.dimension(a).cardinality)));
+      }
+      executor.Execute(q, values, &stats);
+      measured += static_cast<double>(stats.rows_processed);
+    }
+    measured /= kTrials;
+    double modeled =
+        stats.used_raw
+            ? static_cast<double>(fact.num_rows())
+            : model.QueryCost(q, stats.view, stats.index);
+    double ratio = measured / std::max(1.0, modeled);
+    // Track the worst discrepancy only where the model predicts a
+    // non-trivial slice; point lookups into a sparse cube legitimately
+    // return 0 rows for absent combinations while the model's |V|/|E| is
+    // an average over *present* ones.
+    if (modeled >= 10.0) {
+      worst_ratio = std::max(worst_ratio,
+                             std::max(ratio, 1.0 / std::max(1e-9, ratio)));
+    }
+    std::string plan = stats.used_raw
+                           ? "raw"
+                           : (stats.index.empty()
+                                  ? "scan " + stats.view.ToString(
+                                                  schema.names())
+                                  : stats.index.ToString(schema.names()) +
+                                        "(" +
+                                        stats.view.ToString(schema.names()) +
+                                        ")");
+    t.AddRow({q.ToString(schema.names()), plan, FormatRowCount(modeled),
+              FormatRowCount(measured), FormatFixed(ratio, 3)});
+  }
+  t.Print();
+  std::printf(
+      "\nWorst-case model/measured discrepancy factor over slices with "
+      "modeled cost >= 10 rows: %.2f.\nExact for scans; index paths use "
+      "the model's *average* slice size, so per-slice measurements\n"
+      "fluctuate around ratio 1.0, and point lookups for absent "
+      "combinations return 0 rows.\n",
+      worst_ratio);
+}
+
+}  // namespace
+}  // namespace olapidx
+
+int main() {
+  olapidx::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Experiment E12 (extension) — the paper's framework on hierarchical
+// lattices. Section 3 notes the algorithms' correctness and guarantees do
+// not depend on the choice of views/queries/indexes; here the universe is
+// the [HRU96]-style hierarchy lattice (one level per dimension per view).
+// We verify: (a) the flat special case reproduces the paper's model
+// exactly, (b) the greedy family stays near the certified bound on
+// hierarchical instances, (c) mid-level aggregates dominate selections,
+// and (d) the update-aware extension shifts picks under maintenance load.
+
+#include <cstdio>
+#include <string>
+
+#include "common/format.h"
+#include "common/table_printer.h"
+#include "core/inner_greedy.h"
+#include "core/optimal.h"
+#include "core/r_greedy.h"
+#include "core/two_step.h"
+#include "hierarchy/hierarchical_graph.h"
+
+namespace olapidx {
+namespace {
+
+HierarchicalSchema RetailSchema(int levels_per_dim) {
+  auto chain = [&](const std::string& base, uint64_t finest) {
+    std::vector<HierarchyLevel> levels;
+    uint64_t card = finest;
+    for (int l = 0; l < levels_per_dim; ++l) {
+      levels.push_back(
+          HierarchyLevel{base + std::to_string(l), card});
+      card = std::max<uint64_t>(2, card / 12);
+    }
+    return levels;
+  };
+  return HierarchicalSchema({
+      HierarchicalDimension{"store", chain("s", 2'000)},
+      HierarchicalDimension{"time", chain("t", 730)},
+      HierarchicalDimension{"prod", chain("p", 5'000)},
+  });
+}
+
+double TotalSpace(const QueryViewGraph& g) {
+  double total = 0.0;
+  for (uint32_t v = 0; v < g.num_views(); ++v) {
+    total += g.view_space(v) *
+             (1.0 + static_cast<double>(g.num_indexes(v)));
+  }
+  return total;
+}
+
+void Run() {
+  std::printf("== E12 (extension): selection on hierarchical lattices ==\n\n");
+  TablePrinter t({"levels/dim", "views", "structures", "queries",
+                  "1-greedy", "2-greedy", "inner", "two-step",
+                  "mid-level picks"});
+  for (int levels = 1; levels <= 3; ++levels) {
+    HierarchicalSchema schema = RetailSchema(levels);
+    HierarchicalGraphOptions options;
+    options.raw_scan_penalty = 2.0;
+    HierarchicalCubeGraph cube = BuildHierarchicalCubeGraph(
+        schema, 3e6, UniformHWorkload(schema), options);
+    double budget = 0.03 * TotalSpace(cube.graph);
+
+    auto ratio = [&](SelectionResult r) {
+      double ub = UpperBoundBenefit(cube.graph, r.space_used);
+      return FormatFixed(r.Benefit() / ub, 3) + "*";
+    };
+    SelectionResult inner = InnerLevelGreedy(cube.graph, budget);
+    int mid = 0;
+    for (const StructureRef& s : inner.picks) {
+      if (!s.is_view()) continue;
+      const LevelVector& lv = cube.view_levels[s.view];
+      for (int d = 0; d < schema.num_dimensions(); ++d) {
+        if (lv.level(d) > 0 && lv.level(d) < schema.all_level(d)) {
+          ++mid;
+          break;
+        }
+      }
+    }
+    t.AddRow({std::to_string(levels),
+              std::to_string(cube.graph.num_views()),
+              std::to_string(cube.graph.num_structures()),
+              std::to_string(cube.graph.num_queries()),
+              ratio(RGreedy(cube.graph, budget, {.r = 1})),
+              ratio(RGreedy(cube.graph, budget, {.r = 2})),
+              ratio(inner),
+              ratio(TwoStep(cube.graph, budget,
+                            TwoStepOptions{.index_fraction = 0.5,
+                                           .strict_fit = true})),
+              std::to_string(mid)});
+  }
+  t.Print();
+  std::printf("\n(* = vs certified upper bound.) With 1 level per "
+              "dimension this is exactly the paper's flat model; richer "
+              "hierarchies\nadd mid-level aggregates, which the one-step "
+              "algorithms exploit while two-step keeps losing.\n");
+
+  // Maintenance pressure on a hierarchical instance: picks should shift
+  // toward coarser (cheaper-to-refresh) structures.
+  std::printf("\nUpdate-aware extension on the 3-level instance:\n");
+  HierarchicalSchema schema = RetailSchema(3);
+  TablePrinter m({"maintenance/row", "picks", "space", "net benefit",
+                  "avg structure rows"});
+  for (double rate : {0.0, 50.0, 200.0, 1000.0}) {
+    HierarchicalGraphOptions options;
+    options.raw_scan_penalty = 2.0;
+    options.maintenance_per_row = rate;
+    HierarchicalCubeGraph cube = BuildHierarchicalCubeGraph(
+        schema, 3e6, UniformHWorkload(schema), options);
+    double budget = 0.03 * TotalSpace(cube.graph);
+    SelectionResult r = InnerLevelGreedy(cube.graph, budget);
+    double avg = r.picks.empty()
+                     ? 0.0
+                     : r.space_used / static_cast<double>(r.picks.size());
+    m.AddRow({FormatFixed(rate, 1), std::to_string(r.picks.size()),
+              FormatRowCount(r.space_used), FormatRowCount(r.Benefit()),
+              FormatRowCount(avg)});
+  }
+  m.Print();
+}
+
+}  // namespace
+}  // namespace olapidx
+
+int main() {
+  olapidx::Run();
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Experiment E11 — running-time scaling (google-benchmark). Section 5
+// claims r-greedy runs in O(k·m^r) and inner-level greedy in O(k²·m²),
+// where m is the number of structures; this bench measures wall time per
+// full selection across cube dimensions (m grows factorially with n) and
+// across r, plus B+tree build/scan microbenchmarks for the engine.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cube_graph.h"
+#include "core/inner_greedy.h"
+#include "core/optimal.h"
+#include "core/r_greedy.h"
+#include "core/two_step.h"
+#include "data/fact_generator.h"
+#include "data/synthetic.h"
+#include "engine/view_index.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+CubeGraph MakeGraph(int n) {
+  SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
+  CubeLattice lattice(cube.schema);
+  CubeGraphOptions opts;
+  opts.raw_scan_penalty = 2.0;
+  return BuildCubeGraph(cube.schema, cube.sizes, AllSliceQueries(lattice),
+                        opts);
+}
+
+double Budget(int n) {
+  SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
+  return 0.25 *
+         (cube.sizes.TotalViewSpace() + cube.sizes.TotalFatIndexSpace());
+}
+
+void BM_RGreedy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int r = static_cast<int>(state.range(1));
+  CubeGraph cg = MakeGraph(n);
+  double budget = Budget(n);
+  for (auto _ : state) {
+    SelectionResult res =
+        RGreedy(cg.graph, budget,
+                RGreedyOptions{.r = r, .max_subsets_per_view = 100'000});
+    benchmark::DoNotOptimize(res.final_cost);
+  }
+  state.counters["structures"] =
+      static_cast<double>(cg.graph.num_structures());
+}
+BENCHMARK(BM_RGreedy)
+    ->ArgsProduct({{3, 4, 5}, {1, 2, 3}})
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LazyOneGreedy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CubeGraph cg = MakeGraph(n);
+  double budget = Budget(n);
+  for (auto _ : state) {
+    SelectionResult res =
+        RGreedy(cg.graph, budget,
+                RGreedyOptions{.r = 1, .lazy_one_greedy = true});
+    benchmark::DoNotOptimize(res.final_cost);
+  }
+  state.counters["structures"] =
+      static_cast<double>(cg.graph.num_structures());
+}
+BENCHMARK(BM_LazyOneGreedy)->DenseRange(3, 6)->Unit(
+    benchmark::kMillisecond);
+
+void BM_InnerLevelGreedy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CubeGraph cg = MakeGraph(n);
+  double budget = Budget(n);
+  for (auto _ : state) {
+    SelectionResult res = InnerLevelGreedy(cg.graph, budget);
+    benchmark::DoNotOptimize(res.final_cost);
+  }
+  state.counters["structures"] =
+      static_cast<double>(cg.graph.num_structures());
+}
+BENCHMARK(BM_InnerLevelGreedy)
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TwoStep(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CubeGraph cg = MakeGraph(n);
+  double budget = Budget(n);
+  for (auto _ : state) {
+    SelectionResult res = TwoStep(cg.graph, budget, TwoStepOptions{});
+    benchmark::DoNotOptimize(res.final_cost);
+  }
+}
+BENCHMARK(BM_TwoStep)->DenseRange(3, 6)->Unit(benchmark::kMillisecond);
+
+void BM_BranchAndBoundOptimal(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  CubeGraph cg = MakeGraph(n);
+  double budget = Budget(n);
+  for (auto _ : state) {
+    SelectionResult res = BranchAndBoundOptimal(cg.graph, budget);
+    benchmark::DoNotOptimize(res.final_cost);
+  }
+}
+BENCHMARK(BM_BranchAndBoundOptimal)
+    ->DenseRange(2, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildCubeGraph(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
+  CubeLattice lattice(cube.schema);
+  Workload w = AllSliceQueries(lattice);
+  for (auto _ : state) {
+    CubeGraph cg = BuildCubeGraph(cube.schema, cube.sizes, w);
+    benchmark::DoNotOptimize(cg.graph.num_structures());
+  }
+}
+BENCHMARK(BM_BuildCubeGraph)->DenseRange(3, 6)->Unit(
+    benchmark::kMillisecond);
+
+// ---- Engine microbenchmarks ----
+
+void BM_BTreeInsert(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (size_t i = 0; i < n; ++i) {
+      tree.Insert(keys[i], static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeInsert)->Range(1 << 10, 1 << 16);
+
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<std::pair<uint64_t, uint32_t>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = {rng.Next(), static_cast<uint32_t>(i)};
+  }
+  std::sort(entries.begin(), entries.end());
+  for (auto _ : state) {
+    BPlusTree tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Range(1 << 10, 1 << 16);
+
+void BM_IndexPrefixScan(benchmark::State& state) {
+  TpcdScaledConfig config;
+  config.rows = static_cast<size_t>(state.range(0));
+  FactTable fact = GenerateTpcdScaledFacts(config);
+  MaterializedView view = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1}));
+  ViewIndex index(view, IndexKey({1, 0}));
+  Pcg32 rng(2);
+  for (auto _ : state) {
+    uint32_t s = rng.NextBounded(config.suppliers);
+    size_t rows = index.ScanPrefix({s}, [](uint32_t) {});
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_IndexPrefixScan)->Arg(20'000)->Arg(60'000);
+
+void BM_GroupByMaterialize(benchmark::State& state) {
+  TpcdScaledConfig config;
+  config.rows = static_cast<size_t>(state.range(0));
+  FactTable fact = GenerateTpcdScaledFacts(config);
+  for (auto _ : state) {
+    MaterializedView v = MaterializedView::FromFactTable(
+        fact, AttributeSet::Of({0, 1}));
+    benchmark::DoNotOptimize(v.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(config.rows));
+}
+BENCHMARK(BM_GroupByMaterialize)->Arg(20'000)->Arg(60'000);
+
+}  // namespace
+}  // namespace olapidx
+
+BENCHMARK_MAIN();

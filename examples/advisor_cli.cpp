@@ -1,0 +1,251 @@
+// advisor_cli: a command-line physical-design advisor.
+//
+//   advisor_cli --dims p:200000,s:10000,c:100000
+//               [--rows 6000000 | --sizes sizes.txt]
+//               [--workload log.txt] --budget 25000000
+//               [--algorithm inner|1greedy|2greedy|3greedy|twostep|
+//                viewsonly|optimal]
+//               [--index-fraction 0.5] [--maintenance 0.0]
+//               [--raw-penalty 2.0] [--out design.txt]
+//               [--dump-sizes sizes.txt]
+//   advisor_cli --csv facts.csv --budget 10000 [...]
+//
+// Dimension sizes come from --sizes (olapidx-sizes v1 file), from the
+// analytical model given --rows, or — with --csv — measured from the data
+// itself (exact distinct counts up to 200K rows, HyperLogLog beyond). The
+// workload file uses the query-log format of workload/query_log.h;
+// without it, all 3^n slice queries are equiprobable. The chosen design
+// is printed and optionally written in the olapidx-design v1 format
+// (see core/serialize.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/format.h"
+#include "core/advisor.h"
+#include "core/serialize.h"
+#include "cost/analytical_model.h"
+#include "data/csv_loader.h"
+#include "data/size_estimation.h"
+#include "workload/query_log.h"
+
+namespace {
+
+using namespace olapidx;
+
+[[noreturn]] void Usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n", message);
+  std::fprintf(
+      stderr,
+      "usage: advisor_cli --dims name:card[,name:card...] --budget ROWS\n"
+      "       [--rows N | --sizes FILE] [--workload FILE]\n"
+      "       [--algorithm inner|1greedy|2greedy|3greedy|twostep|"
+      "viewsonly|optimal]\n"
+      "       [--index-fraction F] [--maintenance RATE] "
+      "[--raw-penalty P] [--out FILE]\n");
+  std::exit(2);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dims_arg, sizes_path, workload_path, out_path, csv_path;
+  std::string dump_sizes_path;
+  std::string algorithm = "inner";
+  double rows = 0.0, budget = 0.0, index_fraction = 0.5;
+  double maintenance = 0.0, raw_penalty = 2.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--dims") {
+      dims_arg = next();
+    } else if (flag == "--csv") {
+      csv_path = next();
+    } else if (flag == "--rows") {
+      rows = std::atof(next().c_str());
+    } else if (flag == "--sizes") {
+      sizes_path = next();
+    } else if (flag == "--workload") {
+      workload_path = next();
+    } else if (flag == "--budget") {
+      budget = std::atof(next().c_str());
+    } else if (flag == "--algorithm") {
+      algorithm = next();
+    } else if (flag == "--index-fraction") {
+      index_fraction = std::atof(next().c_str());
+    } else if (flag == "--maintenance") {
+      maintenance = std::atof(next().c_str());
+    } else if (flag == "--raw-penalty") {
+      raw_penalty = std::atof(next().c_str());
+    } else if (flag == "--out") {
+      out_path = next();
+    } else if (flag == "--dump-sizes") {
+      dump_sizes_path = next();
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(nullptr);
+    } else {
+      Usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (dims_arg.empty() && csv_path.empty()) {
+    Usage("--dims or --csv is required");
+  }
+  if (budget <= 0.0) Usage("--budget is required and must be positive");
+
+  // Schema and sizes: from the CSV data, or from --dims plus --rows/--sizes.
+  std::unique_ptr<CsvCube> csv;
+  std::unique_ptr<CubeSchema> schema_holder;
+  if (!csv_path.empty()) {
+    std::string error;
+    csv = LoadCsvFacts(ReadFileOrDie(csv_path), &error);
+    if (csv == nullptr) {
+      std::fprintf(stderr, "error in %s: %s\n", csv_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    schema_holder = std::make_unique<CubeSchema>(csv->schema);
+  } else {
+    std::vector<Dimension> dims;
+    std::istringstream in(dims_arg);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      size_t colon = item.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        Usage("bad --dims entry (want name:cardinality)");
+      }
+      uint64_t card =
+          std::strtoull(item.c_str() + colon + 1, nullptr, 10);
+      if (card == 0) Usage("bad cardinality in --dims");
+      dims.push_back(Dimension{item.substr(0, colon), card});
+    }
+    schema_holder = std::make_unique<CubeSchema>(dims);
+  }
+  CubeSchema& schema = *schema_holder;
+
+  ViewSizes sizes;
+  if (csv != nullptr) {
+    sizes = csv->fact.num_rows() <= 200'000
+                ? ExactViewSizes(csv->fact)
+                : EstimateViewSizesHll(csv->fact);
+  } else if (!sizes_path.empty()) {
+    std::string error;
+    if (!ParseViewSizes(ReadFileOrDie(sizes_path), schema, &sizes,
+                        &error)) {
+      std::fprintf(stderr, "error in %s: %s\n", sizes_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+  } else if (rows >= 1.0) {
+    sizes = AnalyticalViewSizes(schema, rows);
+  } else {
+    Usage("provide --rows, --sizes, or --csv");
+  }
+
+  // Workload.
+  CubeLattice lattice(schema);
+  Workload workload;
+  if (!workload_path.empty()) {
+    std::string error;
+    if (!ParseQueryLog(ReadFileOrDie(workload_path), schema, &workload,
+                       &error)) {
+      std::fprintf(stderr, "error in %s: %s\n", workload_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (workload.empty()) {
+      std::fprintf(stderr, "error: workload file has no queries\n");
+      return 2;
+    }
+  } else {
+    workload = AllSliceQueries(lattice);
+  }
+
+  AdvisorConfig config;
+  config.space_budget = budget;
+  if (algorithm == "inner") {
+    config.algorithm = Algorithm::kInnerLevel;
+  } else if (algorithm == "1greedy") {
+    config.algorithm = Algorithm::kOneGreedy;
+  } else if (algorithm == "2greedy" || algorithm == "3greedy") {
+    config.algorithm = Algorithm::kRGreedy;
+    config.r_greedy.r = algorithm[0] - '0';
+    config.r_greedy.max_subsets_per_view = 200'000;
+  } else if (algorithm == "twostep") {
+    config.algorithm = Algorithm::kTwoStep;
+    config.two_step.index_fraction = index_fraction;
+    config.two_step.strict_fit = true;
+  } else if (algorithm == "viewsonly") {
+    config.algorithm = Algorithm::kHruViewsOnly;
+  } else if (algorithm == "optimal") {
+    config.algorithm = Algorithm::kOptimal;
+  } else {
+    Usage("unknown --algorithm");
+  }
+
+  CubeGraphOptions gopts;
+  gopts.raw_scan_penalty = raw_penalty;
+  gopts.maintenance_per_row = maintenance;
+  Advisor advisor(schema, sizes, workload, gopts);
+  Recommendation rec = advisor.Recommend(config);
+
+  std::printf("algorithm: %s\n", AlgorithmName(config.algorithm));
+  std::printf("queries: %zu   structures considered: %u\n",
+              workload.size(),
+              advisor.cube_graph().graph.num_structures());
+  std::printf("space: %s of %s budget\n",
+              FormatRowCount(rec.space_used).c_str(),
+              FormatRowCount(budget).c_str());
+  if (rec.space_used > 1.05 * budget) {
+    std::printf("note: greedy stages may overshoot the budget (the "
+                "paper's Theorem 5.1/5.2 semantics);\n      rerun with a "
+                "smaller budget for a strict fit.\n");
+  }
+  std::printf("average query cost: %s -> %s rows\n",
+              FormatRowCount(rec.initial_average_cost).c_str(),
+              FormatRowCount(rec.average_query_cost).c_str());
+  if (rec.raw.total_maintenance > 0.0) {
+    std::printf("maintenance charged: %s\n",
+                FormatRowCount(rec.raw.total_maintenance).c_str());
+  }
+  std::printf("\n%s", SerializeDesign(rec.structures, schema).c_str());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    out << SerializeDesign(rec.structures, schema);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  if (!dump_sizes_path.empty()) {
+    std::ofstream out(dump_sizes_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   dump_sizes_path.c_str());
+      return 2;
+    }
+    out << SerializeViewSizes(sizes, schema);
+    std::printf("wrote %s (reusable via --sizes)\n",
+                dump_sizes_path.c_str());
+  }
+  return 0;
+}

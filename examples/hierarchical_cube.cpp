@@ -1,0 +1,124 @@
+// Hierarchical cube walkthrough: dimensions with drill-down levels
+// (store→city→region, day→month→quarter), the richer lattice they induce,
+// and what the one-step algorithms pick on it — including mid-level
+// aggregates that a flat model cannot even express.
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "common/table_printer.h"
+#include "core/inner_greedy.h"
+#include "core/r_greedy.h"
+#include "core/two_step.h"
+#include "hierarchy/hierarchical_executor.h"
+#include "hierarchy/hierarchical_graph.h"
+
+int main() {
+  using namespace olapidx;
+
+  HierarchicalSchema schema({
+      HierarchicalDimension{
+          "store", {{"store", 2'000}, {"city", 150}, {"region", 12}}},
+      HierarchicalDimension{
+          "day", {{"day", 730}, {"month", 24}, {"quarter", 8}}},
+      HierarchicalDimension{"product", {{"sku", 5'000}, {"brand", 200}}},
+  });
+  double raw_rows = 3e6;
+
+  HierarchicalLattice lattice(&schema);
+  std::printf("Hierarchical retail cube: %llu views (flat model would "
+              "have %u), %zu slice queries\n\n",
+              static_cast<unsigned long long>(lattice.num_views()), 1u << 3,
+              EnumerateAllHQueries(schema).size());
+
+  HierarchicalGraphOptions options;
+  options.raw_scan_penalty = 2.0;
+  HierarchicalCubeGraph cube = BuildHierarchicalCubeGraph(
+      schema, raw_rows, UniformHWorkload(schema), options);
+
+  double total = 0.0;
+  for (uint32_t v = 0; v < cube.graph.num_views(); ++v) {
+    total += cube.graph.view_space(v) *
+             (1.0 + static_cast<double>(cube.graph.num_indexes(v)));
+  }
+  double budget = 0.03 * total;
+  std::printf("Budget: %s rows (3%% of materialize-everything = %s)\n\n",
+              FormatRowCount(budget).c_str(),
+              FormatRowCount(total).c_str());
+
+  TablePrinter t({"algorithm", "benefit", "space", "picks"});
+  auto run = [&](const char* label, SelectionResult r) {
+    t.AddRow({label, FormatRowCount(r.Benefit()),
+              FormatRowCount(r.space_used),
+              std::to_string(r.picks.size())});
+    return r;
+  };
+  run("1-greedy", RGreedy(cube.graph, budget, {.r = 1}));
+  run("2-greedy", RGreedy(cube.graph, budget, {.r = 2}));
+  SelectionResult inner =
+      run("inner-level", InnerLevelGreedy(cube.graph, budget));
+  run("two-step 50/50",
+      TwoStep(cube.graph, budget,
+              TwoStepOptions{.index_fraction = 0.5, .strict_fit = true}));
+  t.Print();
+
+  std::printf("\nInner-level selection:\n");
+  for (const StructureRef& s : inner.picks) {
+    std::printf("  %-55s %s rows\n",
+                cube.graph.StructureName(s).c_str(),
+                FormatRowCount(cube.graph.structure_space(s)).c_str());
+  }
+  std::printf(
+      "\nNote the mid-level picks (city/month/brand aggregates): those are "
+      "the views a flat\nper-dimension model cannot represent, and they "
+      "carry much of the benefit here.\n");
+
+  // Physical check at 1/60 scale: materialize the same picks over real
+  // data and run a few slice queries through the B-tree executor.
+  std::printf("\nPhysical spot-check (50K-row fact table):\n");
+  HierarchyMaps maps = HierarchyMaps::Balanced(schema);
+  FactTable fact = GenerateHierarchicalFacts(schema, 50'000, /*seed=*/7);
+  HierarchicalCatalog catalog(&fact, &maps);
+  for (const StructureRef& s : inner.picks) {
+    const LevelVector& levels = cube.view_levels[s.view];
+    catalog.MaterializeView(levels);
+    if (!s.is_view()) {
+      catalog.BuildIndex(
+          levels, cube.index_orders[s.view][static_cast<size_t>(s.index)]);
+    }
+  }
+  HierarchicalExecutor executor(&catalog);
+  // "Sales by city for month 5", "by brand in region 3", "total for sku 42".
+  struct Demo {
+    const char* label;
+    HSliceQuery query;
+    std::vector<uint32_t> values;
+  };
+  std::vector<Demo> demos = {
+      {"sales by city, month = 5",
+       HSliceQuery({HDimRole{HDimRole::kGroupBy, 1},
+                    HDimRole{HDimRole::kSelect, 1},
+                    HDimRole{HDimRole::kAbsent, 0}}),
+       {5}},
+      {"sales by brand, region = 3",
+       HSliceQuery({HDimRole{HDimRole::kSelect, 2},
+                    HDimRole{HDimRole::kAbsent, 0},
+                    HDimRole{HDimRole::kGroupBy, 1}}),
+       {3}},
+      {"total sales, sku = 42",
+       HSliceQuery({HDimRole{HDimRole::kAbsent, 0},
+                    HDimRole{HDimRole::kAbsent, 0},
+                    HDimRole{HDimRole::kSelect, 0}}),
+       {42}},
+  };
+  for (const Demo& demo : demos) {
+    HExecutionStats stats;
+    HGroupedResult result = executor.Execute(demo.query, demo.values,
+                                             &stats);
+    std::printf("  %-28s -> %zu groups, %llu rows processed (vs %zu raw)\n",
+                demo.label, result.num_rows(),
+                static_cast<unsigned long long>(stats.rows_processed),
+                fact.num_rows());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// A living warehouse: nightly loads append fact rows and every
+// materialized structure must be refreshed before the next business day.
+// This example closes the loop on the update-aware extension: it measures
+// *actual* engine work (query rows processed + refresh rows touched +
+// index entries rebuilt) for physical designs chosen with different
+// assumed maintenance rates, and shows the space-hungry design losing
+// once loads dominate.
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "common/table_printer.h"
+#include "core/advisor.h"
+#include "data/fact_generator.h"
+#include "data/size_estimation.h"
+#include "engine/executor.h"
+#include "engine/physical_design.h"
+
+namespace {
+
+using namespace olapidx;
+
+void AppendDay(FactTable& fact, size_t rows, uint64_t seed) {
+  Pcg32 rng(seed);
+  const CubeSchema& schema = fact.schema();
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(schema.num_dimensions()));
+  for (size_t r = 0; r < rows; ++r) {
+    for (int a = 0; a < schema.num_dimensions(); ++a) {
+      dims[static_cast<size_t>(a)] = rng.NextBounded(
+          static_cast<uint32_t>(schema.dimension(a).cardinality));
+    }
+    fact.Append(dims, 1.0 + rng.NextDouble() * 99.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  TpcdScaledConfig config;
+  config.rows = 40'000;
+  constexpr size_t kDays = 6;
+  constexpr size_t kRowsPerDay = 20'000;  // heavy nightly loads
+  constexpr int kQueriesPerDay = 40;
+
+  std::printf("Simulating %zu nightly loads of %zu rows with %d queries "
+              "per day.\n\n",
+              kDays, kRowsPerDay, kQueriesPerDay);
+
+  TablePrinter t({"assumed maint/row", "structures", "space (rows)",
+                  "query rows/day", "refresh rows/day", "total rows/day"});
+  double best_total = -1.0;
+  double best_rate = 0.0;
+  for (double assumed_rate : {0.0, 2.0, 8.0}) {
+    FactTable fact = GenerateTpcdScaledFacts(config);
+    CubeSchema schema = fact.schema();
+    ViewSizes sizes = ExactViewSizes(fact);
+    CubeLattice lattice(schema);
+    Workload workload = AllSliceQueries(lattice);
+
+    CubeGraphOptions gopts;
+    gopts.raw_scan_penalty = 2.0;
+    gopts.maintenance_per_row = assumed_rate;
+    Advisor advisor(schema, sizes, workload, gopts);
+    AdvisorConfig aconfig;
+    aconfig.algorithm = Algorithm::kInnerLevel;
+    aconfig.space_budget =
+        0.5 * (sizes.TotalViewSpace() + sizes.TotalFatIndexSpace());
+    Recommendation rec = advisor.Recommend(aconfig);
+
+    Catalog catalog(&fact);
+    std::vector<PhysicalDesignItem> items;
+    for (const RecommendedStructure& s : rec.structures) {
+      items.push_back(PhysicalDesignItem{s.view, s.index});
+    }
+    MaterializePhysicalDesign(catalog, items);
+    Executor executor(&catalog);
+
+    double query_rows = 0.0;
+    double refresh_rows = 0.0;
+    Pcg32 rng(1234);
+    for (size_t day = 0; day < kDays; ++day) {
+      // Daytime: queries drawn uniformly from the workload.
+      for (int qi = 0; qi < kQueriesPerDay; ++qi) {
+        const WeightedQuery& wq =
+            workload[rng.NextBounded(static_cast<uint32_t>(
+                workload.size()))];
+        std::vector<uint32_t> values;
+        for (int a : wq.query.selection().ToVector()) {
+          values.push_back(rng.NextBounded(static_cast<uint32_t>(
+              schema.dimension(a).cardinality)));
+        }
+        ExecutionStats stats;
+        executor.Execute(wq.query, values, &stats);
+        query_rows += static_cast<double>(stats.rows_processed);
+      }
+      // Nightly load + refresh.
+      AppendDay(fact, kRowsPerDay, 500 + day);
+      Catalog::RefreshStats stats = catalog.RefreshAfterAppend();
+      refresh_rows += static_cast<double>(stats.delta_rows_scanned) +
+                      static_cast<double>(stats.groups_touched) +
+                      stats.index_entries_rebuilt;
+    }
+    double days = static_cast<double>(kDays);
+    double total = (query_rows + refresh_rows) / days;
+    if (best_total < 0.0 || total < best_total) {
+      best_total = total;
+      best_rate = assumed_rate;
+    }
+    t.AddRow({FormatFixed(assumed_rate, 1),
+              std::to_string(rec.structures.size()),
+              FormatRowCount(rec.space_used),
+              FormatRowCount(query_rows / days),
+              FormatRowCount(refresh_rows / days),
+              FormatRowCount(total)});
+  }
+  t.Print();
+  std::printf(
+      "\nMeasured winner: the design advised with maintenance rate %.1f "
+      "(total %s rows of engine work per day).\nAssuming maintenance away "
+      "over-materializes; assuming too much starves the queries — the "
+      "rate is a real\nworkload parameter, exactly what the update-aware "
+      "extension lets the advisor trade off.\n",
+      best_rate, FormatRowCount(best_total).c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use exceptions (see DESIGN.md): programming errors and
+// violated invariants abort with a message. OLAPIDX_CHECK is always on;
+// OLAPIDX_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+
+#ifndef OLAPIDX_COMMON_CHECK_H_
+#define OLAPIDX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace olapidx::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "OLAPIDX_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace olapidx::internal
+
+#define OLAPIDX_CHECK(expr)                                      \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::olapidx::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                            \
+  } while (false)
+
+#ifdef NDEBUG
+#define OLAPIDX_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define OLAPIDX_DCHECK(expr) OLAPIDX_CHECK(expr)
+#endif
+
+#endif  // OLAPIDX_COMMON_CHECK_H_

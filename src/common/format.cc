@@ -1,0 +1,43 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace olapidx {
+
+namespace {
+
+// Renders `value` with up to two decimals, trimming trailing zeros and a
+// dangling decimal point ("6", "0.8", "1.18").
+std::string TrimmedFixed(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string FormatRowCount(double rows) {
+  double a = std::fabs(rows);
+  if (a >= 1e9) return TrimmedFixed(rows / 1e9) + "G";
+  // The paper annotates subcubes in millions down to 0.1M, so prefer the M
+  // unit from 1e5 upward.
+  if (a >= 1e5) return TrimmedFixed(rows / 1e6) + "M";
+  if (a >= 1e3) return TrimmedFixed(rows / 1e3) + "K";
+  return TrimmedFixed(rows);
+}
+
+std::string FormatFixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatFixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace olapidx

@@ -1,0 +1,23 @@
+// Human-readable formatting helpers shared by benches and examples.
+
+#ifndef OLAPIDX_COMMON_FORMAT_H_
+#define OLAPIDX_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace olapidx {
+
+// Formats a row count the way the paper does: "6M", "0.8M", "10K", "1".
+// Uses up to two significant decimals and strips trailing zeros.
+std::string FormatRowCount(double rows);
+
+// Formats a double with `decimals` fractional digits ("0.74").
+std::string FormatFixed(double value, int decimals);
+
+// Formats a fraction as a percentage string ("39.5%").
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_FORMAT_H_

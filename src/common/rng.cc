@@ -1,0 +1,65 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olapidx {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  (void)Next();
+  state_ += seed;
+  (void)Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  OLAPIDX_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  // 32 bits of randomness is plenty for workload generation.
+  return static_cast<double>(Next()) * 0x1.0p-32;
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double skew) {
+  OLAPIDX_CHECK(n > 0);
+  OLAPIDX_CHECK(skew >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = total;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint32_t ZipfSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint32_t k) const {
+  OLAPIDX_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace olapidx

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in this repository are reproducible bit-for-bit, so we use
+// our own small generators instead of std::mt19937 (whose distributions are
+// not portable across standard-library implementations).
+
+#ifndef OLAPIDX_COMMON_RNG_H_
+#define OLAPIDX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+// SplitMix64: tiny, high-quality 64-bit generator (Steele et al., 2014).
+// Used both directly and to seed Pcg32.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// PCG-XSH-RR 64/32 (O'Neill, 2014). The repository-wide workhorse generator.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0x14057b7ef767814fULL);
+
+  // Uniform 32-bit value.
+  uint32_t Next();
+
+  // Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+// Samples from a Zipf(s) distribution over ranks {0, 1, ..., n-1}
+// (rank 0 is the most probable). Precomputes the CDF; O(log n) per sample.
+class ZipfSampler {
+ public:
+  // n must be > 0; skew s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(uint32_t n, double skew);
+
+  uint32_t Sample(Pcg32& rng) const;
+
+  // Probability mass of rank `k`.
+  double Probability(uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+// Minimal fixed-width text-table printer used by the experiment benches to
+// emit paper-style tables to stdout.
+
+#ifndef OLAPIDX_COMMON_TABLE_PRINTER_H_
+#define OLAPIDX_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace olapidx {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a data row; must have the same arity as the header row.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) to `out`.
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,107 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+namespace olapidx {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kOneGreedy:
+      return "1-greedy";
+    case Algorithm::kRGreedy:
+      return "r-greedy";
+    case Algorithm::kInnerLevel:
+      return "inner-level greedy";
+    case Algorithm::kTwoStep:
+      return "two-step";
+    case Algorithm::kHruViewsOnly:
+      return "HRU views-only greedy";
+    case Algorithm::kOptimal:
+      return "branch-and-bound optimal";
+  }
+  return "unknown";
+}
+
+Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
+                 const Workload& workload, const CubeGraphOptions& options)
+    : schema_(schema),
+      sizes_(sizes),
+      workload_(workload),
+      cube_graph_(BuildCubeGraph(schema, sizes, workload, options)) {}
+
+Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
+  SelectionResult result;
+  switch (config.algorithm) {
+    case Algorithm::kOneGreedy:
+      result = OneGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kRGreedy:
+      result = RGreedy(cube_graph_.graph, config.space_budget,
+                       config.r_greedy);
+      break;
+    case Algorithm::kInnerLevel:
+      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kTwoStep:
+      result = TwoStep(cube_graph_.graph, config.space_budget,
+                       config.two_step);
+      break;
+    case Algorithm::kHruViewsOnly:
+      result = HruViewGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kOptimal:
+      result = BranchAndBoundOptimal(cube_graph_.graph, config.space_budget,
+                                     config.optimal);
+      break;
+  }
+
+  Recommendation rec;
+  rec.raw = result;
+  rec.space_used = result.space_used;
+  rec.initial_average_cost =
+      result.total_frequency > 0.0
+          ? result.initial_cost / result.total_frequency
+          : 0.0;
+  rec.average_query_cost = result.AverageQueryCost();
+
+  for (const StructureRef& s : result.picks) {
+    RecommendedStructure r;
+    r.view = cube_graph_.view_attrs[s.view];
+    if (!s.is_view()) {
+      r.index = cube_graph_.index_keys[s.view][static_cast<size_t>(s.index)];
+    }
+    r.name = cube_graph_.graph.StructureName(s);
+    r.space = cube_graph_.graph.structure_space(s);
+    rec.structures.push_back(std::move(r));
+  }
+
+  // Best access path per query, over the selected structures.
+  LinearCostModel cost(&sizes_);
+  for (size_t qi = 0; qi < cube_graph_.queries.size(); ++qi) {
+    const SliceQuery& query = cube_graph_.queries[qi];
+    QueryPlan plan;
+    plan.query = query;
+    plan.use_raw = true;
+    plan.estimated_cost =
+        cube_graph_.graph.query_default_cost(static_cast<uint32_t>(qi));
+    for (const StructureRef& s : result.picks) {
+      AttributeSet view_attrs = cube_graph_.view_attrs[s.view];
+      if (!query.AnswerableFrom(view_attrs)) continue;
+      IndexKey key;
+      if (!s.is_view()) {
+        key = cube_graph_.index_keys[s.view][static_cast<size_t>(s.index)];
+      }
+      double c = cost.QueryCost(query, view_attrs, key);
+      if (c < plan.estimated_cost) {
+        plan.estimated_cost = c;
+        plan.use_raw = false;
+        plan.view = view_attrs;
+        plan.index = key;
+      }
+    }
+    rec.plans.push_back(std::move(plan));
+  }
+  return rec;
+}
+
+}  // namespace olapidx

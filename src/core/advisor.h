@@ -1,0 +1,97 @@
+// Advisor: the high-level "what should I precompute?" API.
+//
+// Ties together the cube lattice, the cost model, the workload, and the
+// selection algorithms, and returns a physical-design recommendation — the
+// structures to materialize plus the best plan for every workload query.
+// This is the entry point examples and the execution engine use.
+
+#ifndef OLAPIDX_CORE_ADVISOR_H_
+#define OLAPIDX_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cube_graph.h"
+#include "core/inner_greedy.h"
+#include "core/optimal.h"
+#include "core/r_greedy.h"
+#include "core/selection_result.h"
+#include "core/two_step.h"
+
+namespace olapidx {
+
+enum class Algorithm {
+  kOneGreedy,      // r-greedy with r = 1
+  kRGreedy,        // r-greedy with configurable r
+  kInnerLevel,     // inner-level greedy (the paper's practical pick)
+  kTwoStep,        // industry baseline: views first, then indexes
+  kHruViewsOnly,   // [HRU96] no-index baseline
+  kOptimal,        // branch-and-bound (small instances only)
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+struct AdvisorConfig {
+  Algorithm algorithm = Algorithm::kInnerLevel;
+  double space_budget = 0.0;
+  // kRGreedy only.
+  RGreedyOptions r_greedy;
+  // kTwoStep only.
+  TwoStepOptions two_step;
+  // kOptimal only.
+  OptimalOptions optimal;
+};
+
+// One recommended structure, in pick order.
+struct RecommendedStructure {
+  AttributeSet view;
+  // Empty key means "the view itself"; otherwise an index on `view`.
+  IndexKey index;
+  std::string name;
+  double space = 0.0;
+
+  bool is_view() const { return index.empty(); }
+};
+
+// The chosen access path for one workload query.
+struct QueryPlan {
+  SliceQuery query;
+  // True when no materialized structure beats the raw table.
+  bool use_raw = true;
+  AttributeSet view;
+  IndexKey index;  // empty = plain scan of `view`
+  double estimated_cost = 0.0;
+};
+
+struct Recommendation {
+  std::vector<RecommendedStructure> structures;
+  std::vector<QueryPlan> plans;
+  double space_used = 0.0;
+  // Frequency-weighted average query cost before/after.
+  double initial_average_cost = 0.0;
+  double average_query_cost = 0.0;
+  // The underlying algorithm output (picks as graph ids, τ, work counters).
+  SelectionResult raw;
+};
+
+class Advisor {
+ public:
+  Advisor(const CubeSchema& schema, const ViewSizes& sizes,
+          const Workload& workload, const CubeGraphOptions& options = {});
+
+  const CubeGraph& cube_graph() const { return cube_graph_; }
+  const CubeSchema& schema() const { return schema_; }
+  const ViewSizes& sizes() const { return sizes_; }
+
+  Recommendation Recommend(const AdvisorConfig& config) const;
+
+ private:
+  CubeSchema schema_;
+  ViewSizes sizes_;
+  Workload workload_;
+  CubeGraph cube_graph_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_ADVISOR_H_

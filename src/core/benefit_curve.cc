@@ -1,0 +1,34 @@
+#include "core/benefit_curve.h"
+
+#include "core/selection_state.h"
+
+namespace olapidx {
+
+std::vector<BenefitCurvePoint> ComputeBenefitCurve(
+    const QueryViewGraph& graph, const SelectionResult& result) {
+  SelectionState state(&graph);
+  std::vector<BenefitCurvePoint> curve;
+  curve.push_back(
+      BenefitCurvePoint{0.0, state.TotalCost(), StructureRef{}});
+  for (const StructureRef& s : result.picks) {
+    state.ApplyStructure(s);
+    curve.push_back(
+        BenefitCurvePoint{state.SpaceUsed(), state.TotalCost(), s});
+  }
+  return curve;
+}
+
+double SpaceForBenefitFraction(
+    const std::vector<BenefitCurvePoint>& curve, double fraction) {
+  OLAPIDX_CHECK(fraction > 0.0 && fraction <= 1.0);
+  OLAPIDX_CHECK(!curve.empty());
+  double initial = curve.front().tau;
+  double final_tau = curve.back().tau;
+  double target = initial - fraction * (initial - final_tau);
+  for (const BenefitCurvePoint& p : curve) {
+    if (p.tau <= target + 1e-9) return p.space;
+  }
+  return curve.back().space;
+}
+
+}  // namespace olapidx

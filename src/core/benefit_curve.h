@@ -1,0 +1,33 @@
+// BenefitCurve: the cumulative (space, τ) trajectory of a selection — the
+// data behind cost-vs-space frontiers (Example 2.1's diminishing-returns
+// observation) and behind empirical checks of Theorem 5.1's a_i analysis.
+
+#ifndef OLAPIDX_CORE_BENEFIT_CURVE_H_
+#define OLAPIDX_CORE_BENEFIT_CURVE_H_
+
+#include <vector>
+
+#include "core/selection_result.h"
+
+namespace olapidx {
+
+struct BenefitCurvePoint {
+  double space = 0.0;  // cumulative space after this pick
+  double tau = 0.0;    // τ(G, M) after this pick
+  StructureRef pick;
+};
+
+// Replays a selection pick-by-pick against the graph and records the
+// trajectory. Point 0 is the empty selection (space 0, τ(G, ∅)).
+std::vector<BenefitCurvePoint> ComputeBenefitCurve(
+    const QueryViewGraph& graph, const SelectionResult& result);
+
+// The smallest cumulative space at which the selection achieves at least
+// `fraction` of its final benefit — where the diminishing-returns knee
+// sits. `fraction` in (0, 1].
+double SpaceForBenefitFraction(
+    const std::vector<BenefitCurvePoint>& curve, double fraction);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_BENEFIT_CURVE_H_

@@ -1,0 +1,34 @@
+// Closed-form performance guarantees (Theorems 5.1 and 5.2, Section 6 /
+// Figure 3). Guarantees are lower bounds on
+// (benefit of the algorithm's selection) / (optimal benefit using the same
+// space), under the theorems' assumptions (unit structure sizes for
+// r-greedy; no structure larger than S for inner-level greedy).
+
+#ifndef OLAPIDX_CORE_GUARANTEES_H_
+#define OLAPIDX_CORE_GUARANTEES_H_
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+// r-greedy: 1 − e^−((r−1)/r).  r = 1 → 0 (1-greedy can be arbitrarily
+// bad); r = 2 → 0.39; r = 3 → 0.49; r = 4 → 0.53; r → ∞ → 1 − 1/e.
+inline double RGreedyGuarantee(int r) {
+  OLAPIDX_CHECK(r >= 1);
+  return 1.0 - std::exp(-(static_cast<double>(r) - 1.0) /
+                        static_cast<double>(r));
+}
+
+// Inner-level greedy: 1 − e^−0.63 ≈ 0.467 (Theorem 5.2); sits between the
+// 2-greedy and 3-greedy guarantees at roughly 2-greedy's running time.
+inline double InnerLevelGuarantee() { return 1.0 - std::exp(-0.63); }
+
+// The [HRU96] views-only greedy under a space constraint: 1 − 1/e ≈ 0.63 —
+// also the limit of the r-greedy guarantees as r → ∞.
+inline double HruGuarantee() { return 1.0 - std::exp(-1.0); }
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_GUARANTEES_H_

@@ -1,0 +1,188 @@
+#include "core/inner_greedy.h"
+
+#include <algorithm>
+
+#include "core/selection_state.h"
+
+namespace olapidx {
+
+namespace {
+
+// Result of growing IG for one view: the ratio-maximal prefix.
+struct GrownBundle {
+  Candidate candidate;
+  double benefit = 0.0;
+  double space = 0.0;
+  bool valid = false;
+
+  double ratio() const { return benefit / space; }
+};
+
+// Grows IG = {view v} U indexes greedily (largest incremental benefit
+// first) while S(IG) < budget, and returns the prefix with maximal benefit
+// per unit space with respect to the current state.
+GrownBundle GrowBundle(const QueryViewGraph& graph,
+                       const SelectionState& state, uint32_t v,
+                       double space_budget, uint64_t* evals) {
+  const std::vector<uint32_t>& queries = graph.ViewQueries(v);
+  const size_t nq = queries.size();
+
+  // offered[pos]: cheapest cost IG currently offers for queries[pos].
+  std::vector<double> offered(nq);
+  double benefit = 0.0;
+  for (size_t pos = 0; pos < nq; ++pos) {
+    offered[pos] = graph.ViewCostAt(v, pos);
+    double cur = state.QueryBestCost(queries[pos]);
+    if (offered[pos] < cur) {
+      benefit += graph.query_frequency(queries[pos]) * (cur - offered[pos]);
+    }
+  }
+  benefit -= graph.structure_maintenance(
+      StructureRef{v, StructureRef::kNoIndex});
+  ++*evals;
+
+  double space = graph.view_space(v);
+  std::vector<int32_t> order;  // growth order of appended indexes
+
+  GrownBundle best;
+  best.candidate = Candidate{v, /*add_view=*/true, {}};
+  best.benefit = benefit;
+  best.space = space;
+  best.valid = true;
+
+  std::vector<int32_t> remaining;
+  for (int32_t k = 0; k < graph.num_indexes(v); ++k) remaining.push_back(k);
+
+  while (space < space_budget && !remaining.empty()) {
+    // Find the index with the largest incremental benefit w.r.t. M ∪ IG.
+    double best_inc = 0.0;
+    size_t best_at = 0;
+    bool found = false;
+    for (size_t i = 0; i < remaining.size();) {
+      int32_t k = remaining[i];
+      double inc = 0.0;
+      for (size_t pos = 0; pos < nq; ++pos) {
+        double c = graph.IndexCostAt(v, k, pos);
+        if (c >= offered[pos]) continue;
+        double cur = state.QueryBestCost(queries[pos]);
+        double old_red = std::max(0.0, cur - offered[pos]);
+        double new_red = std::max(0.0, cur - c);
+        inc += graph.query_frequency(queries[pos]) * (new_red - old_red);
+      }
+      inc -= graph.structure_maintenance(StructureRef{v, k});
+      ++*evals;
+      if (inc <= 0.0) {
+        // Offered costs only decrease as IG grows, so a zero-increment
+        // index stays at zero for the rest of this growth: drop it.
+        // (best_at always refers to a position < i, so the swap from the
+        // back cannot invalidate it.)
+        remaining[i] = remaining.back();
+        remaining.pop_back();
+        continue;
+      }
+      if (!found || inc > best_inc) {
+        best_inc = inc;
+        best_at = i;
+        found = true;
+      }
+      ++i;
+    }
+    if (!found) break;
+    int32_t k = remaining[best_at];
+    remaining[best_at] = remaining.back();
+    remaining.pop_back();
+
+    for (size_t pos = 0; pos < nq; ++pos) {
+      offered[pos] = std::min(offered[pos], graph.IndexCostAt(v, k, pos));
+    }
+    benefit += best_inc;
+    space += graph.index_space(v, k);
+    order.push_back(k);
+
+    if (benefit / space > best.ratio()) {
+      best.candidate.indexes = order;
+      best.benefit = benefit;
+      best.space = space;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
+                                 double space_budget) {
+  OLAPIDX_CHECK(graph.finalized());
+  OLAPIDX_CHECK(space_budget >= 0.0);
+
+  SelectionState state(&graph);
+  SelectionResult result;
+  result.initial_cost = state.TotalCost();
+  for (uint32_t q = 0; q < graph.num_queries(); ++q) {
+    result.total_frequency += graph.query_frequency(q);
+  }
+
+  while (state.SpaceUsed() < space_budget) {
+    // Phase 1: the best greedily-grown {view + indexes} bundle.
+    GrownBundle best_bundle;
+    for (uint32_t v = 0; v < graph.num_views(); ++v) {
+      if (state.ViewSelected(v)) continue;
+      GrownBundle g = GrowBundle(graph, state, v, space_budget,
+                                 &result.candidates_evaluated);
+      if (g.valid && g.benefit > 0.0 &&
+          (!best_bundle.valid || g.ratio() > best_bundle.ratio())) {
+        best_bundle = g;
+      }
+    }
+
+    // Phase 2: the best single index on an already-selected view.
+    GrownBundle best_index;
+    for (uint32_t v = 0; v < graph.num_views(); ++v) {
+      if (!state.ViewSelected(v)) continue;
+      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+        if (state.IndexSelected(v, k)) continue;
+        Candidate c{v, /*add_view=*/false, {k}};
+        double b = state.CandidateBenefit(c);
+        ++result.candidates_evaluated;
+        if (b <= 0.0) continue;
+        double ratio = b / state.CandidateSpace(c);
+        if (!best_index.valid || ratio > best_index.ratio()) {
+          best_index.candidate = c;
+          best_index.benefit = b;
+          best_index.space = state.CandidateSpace(c);
+          best_index.valid = true;
+        }
+      }
+    }
+
+    const GrownBundle* winner = nullptr;
+    if (best_bundle.valid && best_bundle.benefit > 0.0) {
+      winner = &best_bundle;
+    }
+    if (best_index.valid &&
+        (winner == nullptr || best_index.ratio() > winner->ratio())) {
+      winner = &best_index;
+    }
+    if (winner == nullptr) break;
+
+    const Candidate& c = winner->candidate;
+    double per_structure =
+        winner->benefit / static_cast<double>(c.NumStructures());
+    state.Apply(c);
+    if (c.add_view) {
+      result.picks.push_back(StructureRef{c.view, StructureRef::kNoIndex});
+      result.pick_benefits.push_back(per_structure);
+    }
+    for (int32_t k : c.indexes) {
+      result.picks.push_back(StructureRef{c.view, k});
+      result.pick_benefits.push_back(per_structure);
+    }
+  }
+
+  result.space_used = state.SpaceUsed();
+  result.final_cost = state.TotalCost();
+  result.total_maintenance = state.TotalMaintenance();
+  return result;
+}
+
+}  // namespace olapidx

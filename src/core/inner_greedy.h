@@ -1,0 +1,24 @@
+// The Inner-level greedy algorithm (Algorithm 5.2).
+//
+// Each stage builds, for every unselected view, a bundle IG = {view} grown
+// by greedily appending the index with the largest incremental benefit, and
+// keeps the prefix of the growth sequence with the best benefit per unit
+// space; the stage then picks the better of the best bundle and the best
+// single index on an already-selected view.
+//
+// Guarantee 1 − e^−0.63 ≈ 0.467 (between 2- and 3-greedy) at O(k²m²) time;
+// the solution uses at most 2·S space (Theorem 5.2).
+
+#ifndef OLAPIDX_CORE_INNER_GREEDY_H_
+#define OLAPIDX_CORE_INNER_GREEDY_H_
+
+#include "core/selection_result.h"
+
+namespace olapidx {
+
+SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
+                                 double space_budget);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_INNER_GREEDY_H_

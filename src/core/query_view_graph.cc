@@ -1,0 +1,125 @@
+#include "core/query_view_graph.h"
+
+#include <algorithm>
+
+namespace olapidx {
+
+uint32_t QueryViewGraph::AddView(std::string name, double space) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(space > 0.0);
+  ViewData vd;
+  vd.name = std::move(name);
+  vd.space = space;
+  views_.push_back(std::move(vd));
+  ++num_structures_;
+  return static_cast<uint32_t>(views_.size() - 1);
+}
+
+int32_t QueryViewGraph::AddIndex(uint32_t view, std::string name,
+                                 double space) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(space > 0.0);
+  ViewData& vd = views_[view];
+  vd.index_names.push_back(std::move(name));
+  vd.index_spaces.push_back(space);
+  vd.index_maintenance.push_back(0.0);
+  ++num_structures_;
+  return static_cast<int32_t>(vd.index_names.size() - 1);
+}
+
+uint32_t QueryViewGraph::AddQuery(std::string name, double default_cost,
+                                  double frequency) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(default_cost >= 0.0);
+  OLAPIDX_CHECK(frequency >= 0.0);
+  queries_.push_back(QueryData{std::move(name), default_cost, frequency});
+  return static_cast<uint32_t>(queries_.size() - 1);
+}
+
+void QueryViewGraph::SetViewMaintenance(uint32_t view, double cost) {
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(cost >= 0.0);
+  views_[view].maintenance = cost;
+}
+
+void QueryViewGraph::SetIndexMaintenance(uint32_t view, int32_t index,
+                                         double cost) {
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(index >= 0 && index < num_indexes(view));
+  OLAPIDX_CHECK(cost >= 0.0);
+  views_[view].index_maintenance[static_cast<size_t>(index)] = cost;
+}
+
+void QueryViewGraph::AddViewEdge(uint32_t query, uint32_t view, double cost) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(query < num_queries());
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(cost >= 0.0);
+  pending_.push_back(PendingEdge{query, view, StructureRef::kNoIndex, cost});
+}
+
+void QueryViewGraph::AddIndexEdge(uint32_t query, uint32_t view,
+                                  int32_t index, double cost) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(query < num_queries());
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(index >= 0 && index < num_indexes(view));
+  OLAPIDX_CHECK(cost >= 0.0);
+  pending_.push_back(PendingEdge{query, view, index, cost});
+}
+
+void QueryViewGraph::Finalize() {
+  OLAPIDX_CHECK(!finalized_);
+  // Group pending edges by view, then build dense per-view cost tables.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const PendingEdge& a, const PendingEdge& b) {
+                     if (a.view != b.view) return a.view < b.view;
+                     return a.query < b.query;
+                   });
+  size_t i = 0;
+  while (i < pending_.size()) {
+    uint32_t v = pending_[i].view;
+    size_t j = i;
+    ViewData& vd = views_[v];
+    // Collect the distinct query ids touching this view.
+    while (j < pending_.size() && pending_[j].view == v) {
+      if (vd.queries.empty() || vd.queries.back() != pending_[j].query) {
+        vd.queries.push_back(pending_[j].query);
+      }
+      ++j;
+    }
+    size_t nq = vd.queries.size();
+    size_t ni = vd.index_names.size();
+    vd.view_cost.assign(nq, kInfiniteCost);
+    vd.index_cost.assign(ni * nq, kInfiniteCost);
+    // Fill costs; keep the cheapest label when duplicates exist
+    // (the graph is a multigraph).
+    size_t pos = 0;
+    for (size_t e = i; e < j; ++e) {
+      const PendingEdge& edge = pending_[e];
+      while (vd.queries[pos] != edge.query) ++pos;
+      if (edge.index == StructureRef::kNoIndex) {
+        vd.view_cost[pos] = std::min(vd.view_cost[pos], edge.cost);
+      } else {
+        double& slot =
+            vd.index_cost[static_cast<size_t>(edge.index) * nq + pos];
+        slot = std::min(slot, edge.cost);
+      }
+    }
+    i = j;
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+}
+
+double QueryViewGraph::DefaultTotalCost() const {
+  double total = 0.0;
+  for (const QueryData& q : queries_) {
+    total += q.frequency * q.default_cost;
+  }
+  return total;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,175 @@
+// QueryViewGraph: the bipartite multigraph of Section 5.1 — the input to
+// every selection algorithm in this library.
+//
+//  * Views carry a space cost and a list of indexes (each with its own space
+//    cost).
+//  * Queries carry a default cost T_i (answering from raw data) and a
+//    frequency f_i.
+//  * Edges (q, v) are labelled (k, t) — the cost of answering q from view v
+//    with v's k-th index; k = kNoIndex means using the view alone.
+//
+// The algorithms' correctness does not depend on where the costs come from:
+// graphs can be built from a cube lattice + cost model (core/cube_graph.h)
+// or assembled by hand (Example 5.1, adversarial instances, tests).
+
+#ifndef OLAPIDX_CORE_QUERY_VIEW_GRAPH_H_
+#define OLAPIDX_CORE_QUERY_VIEW_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+// Identifies a structure (Section 5's term): a view, or one of its indexes.
+struct StructureRef {
+  uint32_t view = 0;
+  // kNoIndex for the view itself, otherwise the index position within the
+  // view's index list.
+  int32_t index = kNoIndex;
+
+  static constexpr int32_t kNoIndex = -1;
+
+  bool is_view() const { return index == kNoIndex; }
+
+  friend bool operator==(const StructureRef& a, const StructureRef& b) {
+    return a.view == b.view && a.index == b.index;
+  }
+};
+
+class QueryViewGraph {
+ public:
+  static constexpr double kInfiniteCost =
+      std::numeric_limits<double>::infinity();
+
+  QueryViewGraph() = default;
+
+  // ---- Construction (call Finalize() when done) ----
+
+  // Returns the new view's id.
+  uint32_t AddView(std::string name, double space);
+  // Returns the new index's position within `view`'s index list.
+  int32_t AddIndex(uint32_t view, std::string name, double space);
+  // Returns the new query's id.
+  uint32_t AddQuery(std::string name, double default_cost,
+                    double frequency = 1.0);
+
+  // Cost of answering `query` from `view` with no index (k = 0 edge).
+  void AddViewEdge(uint32_t query, uint32_t view, double cost);
+  // Cost of answering `query` from `view` with its `index`-th index.
+  void AddIndexEdge(uint32_t query, uint32_t view, int32_t index,
+                    double cost);
+
+  // Optional maintenance (refresh) cost charged once when the structure is
+  // selected; the algorithms maximize benefit *net* of maintenance. The
+  // default of 0 reproduces the paper's space-only model exactly. May be
+  // set before or after Finalize(). This is the update-aware extension in
+  // the spirit of [G97]'s general framework.
+  void SetViewMaintenance(uint32_t view, double cost);
+  void SetIndexMaintenance(uint32_t view, int32_t index, double cost);
+  double structure_maintenance(StructureRef s) const {
+    return s.is_view()
+               ? views_[s.view].maintenance
+               : views_[s.view]
+                     .index_maintenance[static_cast<size_t>(s.index)];
+  }
+
+  // Compacts edges into per-view dense cost tables. Must be called exactly
+  // once, before any algorithm runs.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- Introspection ----
+
+  uint32_t num_views() const { return static_cast<uint32_t>(views_.size()); }
+  uint32_t num_queries() const {
+    return static_cast<uint32_t>(queries_.size());
+  }
+  // Total number of structures (views + indexes), the paper's `m`.
+  uint32_t num_structures() const { return num_structures_; }
+
+  const std::string& view_name(uint32_t v) const { return views_[v].name; }
+  double view_space(uint32_t v) const { return views_[v].space; }
+  int32_t num_indexes(uint32_t v) const {
+    return static_cast<int32_t>(views_[v].index_names.size());
+  }
+  const std::string& index_name(uint32_t v, int32_t k) const {
+    return views_[v].index_names[static_cast<size_t>(k)];
+  }
+  double index_space(uint32_t v, int32_t k) const {
+    return views_[v].index_spaces[static_cast<size_t>(k)];
+  }
+  double structure_space(StructureRef s) const {
+    return s.is_view() ? view_space(s.view) : index_space(s.view, s.index);
+  }
+  std::string StructureName(StructureRef s) const {
+    return s.is_view() ? view_name(s.view)
+                       : index_name(s.view, s.index) + "(" +
+                             view_name(s.view) + ")";
+  }
+
+  const std::string& query_name(uint32_t q) const { return queries_[q].name; }
+  double query_default_cost(uint32_t q) const {
+    return queries_[q].default_cost;
+  }
+  double query_frequency(uint32_t q) const { return queries_[q].frequency; }
+
+  // τ(G, ∅): total cost with nothing materialized.
+  double DefaultTotalCost() const;
+
+  // ---- Per-view edge tables (valid after Finalize) ----
+
+  // Queries that have at least one edge to `v`.
+  const std::vector<uint32_t>& ViewQueries(uint32_t v) const {
+    OLAPIDX_DCHECK(finalized_);
+    return views_[v].queries;
+  }
+  // Cost of answering ViewQueries(v)[pos] from v alone (kInfiniteCost if
+  // there is no k = 0 edge).
+  double ViewCostAt(uint32_t v, size_t pos) const {
+    return views_[v].view_cost[pos];
+  }
+  // Cost of answering ViewQueries(v)[pos] from v with index k.
+  double IndexCostAt(uint32_t v, int32_t k, size_t pos) const {
+    const ViewData& vd = views_[v];
+    return vd.index_cost[static_cast<size_t>(k) * vd.queries.size() + pos];
+  }
+
+ private:
+  struct ViewData {
+    std::string name;
+    double space = 0.0;
+    double maintenance = 0.0;
+    std::vector<std::string> index_names;
+    std::vector<double> index_spaces;
+    std::vector<double> index_maintenance;
+    // Populated by Finalize():
+    std::vector<uint32_t> queries;   // queries with any edge to this view
+    std::vector<double> view_cost;   // parallel to `queries`
+    std::vector<double> index_cost;  // [k * queries.size() + pos]
+  };
+  struct QueryData {
+    std::string name;
+    double default_cost = 0.0;
+    double frequency = 1.0;
+  };
+  struct PendingEdge {
+    uint32_t query;
+    uint32_t view;
+    int32_t index;  // StructureRef::kNoIndex for a view edge
+    double cost;
+  };
+
+  std::vector<ViewData> views_;
+  std::vector<QueryData> queries_;
+  std::vector<PendingEdge> pending_;
+  uint32_t num_structures_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_QUERY_VIEW_GRAPH_H_

@@ -1,0 +1,223 @@
+#include "core/r_greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/selection_state.h"
+
+namespace olapidx {
+
+namespace {
+
+// Tracks the best candidate of the current stage by benefit per unit space.
+class BestCandidate {
+ public:
+  explicit BestCandidate(const SelectionState* state) : state_(state) {}
+
+  void Consider(const Candidate& c, double benefit) {
+    if (benefit <= 0.0) return;
+    double ratio = benefit / state_->CandidateSpace(c);
+    if (!valid_ || ratio > best_ratio_) {
+      valid_ = true;
+      best_ratio_ = ratio;
+      best_benefit_ = benefit;
+      best_ = c;
+    }
+  }
+
+  bool valid() const { return valid_; }
+  const Candidate& candidate() const { return best_; }
+  double benefit() const { return best_benefit_; }
+
+ private:
+  const SelectionState* state_;
+  Candidate best_;
+  double best_ratio_ = 0.0;
+  double best_benefit_ = 0.0;
+  bool valid_ = false;
+};
+
+// Enumerates subsets of `pool` of size 2..max_size (size-1 subsets are
+// evaluated separately by the caller), in lexicographic order, invoking
+// `fn(subset)` for each, up to `cap` subsets in total.
+template <typename Fn>
+void EnumerateSubsets(const std::vector<int32_t>& pool, int max_size,
+                      size_t cap, Fn&& fn) {
+  std::vector<int32_t> subset;
+  size_t emitted = 0;
+  auto rec = [&](auto&& self, size_t start) -> void {
+    if (emitted >= cap) return;
+    if (static_cast<int>(subset.size()) >= 2) {
+      ++emitted;
+      fn(subset);
+      if (emitted >= cap) return;
+    }
+    if (static_cast<int>(subset.size()) == max_size) return;
+    for (size_t i = start; i < pool.size(); ++i) {
+      subset.push_back(pool[i]);
+      self(self, i + 1);
+      subset.pop_back();
+      if (emitted >= cap) return;
+    }
+  };
+  rec(rec, 0);
+}
+
+// CELF-style lazy 1-greedy: a max-heap of candidates keyed by their last
+// computed benefit-per-space; submodularity makes stale keys upper bounds.
+SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
+                              double space_budget) {
+  SelectionState state(&graph);
+  SelectionResult result;
+  result.initial_cost = state.TotalCost();
+  for (uint32_t q = 0; q < graph.num_queries(); ++q) {
+    result.total_frequency += graph.query_frequency(q);
+  }
+
+  struct Entry {
+    double ratio;
+    double benefit;
+    StructureRef ref;
+  };
+  // Max-heap by ratio; ties broken by structure id for determinism.
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.ratio != b.ratio) return a.ratio < b.ratio;
+    if (a.ref.view != b.ref.view) return a.ref.view > b.ref.view;
+    return a.ref.index > b.ref.index;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  auto push_fresh = [&](StructureRef ref) {
+    double b = state.StructureBenefit(ref);
+    ++result.candidates_evaluated;
+    if (b <= 0.0 && !ref.is_view()) return;  // an index never regains value
+    // Zero-benefit views stay out too: with r = 1 a view is only ever
+    // selected for its own benefit (this is 1-greedy's known blind spot).
+    if (b <= 0.0) return;
+    heap.push(Entry{b / graph.structure_space(ref), b, ref});
+  };
+
+  for (uint32_t v = 0; v < graph.num_views(); ++v) {
+    push_fresh(StructureRef{v, StructureRef::kNoIndex});
+  }
+
+  while (state.SpaceUsed() < space_budget && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (state.Selected(top.ref)) continue;
+    double b = state.StructureBenefit(top.ref);
+    ++result.candidates_evaluated;
+    if (b <= 0.0) continue;  // stale and now worthless; drop
+    double ratio = b / graph.structure_space(top.ref);
+    // Select only if still at least as good as the best cached bound.
+    if (!heap.empty() && ratio < heap.top().ratio) {
+      heap.push(Entry{ratio, b, top.ref});
+      continue;
+    }
+    state.ApplyStructure(top.ref);
+    result.picks.push_back(top.ref);
+    result.pick_benefits.push_back(b);
+    if (top.ref.is_view()) {
+      for (int32_t k = 0; k < graph.num_indexes(top.ref.view); ++k) {
+        push_fresh(StructureRef{top.ref.view, k});
+      }
+    }
+  }
+
+  result.space_used = state.SpaceUsed();
+  result.final_cost = state.TotalCost();
+  result.total_maintenance = state.TotalMaintenance();
+  return result;
+}
+
+}  // namespace
+
+SelectionResult RGreedy(const QueryViewGraph& graph, double space_budget,
+                        const RGreedyOptions& options) {
+  OLAPIDX_CHECK(graph.finalized());
+  OLAPIDX_CHECK(options.r >= 1);
+  OLAPIDX_CHECK(space_budget >= 0.0);
+  if (options.r == 1 && options.lazy_one_greedy) {
+    return LazyOneGreedy(graph, space_budget);
+  }
+
+  SelectionState state(&graph);
+  SelectionResult result;
+  result.initial_cost = state.TotalCost();
+  for (uint32_t q = 0; q < graph.num_queries(); ++q) {
+    result.total_frequency += graph.query_frequency(q);
+  }
+
+  while (state.SpaceUsed() < space_budget) {
+    BestCandidate best(&state);
+
+    // (a) A not-yet-selected view plus at most r-1 of its indexes.
+    for (uint32_t v = 0; v < graph.num_views(); ++v) {
+      if (state.ViewSelected(v)) continue;
+      Candidate view_only{v, /*add_view=*/true, {}};
+      double view_benefit = state.CandidateBenefit(view_only);
+      ++result.candidates_evaluated;
+      best.Consider(view_only, view_benefit);
+      if (options.r < 2) continue;
+
+      // Indexes worth pairing with the view: those that improve at least
+      // one query beyond the plain view scan. An index that adds nothing
+      // next to the view alone can never add anything inside a larger
+      // candidate (a set's offered cost is the min over its members).
+      std::vector<int32_t> useful;
+      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+        Candidate with_index{v, /*add_view=*/true, {k}};
+        double b = state.CandidateBenefit(with_index);
+        ++result.candidates_evaluated;
+        best.Consider(with_index, b);
+        if (b > view_benefit) useful.push_back(k);
+      }
+      if (options.r >= 3 && useful.size() >= 2) {
+        EnumerateSubsets(useful, options.r - 1,
+                         options.max_subsets_per_view,
+                         [&](const std::vector<int32_t>& subset) {
+                           Candidate c{v, /*add_view=*/true, subset};
+                           double b = state.CandidateBenefit(c);
+                           ++result.candidates_evaluated;
+                           best.Consider(c, b);
+                         });
+      }
+    }
+
+    // (b) A single index whose view was selected in a previous stage.
+    for (uint32_t v = 0; v < graph.num_views(); ++v) {
+      if (!state.ViewSelected(v)) continue;
+      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+        if (state.IndexSelected(v, k)) continue;
+        Candidate c{v, /*add_view=*/false, {k}};
+        double b = state.CandidateBenefit(c);
+        ++result.candidates_evaluated;
+        best.Consider(c, b);
+      }
+    }
+
+    if (!best.valid()) break;  // Nothing left with positive benefit.
+    double stage_benefit = best.benefit();
+    const Candidate& c = best.candidate();
+    // Record per-structure incremental benefits (distributed equally, as in
+    // the proof of Theorem 5.1) so analyses can replay the a_i sequence.
+    double per_structure =
+        stage_benefit / static_cast<double>(c.NumStructures());
+    state.Apply(c);
+    if (c.add_view) {
+      result.picks.push_back(StructureRef{c.view, StructureRef::kNoIndex});
+      result.pick_benefits.push_back(per_structure);
+    }
+    for (int32_t k : c.indexes) {
+      result.picks.push_back(StructureRef{c.view, k});
+      result.pick_benefits.push_back(per_structure);
+    }
+  }
+
+  result.space_used = state.SpaceUsed();
+  result.final_cost = state.TotalCost();
+  result.total_maintenance = state.TotalMaintenance();
+  return result;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,15 @@
+#include "core/selection_result.h"
+
+namespace olapidx {
+
+std::string SelectionResult::PicksToString(
+    const QueryViewGraph& graph) const {
+  std::string out;
+  for (const StructureRef& s : picks) {
+    if (!out.empty()) out += ", ";
+    out += graph.StructureName(s);
+  }
+  return out;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,50 @@
+// SelectionResult: the output of every selection algorithm — the picked
+// structures in pick order, the space they occupy, and τ before/after.
+
+#ifndef OLAPIDX_CORE_SELECTION_RESULT_H_
+#define OLAPIDX_CORE_SELECTION_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_view_graph.h"
+
+namespace olapidx {
+
+struct SelectionResult {
+  std::vector<StructureRef> picks;  // in selection order
+  // Incremental benefit of each pick at the time it was made (the a_i of
+  // Theorem 5.1); one entry per pick.
+  std::vector<double> pick_benefits;
+  double space_used = 0.0;
+  double initial_cost = 0.0;  // τ(G, ∅)
+  double final_cost = 0.0;    // τ(G, M)
+  // Accumulated maintenance cost of the selection (update-aware extension;
+  // 0 under the paper's space-only model).
+  double total_maintenance = 0.0;
+  double total_frequency = 0.0;
+  // Number of candidate sets whose benefit was evaluated (work measure).
+  uint64_t candidates_evaluated = 0;
+  // True iff the result is provably optimal for its budget (set only by the
+  // branch-and-bound solver when it runs to completion).
+  bool proven_optimal = false;
+
+  // B(M, ∅), the absolute benefit of the selection (net of maintenance).
+  double Benefit() const {
+    return initial_cost - final_cost - total_maintenance;
+  }
+
+  // Frequency-weighted average query cost, the metric Example 2.1 reports
+  // ("an average query cost of 0.74M rows").
+  double AverageQueryCost() const {
+    return total_frequency > 0.0 ? final_cost / total_frequency : 0.0;
+  }
+
+  // Human-readable list of picked structures: "psc, I_ps(psc), ...".
+  std::string PicksToString(const QueryViewGraph& graph) const;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_SELECTION_RESULT_H_

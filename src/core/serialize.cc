@@ -1,0 +1,265 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace olapidx {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitTrimmed(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(Trim(current));
+  return out;
+}
+
+int AttrByName(const CubeSchema& schema, const std::string& name) {
+  for (int a = 0; a < schema.num_dimensions(); ++a) {
+    if (schema.dimension(a).name == name) return a;
+  }
+  return -1;
+}
+
+std::string AttrsToNames(AttributeSet attrs, const CubeSchema& schema) {
+  if (attrs.empty()) return "none";
+  std::string out;
+  for (int a : attrs.ToVector()) {
+    if (!out.empty()) out += ",";
+    out += schema.dimension(a).name;
+  }
+  return out;
+}
+
+// Parses an *unordered* attribute set ("none" allowed).
+bool ParseAttrSet(const std::string& field, const CubeSchema& schema,
+                  AttributeSet* attrs, std::string* error) {
+  *attrs = AttributeSet();
+  std::string trimmed = Trim(field);
+  if (trimmed == "none" || trimmed.empty()) return true;
+  for (const std::string& name : SplitTrimmed(trimmed, ',')) {
+    int a = AttrByName(schema, name);
+    if (a < 0) {
+      *error = "unknown dimension '" + name + "'";
+      return false;
+    }
+    if (attrs->Contains(a)) {
+      *error = "duplicate dimension '" + name + "'";
+      return false;
+    }
+    *attrs = attrs->With(a);
+  }
+  return true;
+}
+
+// Parses an *ordered* key ("s,p" -> IndexKey({1,0})).
+bool ParseKey(const std::string& field, const CubeSchema& schema,
+              IndexKey* key, std::string* error) {
+  std::vector<int> order;
+  AttributeSet seen;
+  for (const std::string& name : SplitTrimmed(Trim(field), ',')) {
+    int a = AttrByName(schema, name);
+    if (a < 0) {
+      *error = "unknown dimension '" + name + "'";
+      return false;
+    }
+    if (seen.Contains(a)) {
+      *error = "duplicate dimension '" + name + "'";
+      return false;
+    }
+    seen = seen.With(a);
+    order.push_back(a);
+  }
+  if (order.empty()) {
+    *error = "empty index key";
+    return false;
+  }
+  *key = IndexKey(order);
+  return true;
+}
+
+std::string KeyToNames(const IndexKey& key, const CubeSchema& schema) {
+  std::string out;
+  for (int a : key.attrs()) {
+    if (!out.empty()) out += ",";
+    out += schema.dimension(a).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeDesign(
+    const std::vector<RecommendedStructure>& structures,
+    const CubeSchema& schema) {
+  std::string out = "olapidx-design v1\n";
+  for (const RecommendedStructure& s : structures) {
+    if (s.is_view()) {
+      out += "view " + AttrsToNames(s.view, schema) + "\n";
+    } else {
+      out += "index " + AttrsToNames(s.view, schema) + " : " +
+             KeyToNames(s.index, schema) + "\n";
+    }
+  }
+  return out;
+}
+
+bool ParseDesign(const std::string& text, const CubeSchema& schema,
+                 std::vector<RecommendedStructure>* structures,
+                 std::string* error) {
+  OLAPIDX_CHECK(structures != nullptr);
+  OLAPIDX_CHECK(error != nullptr);
+  structures->clear();
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (!header_seen) {
+      if (line != "olapidx-design v1") {
+        return fail("expected header 'olapidx-design v1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    std::string attr_error;
+    if (line.rfind("view ", 0) == 0) {
+      AttributeSet attrs;
+      if (!ParseAttrSet(line.substr(5), schema, &attrs, &attr_error)) {
+        return fail(attr_error);
+      }
+      RecommendedStructure s;
+      s.view = attrs;
+      s.name = attrs.ToString(schema.names());
+      structures->push_back(std::move(s));
+    } else if (line.rfind("index ", 0) == 0) {
+      std::string rest = line.substr(6);
+      size_t colon = rest.find(':');
+      if (colon == std::string::npos) {
+        return fail("expected 'index <view> : <key>'");
+      }
+      AttributeSet view_attrs;
+      if (!ParseAttrSet(rest.substr(0, colon), schema, &view_attrs,
+                        &attr_error)) {
+        return fail(attr_error);
+      }
+      IndexKey key;
+      if (!ParseKey(rest.substr(colon + 1), schema, &key, &attr_error)) {
+        return fail(attr_error);
+      }
+      if (!key.AsSet().IsSubsetOf(view_attrs)) {
+        return fail("index key uses attributes outside its view");
+      }
+      RecommendedStructure s;
+      s.view = view_attrs;
+      s.index = key;
+      s.name = key.ToString(schema.names()) + "(" +
+               view_attrs.ToString(schema.names()) + ")";
+      structures->push_back(std::move(s));
+    } else {
+      return fail("expected 'view ...' or 'index ...'");
+    }
+  }
+  if (!header_seen) {
+    line_no = 1;
+    return fail("missing header 'olapidx-design v1'");
+  }
+  error->clear();
+  return true;
+}
+
+std::string SerializeViewSizes(const ViewSizes& sizes,
+                               const CubeSchema& schema) {
+  std::string out = "olapidx-sizes v1\n";
+  for (uint32_t v = 0; v < sizes.num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", sizes[v]);
+    out += "size " + AttrsToNames(attrs, schema) + " " + buf + "\n";
+  }
+  return out;
+}
+
+bool ParseViewSizes(const std::string& text, const CubeSchema& schema,
+                    ViewSizes* sizes, std::string* error) {
+  OLAPIDX_CHECK(sizes != nullptr);
+  OLAPIDX_CHECK(error != nullptr);
+  *sizes = ViewSizes(schema.num_dimensions());
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (!header_seen) {
+      if (line != "olapidx-sizes v1") {
+        return fail("expected header 'olapidx-sizes v1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (line.rfind("size ", 0) != 0) return fail("expected 'size ...'");
+    std::string rest = Trim(line.substr(5));
+    size_t space = rest.find_last_of(" \t");
+    if (space == std::string::npos) {
+      return fail("expected 'size <attrs> <rows>'");
+    }
+    AttributeSet attrs;
+    std::string attr_error;
+    if (!ParseAttrSet(rest.substr(0, space), schema, &attrs, &attr_error)) {
+      return fail(attr_error);
+    }
+    char* end = nullptr;
+    std::string num = Trim(rest.substr(space + 1));
+    double rows = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0' || rows < 1.0) {
+      return fail("bad row count '" + num + "'");
+    }
+    sizes->Set(attrs, rows);
+  }
+  if (!header_seen) {
+    line_no = 1;
+    return fail("missing header 'olapidx-sizes v1'");
+  }
+  if (!sizes->Complete()) {
+    *error = "missing sizes: not every subcube was given a row count";
+    return false;
+  }
+  error->clear();
+  return true;
+}
+
+}  // namespace olapidx

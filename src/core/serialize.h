@@ -1,0 +1,51 @@
+// Plain-text serialization of advisor artifacts, so a physical design can
+// be reviewed, versioned, and replayed by deployment tooling.
+//
+// Design format ("olapidx-design v1"):
+//
+//     olapidx-design v1
+//     # comments and blank lines allowed
+//     view p,s
+//     index p,s : s,p
+//     view none
+//
+// `view A` materializes the subcube with group-by attrs A ("none" = apex);
+// `index V : K` builds the index with ordered key K on subcube V.
+//
+// Sizes format ("olapidx-sizes v1"): one `size <attrs> <rows>` line per
+// subcube; all 2^n subcubes must be present.
+
+#ifndef OLAPIDX_CORE_SERIALIZE_H_
+#define OLAPIDX_CORE_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "cost/view_sizes.h"
+
+namespace olapidx {
+
+// ---- Physical designs ----
+
+std::string SerializeDesign(
+    const std::vector<RecommendedStructure>& structures,
+    const CubeSchema& schema);
+
+// Parses into (view, index) items; names are validated against `schema`.
+// Returns false with a line-tagged message in `error` on malformed input.
+bool ParseDesign(const std::string& text, const CubeSchema& schema,
+                 std::vector<RecommendedStructure>* structures,
+                 std::string* error);
+
+// ---- View sizes ----
+
+std::string SerializeViewSizes(const ViewSizes& sizes,
+                               const CubeSchema& schema);
+
+bool ParseViewSizes(const std::string& text, const CubeSchema& schema,
+                    ViewSizes* sizes, std::string* error);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_SERIALIZE_H_

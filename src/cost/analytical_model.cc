@@ -1,0 +1,41 @@
+#include "cost/analytical_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olapidx {
+
+double ExpectedDistinct(double domain, double rows) {
+  OLAPIDX_CHECK(domain >= 1.0);
+  OLAPIDX_CHECK(rows >= 0.0);
+  if (rows == 0.0) return 0.0;
+  if (domain == 1.0) return 1.0;
+  // D · (1 − (1 − 1/D)^w) computed as −D·expm1(w·log1p(−1/D)) for accuracy
+  // when D is huge (the naive form collapses to 0 or D).
+  double log_keep = std::log1p(-1.0 / domain);
+  double expected = -domain * std::expm1(rows * log_keep);
+  return std::clamp(expected, 1.0, std::min(domain, rows));
+}
+
+ViewSizes AnalyticalViewSizes(const CubeSchema& schema, double raw_rows) {
+  OLAPIDX_CHECK(raw_rows >= 1.0);
+  ViewSizes sizes(schema.num_dimensions());
+  for (uint32_t v = 0; v < sizes.num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    sizes.Set(attrs, std::max(1.0, ExpectedDistinct(schema.DomainSize(attrs),
+                                                    raw_rows)));
+  }
+  OLAPIDX_CHECK(sizes.IsMonotone());
+  return sizes;
+}
+
+double CubeSparsity(const CubeSchema& schema, double raw_rows) {
+  return raw_rows / schema.DomainSize(schema.AllAttributes());
+}
+
+double RawRowsForSparsity(const CubeSchema& schema, double sparsity) {
+  OLAPIDX_CHECK(sparsity > 0.0 && sparsity <= 1.0);
+  return sparsity * schema.DomainSize(schema.AllAttributes());
+}
+
+}  // namespace olapidx

@@ -1,0 +1,38 @@
+// Analytical view-size estimation (Section 4.2.1): assuming statistically
+// independent dimensions, the expected number of distinct group-by
+// combinations among w raw rows drawn uniformly from a domain of size D is
+//
+//     E[|V|] = D · (1 − (1 − 1/D)^w)
+//
+// This is the "analytical model in [HRU96]" that the paper's Section 6
+// experiments use to generate cubes.
+
+#ifndef OLAPIDX_COST_ANALYTICAL_MODEL_H_
+#define OLAPIDX_COST_ANALYTICAL_MODEL_H_
+
+#include "cost/view_sizes.h"
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+// Expected distinct count for a domain of size `domain` after `rows` draws.
+// Handles very large domains without precision loss (via expm1/log1p).
+double ExpectedDistinct(double domain, double rows);
+
+// Sizes for every view of the cube over `schema`, given `raw_rows` rows in
+// the raw fact table. The base view's size is the expected number of
+// distinct full-dimension combinations (≤ raw_rows); every other view
+// applies the same formula to its own domain.
+ViewSizes AnalyticalViewSizes(const CubeSchema& schema, double raw_rows);
+
+// Sparsity of a cube (Section 6): raw row count divided by the product of
+// all dimension cardinalities.
+double CubeSparsity(const CubeSchema& schema, double raw_rows);
+
+// Convenience inverse of CubeSparsity: the raw row count that yields the
+// requested sparsity for `schema`.
+double RawRowsForSparsity(const CubeSchema& schema, double sparsity);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COST_ANALYTICAL_MODEL_H_

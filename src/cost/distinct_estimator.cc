@@ -1,0 +1,85 @@
+#include "cost/distinct_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+namespace {
+
+// Frequency-of-frequencies: f[i] = number of distinct values occurring
+// exactly i times in the sample. Returns (d_n, f1, f2, tail) where tail is
+// Σ_{i>=2} f_i.
+struct SampleProfile {
+  uint64_t distinct = 0;
+  uint64_t f1 = 0;
+  uint64_t f2 = 0;
+  uint64_t tail = 0;  // distinct values seen at least twice
+};
+
+SampleProfile Profile(const std::vector<uint64_t>& sample) {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(sample.size() * 2);
+  for (uint64_t v : sample) ++counts[v];
+  SampleProfile p;
+  p.distinct = counts.size();
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    if (count == 1) {
+      ++p.f1;
+    } else {
+      ++p.tail;
+      if (count == 2) ++p.f2;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+uint64_t ExactDistinct(const std::vector<uint64_t>& values) {
+  std::vector<uint64_t> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<uint64_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+double ChaoEstimate(const std::vector<uint64_t>& sample,
+                    uint64_t population_size) {
+  OLAPIDX_CHECK(!sample.empty());
+  SampleProfile p = Profile(sample);
+  double estimate = static_cast<double>(p.distinct);
+  if (p.f2 > 0) {
+    estimate += static_cast<double>(p.f1) * static_cast<double>(p.f1) /
+                (2.0 * static_cast<double>(p.f2));
+  }
+  return std::clamp(estimate, static_cast<double>(p.distinct),
+                    static_cast<double>(population_size));
+}
+
+double GeeEstimate(const std::vector<uint64_t>& sample,
+                   uint64_t population_size) {
+  OLAPIDX_CHECK(!sample.empty());
+  OLAPIDX_CHECK(population_size >= sample.size());
+  SampleProfile p = Profile(sample);
+  double scale = std::sqrt(static_cast<double>(population_size) /
+                           static_cast<double>(sample.size()));
+  double estimate =
+      scale * static_cast<double>(p.f1) + static_cast<double>(p.tail);
+  return std::clamp(estimate, static_cast<double>(p.distinct),
+                    static_cast<double>(population_size));
+}
+
+double NaiveScaleUpEstimate(const std::vector<uint64_t>& sample,
+                            uint64_t population_size) {
+  OLAPIDX_CHECK(!sample.empty());
+  double d = static_cast<double>(ExactDistinct(sample));
+  double scaled = d * static_cast<double>(population_size) /
+                  static_cast<double>(sample.size());
+  return std::clamp(scaled, d, static_cast<double>(population_size));
+}
+
+}  // namespace olapidx

@@ -1,0 +1,39 @@
+// Distinct-value estimation from a uniform row sample (Section 4.2.1 points
+// at sampling methods, citing [HNS95]). Estimating |V| for a view is exactly
+// estimating the number of distinct group-by key combinations in the raw
+// data, so these estimators are the bridge between a materialized fact table
+// and the ViewSizes the selection algorithms consume.
+
+#ifndef OLAPIDX_COST_DISTINCT_ESTIMATOR_H_
+#define OLAPIDX_COST_DISTINCT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace olapidx {
+
+// Exact number of distinct values in `values`.
+uint64_t ExactDistinct(const std::vector<uint64_t>& values);
+
+// Estimators take a sample of `sample` values drawn uniformly (with
+// replacement is acceptable) from a population of `population_size` values
+// and return an estimate of the population's distinct count.
+
+// Chao's estimator: d_n + f1^2 / (2 f2), where f_i is the number of values
+// occurring exactly i times in the sample. Falls back to d_n when f2 == 0.
+double ChaoEstimate(const std::vector<uint64_t>& sample,
+                    uint64_t population_size);
+
+// GEE (Guaranteed-Error Estimator, Charikar et al.):
+// sqrt(N/n) · f1 + Σ_{i>=2} f_i — within a provable factor of sqrt(N/n).
+double GeeEstimate(const std::vector<uint64_t>& sample,
+                   uint64_t population_size);
+
+// Naive scale-up: d_n · N / n, clipped to [d_n, N]. A deliberately crude
+// baseline that shows why principled estimators matter.
+double NaiveScaleUpEstimate(const std::vector<uint64_t>& sample,
+                            uint64_t population_size);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COST_DISTINCT_ESTIMATOR_H_

@@ -1,0 +1,65 @@
+#include "cost/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+
+namespace olapidx {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  OLAPIDX_CHECK(precision >= 4 && precision <= 18);
+  num_registers_ = 1u << precision;
+  registers_.assign(num_registers_, 0);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  uint64_t rest = hash << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits (1-based);
+  // all-zero rest gets the maximum rank.
+  int rank = rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  if (registers_[index] < rank) {
+    registers_[index] = static_cast<uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  double m = static_cast<double>(num_registers_);
+  // Bias-correction constant alpha_m.
+  double alpha;
+  switch (num_registers_) {
+    case 16:
+      alpha = 0.673;
+      break;
+    case 32:
+      alpha = 0.697;
+      break;
+    case 64:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / m);
+      break;
+  }
+  double sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is below 2.5m.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  OLAPIDX_CHECK(precision_ == other.precision_);
+  for (uint32_t i = 0; i < num_registers_; ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace olapidx

@@ -1,0 +1,32 @@
+#include "cost/view_sizes.h"
+
+namespace olapidx {
+
+double ViewSizes::TotalViewSpace() const {
+  double total = 0.0;
+  for (double s : sizes_) total += s;
+  return total;
+}
+
+double ViewSizes::TotalFatIndexSpace() const {
+  double total = 0.0;
+  for (uint32_t v = 0; v < num_views(); ++v) {
+    int m = AttributeSet::FromMask(v).size();
+    total += static_cast<double>(CubeLattice::NumFatIndexes(m)) * sizes_[v];
+  }
+  return total;
+}
+
+bool ViewSizes::IsMonotone() const {
+  for (uint32_t v = 0; v < num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    for (int a = 0; a < n_; ++a) {
+      if (attrs.Contains(a)) continue;
+      // Adding an attribute can only increase (or keep) the row count.
+      if (sizes_[attrs.With(a).mask()] + 1e-9 < sizes_[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,142 @@
+#include "data/csv_loader.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace olapidx {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(Trim(current));
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
+                                      std::string* error) {
+  OLAPIDX_CHECK(error != nullptr);
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+    return nullptr;
+  };
+
+  // Header.
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    header = SplitCsv(line);
+    break;
+  }
+  if (header.size() < 2) {
+    return fail("header must name at least one dimension and the measure");
+  }
+  size_t n_dims = header.size() - 1;
+  if (n_dims > static_cast<size_t>(kMaxDimensions)) {
+    return fail("too many dimensions");
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i].empty()) return fail("empty column name in header");
+    for (size_t j = i + 1; j < header.size(); ++j) {
+      if (header[i] == header[j]) {
+        return fail("duplicate column name '" + header[i] + "'");
+      }
+    }
+  }
+
+  // Pass 1: dictionary-encode rows into temporaries (cardinalities are
+  // only known at the end).
+  std::vector<Dictionary> dictionaries(n_dims);
+  std::vector<std::vector<uint32_t>> coded(n_dims);
+  std::vector<double> measures;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != header.size()) {
+      return fail("expected " + std::to_string(header.size()) +
+                  " fields, got " + std::to_string(fields.size()));
+    }
+    for (size_t d = 0; d < n_dims; ++d) {
+      if (fields[d].empty()) {
+        return fail("empty value for dimension '" + header[d] + "'");
+      }
+      coded[d].push_back(dictionaries[d].Encode(fields[d]));
+    }
+    const std::string& m = fields[n_dims];
+    char* end = nullptr;
+    double measure = std::strtod(m.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(measure)) {
+      return fail("bad measure '" + m + "'");
+    }
+    measures.push_back(measure);
+  }
+  if (measures.empty()) return fail("no data rows");
+
+  std::vector<Dimension> dims;
+  for (size_t d = 0; d < n_dims; ++d) {
+    dims.push_back(
+        Dimension{header[d], std::max<uint64_t>(1, dictionaries[d].size())});
+  }
+  CubeSchema schema(dims);
+  FactTable fact(schema);
+  fact.Reserve(measures.size());
+  std::vector<uint32_t> row(n_dims);
+  for (size_t r = 0; r < measures.size(); ++r) {
+    for (size_t d = 0; d < n_dims; ++d) row[d] = coded[d][r];
+    fact.Append(row, measures[r]);
+  }
+  error->clear();
+  return std::make_unique<CsvCube>(
+      CsvCube{std::move(schema), std::move(fact), std::move(dictionaries)});
+}
+
+std::string WriteCsvFacts(const FactTable& fact,
+                          const std::vector<Dictionary>& dictionaries,
+                          const std::string& measure_name) {
+  const CubeSchema& schema = fact.schema();
+  OLAPIDX_CHECK(dictionaries.size() ==
+                static_cast<size_t>(schema.num_dimensions()));
+  std::string out;
+  for (int a = 0; a < schema.num_dimensions(); ++a) {
+    out += schema.dimension(a).name + ",";
+  }
+  out += measure_name + "\n";
+  char buf[64];
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    for (int a = 0; a < schema.num_dimensions(); ++a) {
+      out += dictionaries[static_cast<size_t>(a)].Decode(fact.dim(r, a));
+      out += ",";
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", fact.measure(r));
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace olapidx

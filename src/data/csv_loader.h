@@ -1,0 +1,42 @@
+// CSV fact-table ingestion: header row names the dimensions, the last
+// column is the numeric measure; dimension values are arbitrary strings,
+// dictionary-encoded in order of first appearance. No quoting — fields
+// must not contain commas.
+//
+//     part,supplier,customer,sales
+//     widget,Widgets-R-Us,acme,129.95
+//     sprocket,Widgets-R-Us,globex,12.50
+
+#ifndef OLAPIDX_DATA_CSV_LOADER_H_
+#define OLAPIDX_DATA_CSV_LOADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/dictionary.h"
+#include "engine/fact_table.h"
+
+namespace olapidx {
+
+struct CsvCube {
+  CubeSchema schema;  // cardinalities = dictionary sizes
+  FactTable fact;
+  std::vector<Dictionary> dictionaries;  // per dimension, schema order
+};
+
+// Parses `text`. Returns nullptr with a line-tagged message in `error` on
+// malformed input (missing header, non-numeric measure, ragged rows, ...).
+std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
+                                      std::string* error);
+
+// The inverse: renders a fact table (with its dictionaries) back into the
+// same CSV format, `measure_name` as the last column. Round-trips with
+// LoadCsvFacts.
+std::string WriteCsvFacts(const FactTable& fact,
+                          const std::vector<Dictionary>& dictionaries,
+                          const std::string& measure_name = "measure");
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_CSV_LOADER_H_

@@ -1,0 +1,67 @@
+#include "data/example_graphs.h"
+
+namespace olapidx {
+
+QueryViewGraph Figure2Instance() {
+  QueryViewGraph g;
+  const double kDefault = 1000.0;
+
+  // V1 "pair": one query; the view scans at the default cost (no benefit),
+  // the index answers it 100 cheaper.
+  uint32_t v1 = g.AddView("V1", 1.0);
+  int32_t i11 = g.AddIndex(v1, "I1,1", 1.0);
+  uint32_t qa = g.AddQuery("qa", kDefault);
+  g.AddViewEdge(qa, v1, kDefault);
+  g.AddIndexEdge(qa, v1, i11, kDefault - 100.0);
+
+  // V2 "trap": six queries, one per index; each index is worth 41 but the
+  // view alone is worth nothing.
+  uint32_t v2 = g.AddView("V2", 1.0);
+  for (int j = 0; j < 6; ++j) {
+    int32_t idx = g.AddIndex(v2, "I2," + std::to_string(j + 1), 1.0);
+    uint32_t q = g.AddQuery("qb" + std::to_string(j + 1), kDefault);
+    g.AddViewEdge(q, v2, kDefault);
+    g.AddIndexEdge(q, v2, idx, kDefault - 41.0);
+  }
+
+  // V3 "junk": its own query gives 22 up front; each index serves another
+  // query worth 21 — the bait that keeps 1- and 2-greedy busy.
+  uint32_t v3 = g.AddView("V3", 1.0);
+  uint32_t qj = g.AddQuery("qc0", kDefault);
+  g.AddViewEdge(qj, v3, kDefault - 22.0);
+  for (int j = 0; j < 6; ++j) {
+    int32_t idx = g.AddIndex(v3, "I3," + std::to_string(j + 1), 1.0);
+    uint32_t q = g.AddQuery("qc" + std::to_string(j + 1), kDefault);
+    g.AddViewEdge(q, v3, kDefault);
+    g.AddIndexEdge(q, v3, idx, kDefault - 21.0);
+  }
+
+  g.Finalize();
+  return g;
+}
+
+QueryViewGraph OneGreedyTrapInstance(double trap_benefit,
+                                     double decoy_benefit) {
+  OLAPIDX_CHECK(trap_benefit > 0.0);
+  OLAPIDX_CHECK(decoy_benefit > 0.0);
+  QueryViewGraph g;
+  double kDefault = 10.0 * (trap_benefit + decoy_benefit);
+
+  uint32_t trap = g.AddView("trap", 1.0);
+  int32_t trap_idx = g.AddIndex(trap, "I_trap", 1.0);
+  uint32_t q_trap = g.AddQuery("q_trap", kDefault);
+  g.AddViewEdge(q_trap, trap, kDefault);  // no benefit without the index
+  g.AddIndexEdge(q_trap, trap, trap_idx, kDefault - trap_benefit);
+
+  // Two decoy views with immediate (but tiny) benefit fill budget 2.
+  for (int j = 0; j < 2; ++j) {
+    uint32_t decoy = g.AddView("decoy" + std::to_string(j), 1.0);
+    uint32_t q = g.AddQuery("q_decoy" + std::to_string(j), kDefault);
+    g.AddViewEdge(q, decoy, kDefault - decoy_benefit);
+  }
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace olapidx

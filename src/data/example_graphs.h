@@ -1,0 +1,46 @@
+// Hand-built query-view graphs reproducing the paper's Section 5 examples.
+//
+// The published Figure 2 is not machine-readable from the paper text and
+// some of its reported intermediate numbers are mutually inconsistent (OCR
+// noise), so Figure2Instance() is a faithful *reconstruction*: a unit-space
+// instance exhibiting exactly the phenomena Examples 5.1/5.2 demonstrate —
+//   * 1-greedy fills the budget with shallow structures because views whose
+//     whole value lives in their indexes show zero immediate benefit;
+//   * 2-greedy unlocks view+index pairs but can still be lured into junk
+//     whose single-structure density beats every pair;
+//   * 3-greedy sees view+2-index bundles and reaches the optimum;
+//   * inner-level greedy builds the full bundle and lands between.
+// The exact benefit values for this instance are deterministic and asserted
+// in tests; the experiment bench prints them next to the paper's numbers.
+
+#ifndef OLAPIDX_DATA_EXAMPLE_GRAPHS_H_
+#define OLAPIDX_DATA_EXAMPLE_GRAPHS_H_
+
+#include "core/query_view_graph.h"
+
+namespace olapidx {
+
+// Unit spaces, budget 7 (like Example 5.1). Views:
+//   V1 "pair":  0 alone; one index; {V1, I11} benefit 100.
+//   V2 "trap":  0 alone; 6 indexes, each worth 41 once V2 is selected.
+//   V3 "junk":  22 alone; 6 indexes worth 21 each.
+// Expected outcomes at budget 7 (asserted in tests):
+//   1-greedy 148, 2-greedy 206, 3-greedy 264 = optimal(7);
+//   inner-level 346 using 9 units (= optimal for 9 units).
+QueryViewGraph Figure2Instance();
+
+// The budget Example 5.1 uses.
+inline constexpr double kFigure2Budget = 7.0;
+
+// A parameterized family on which 1-greedy is arbitrarily bad (the paper's
+// Figure 3 point at r = 1): a decoy view with tiny but positive benefit
+// `decoy_benefit` per structure, and a trap view whose single index is
+// worth `trap_benefit`. With budget 2, 1-greedy takes two decoy structures
+// (2·decoy_benefit) while the optimum takes {trap view, index}
+// (trap_benefit); the ratio tends to 0 as trap_benefit grows.
+QueryViewGraph OneGreedyTrapInstance(double trap_benefit,
+                                     double decoy_benefit);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_EXAMPLE_GRAPHS_H_

@@ -1,0 +1,89 @@
+#include "data/fact_generator.h"
+
+#include "common/rng.h"
+#include "data/tpcd.h"
+
+namespace olapidx {
+
+FactTable GenerateUniformFacts(const CubeSchema& schema, size_t rows,
+                               uint64_t seed) {
+  FactTable fact(schema);
+  fact.Reserve(rows);
+  Pcg32 rng(seed);
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(schema.num_dimensions()), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int a = 0; a < schema.num_dimensions(); ++a) {
+      dims[static_cast<size_t>(a)] = rng.NextBounded(
+          static_cast<uint32_t>(schema.dimension(a).cardinality));
+    }
+    fact.Append(dims, 1.0 + rng.NextDouble() * 99.0);  // sales in [1, 100)
+  }
+  return fact;
+}
+
+FactTable GenerateZipfFacts(const CubeSchema& schema, size_t rows,
+                            double skew, uint64_t seed) {
+  OLAPIDX_CHECK(skew >= 0.0);
+  FactTable fact(schema);
+  fact.Reserve(rows);
+  Pcg32 rng(seed);
+  // One sampler and one member shuffle per dimension.
+  std::vector<ZipfSampler> samplers;
+  std::vector<std::vector<uint32_t>> shuffles;
+  for (int a = 0; a < schema.num_dimensions(); ++a) {
+    uint32_t card =
+        static_cast<uint32_t>(schema.dimension(a).cardinality);
+    samplers.emplace_back(card, skew);
+    std::vector<uint32_t> shuffle(card);
+    for (uint32_t i = 0; i < card; ++i) shuffle[i] = i;
+    for (uint32_t i = card; i > 1; --i) {
+      std::swap(shuffle[i - 1], shuffle[rng.NextBounded(i)]);
+    }
+    shuffles.push_back(std::move(shuffle));
+  }
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(schema.num_dimensions()), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int a = 0; a < schema.num_dimensions(); ++a) {
+      dims[static_cast<size_t>(a)] =
+          shuffles[static_cast<size_t>(a)]
+                  [samplers[static_cast<size_t>(a)].Sample(rng)];
+    }
+    fact.Append(dims, 1.0 + rng.NextDouble() * 99.0);
+  }
+  return fact;
+}
+
+FactTable GenerateTpcdScaledFacts(const TpcdScaledConfig& config) {
+  OLAPIDX_CHECK(config.suppliers_per_part >= 1);
+  OLAPIDX_CHECK(config.suppliers_per_part <= config.suppliers);
+  CubeSchema schema({Dimension{"p", config.parts},
+                     Dimension{"s", config.suppliers},
+                     Dimension{"c", config.customers}});
+  FactTable fact(schema);
+  fact.Reserve(config.rows);
+  Pcg32 rng(config.seed);
+  // Deterministic per-part supplier sets: supplier j of part p is
+  // hash(p, j) mod suppliers. Collisions within a part merely shrink its
+  // supplier set slightly, which is harmless.
+  SplitMix64 hash_seed(config.seed ^ 0x5eed5eed5eed5eedULL);
+  uint64_t salt = hash_seed.Next();
+  auto supplier_of = [&](uint32_t part, uint32_t j) {
+    SplitMix64 h(salt ^ (static_cast<uint64_t>(part) << 20) ^ j);
+    return static_cast<uint32_t>(h.Next() % config.suppliers);
+  };
+  std::vector<uint32_t> dims(3);
+  for (size_t r = 0; r < config.rows; ++r) {
+    uint32_t part = rng.NextBounded(config.parts);
+    uint32_t j = rng.NextBounded(config.suppliers_per_part);
+    dims[static_cast<size_t>(kTpcdPart)] = part;
+    dims[static_cast<size_t>(kTpcdSupplier)] = supplier_of(part, j);
+    dims[static_cast<size_t>(kTpcdCustomer)] =
+        rng.NextBounded(config.customers);
+    fact.Append(dims, 1.0 + rng.NextDouble() * 99.0);
+  }
+  return fact;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,47 @@
+// Fact-table generators. The paper's experiments run at TPC-D scale (a 6M
+// row base cube) — far larger than useful for in-memory unit tests and
+// engine validation — so these generators produce structurally equivalent
+// data at a configurable scale: the *ratios* between subcube sizes (which
+// are what drive every selection decision) match the paper's instance.
+
+#ifndef OLAPIDX_DATA_FACT_GENERATOR_H_
+#define OLAPIDX_DATA_FACT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "engine/fact_table.h"
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+// Independent uniform draws for every dimension: view sizes follow the
+// analytical model of cost/analytical_model.h.
+FactTable GenerateUniformFacts(const CubeSchema& schema, size_t rows,
+                               uint64_t seed);
+
+// Independent Zipf(skew) draws per dimension (member 0 most popular, with
+// a per-dimension member shuffle so popularity does not correlate with
+// code order). Skewed data makes subcube sizes fall *below* the
+// independence model — the regime where measured/estimated sizes matter.
+FactTable GenerateZipfFacts(const CubeSchema& schema, size_t rows,
+                            double skew, uint64_t seed);
+
+// A scaled TPC-D-like instance over (part, supplier, customer). Each part
+// is bought from `suppliers_per_part` fixed suppliers (TPC-D's PARTSUPP has
+// 4), which makes |ps| ≈ parts · suppliers_per_part while |pc| and |sc|
+// stay near the row count — the shape of Figure 1, where ps = 0.8M is the
+// only small 2-dimensional subcube.
+struct TpcdScaledConfig {
+  uint32_t parts = 2'000;       // paper: 200K
+  uint32_t suppliers = 100;     // paper: 10K
+  uint32_t customers = 1'000;   // paper: 100K
+  uint32_t suppliers_per_part = 4;
+  size_t rows = 60'000;         // paper raw cube: 6M
+  uint64_t seed = 42;
+};
+
+FactTable GenerateTpcdScaledFacts(const TpcdScaledConfig& config);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_FACT_GENERATOR_H_

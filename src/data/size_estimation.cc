@@ -1,0 +1,99 @@
+#include "data/size_estimation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cost/hyperloglog.h"
+
+namespace olapidx {
+
+namespace {
+
+// Per-attribute salted hashes, combined in ascending attribute order into
+// a per-view key hash.
+uint64_t CombineForView(const std::vector<uint64_t>& attr_hashes,
+                        AttributeSet attrs) {
+  uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (int a : attrs.ToVector()) {
+    key = HyperLogLog::Mix(key ^ attr_hashes[static_cast<size_t>(a)]);
+  }
+  return key;
+}
+
+// Enforces |child| <= |parent| across the lattice by propagating maxima
+// upward (supersets can only be at least as large).
+void RepairMonotone(ViewSizes& sizes, int n) {
+  for (uint32_t v = 0; v < sizes.num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    for (int a = 0; a < n; ++a) {
+      if (attrs.Contains(a)) continue;
+      AttributeSet parent = attrs.With(a);
+      if (sizes.SizeOf(parent) < sizes.SizeOf(attrs)) {
+        sizes.Set(parent, sizes.SizeOf(attrs));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ViewSizes EstimateViewSizesHll(const FactTable& fact, int precision) {
+  const CubeSchema& schema = fact.schema();
+  int n = schema.num_dimensions();
+  uint32_t num_views = 1u << n;
+  std::vector<HyperLogLog> sketches;
+  sketches.reserve(num_views);
+  for (uint32_t v = 0; v < num_views; ++v) {
+    sketches.emplace_back(precision);
+  }
+
+  std::vector<uint64_t> attr_hashes(static_cast<size_t>(n));
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    for (int a = 0; a < n; ++a) {
+      // Salt by attribute id so equal codes in different dimensions
+      // hash differently.
+      attr_hashes[static_cast<size_t>(a)] = HyperLogLog::Mix(
+          (static_cast<uint64_t>(a) << 32) ^ fact.dim(r, a));
+    }
+    for (uint32_t v = 1; v < num_views; ++v) {
+      sketches[v].AddHash(
+          CombineForView(attr_hashes, AttributeSet::FromMask(v)));
+    }
+  }
+
+  ViewSizes sizes(n);
+  double max_rows = static_cast<double>(fact.num_rows());
+  for (uint32_t v = 1; v < num_views; ++v) {
+    double est = std::clamp(sketches[v].Estimate(), 1.0, max_rows);
+    sizes.Set(AttributeSet::FromMask(v), est);
+  }
+  RepairMonotone(sizes, n);
+  OLAPIDX_CHECK(sizes.Complete());
+  return sizes;
+}
+
+ViewSizes ExactViewSizes(const FactTable& fact) {
+  const CubeSchema& schema = fact.schema();
+  int n = schema.num_dimensions();
+  uint32_t num_views = 1u << n;
+  std::vector<std::unordered_set<uint64_t>> seen(num_views);
+  std::vector<uint64_t> attr_hashes(static_cast<size_t>(n));
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    for (int a = 0; a < n; ++a) {
+      attr_hashes[static_cast<size_t>(a)] = HyperLogLog::Mix(
+          (static_cast<uint64_t>(a) << 32) ^ fact.dim(r, a));
+    }
+    for (uint32_t v = 1; v < num_views; ++v) {
+      seen[v].insert(CombineForView(attr_hashes, AttributeSet::FromMask(v)));
+    }
+  }
+  ViewSizes sizes(n);
+  for (uint32_t v = 1; v < num_views; ++v) {
+    sizes.Set(AttributeSet::FromMask(v),
+              std::max<double>(1.0, static_cast<double>(seen[v].size())));
+  }
+  OLAPIDX_CHECK(sizes.Complete());
+  return sizes;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,26 @@
+// One-pass view-size estimation over a fact table: a HyperLogLog sketch
+// per subcube, all fed from a single scan (Section 4.2.1's "estimate the
+// sizes ... if we only materialize the largest element", done the way a
+// modern system would).
+
+#ifndef OLAPIDX_DATA_SIZE_ESTIMATION_H_
+#define OLAPIDX_DATA_SIZE_ESTIMATION_H_
+
+#include "cost/view_sizes.h"
+#include "engine/fact_table.h"
+
+namespace olapidx {
+
+// Estimates |V| for every one of the 2^n subcubes with one scan of `fact`.
+// `precision` is the HyperLogLog precision (error ~1.04/sqrt(2^p)).
+// Estimated sizes are clamped to [1, fact rows] and repaired to be
+// monotone across the lattice (|V1| <= |V2| when attrs(V1) ⊆ attrs(V2)).
+ViewSizes EstimateViewSizesHll(const FactTable& fact, int precision = 12);
+
+// Exact sizes by hashing full composite keys per view (one scan, one hash
+// set per subcube). Memory-heavy; for tests and small data.
+ViewSizes ExactViewSizes(const FactTable& fact);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_SIZE_ESTIMATION_H_

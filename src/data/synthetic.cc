@@ -1,0 +1,62 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+
+namespace olapidx {
+
+namespace {
+
+// Dimension names "d0", "d1", ... (multi-character names render with
+// comma separators in AttributeSet::ToString).
+std::vector<Dimension> NamedDimensions(
+    const std::vector<uint64_t>& cardinalities) {
+  std::vector<Dimension> dims;
+  dims.reserve(cardinalities.size());
+  for (size_t i = 0; i < cardinalities.size(); ++i) {
+    dims.push_back(Dimension{"d" + std::to_string(i), cardinalities[i]});
+  }
+  return dims;
+}
+
+}  // namespace
+
+SyntheticCube SyntheticCubeWithCardinalities(
+    const std::vector<uint64_t>& cardinalities, double sparsity) {
+  OLAPIDX_CHECK(!cardinalities.empty());
+  OLAPIDX_CHECK(sparsity > 0.0 && sparsity <= 1.0);
+  CubeSchema schema(NamedDimensions(cardinalities));
+  double raw_rows = std::max(1.0, RawRowsForSparsity(schema, sparsity));
+  SyntheticCube cube{schema, AnalyticalViewSizes(schema, raw_rows), raw_rows,
+                     sparsity};
+  return cube;
+}
+
+SyntheticCube UniformSyntheticCube(int n, uint64_t cardinality,
+                                   double sparsity) {
+  OLAPIDX_CHECK(n >= 1);
+  return SyntheticCubeWithCardinalities(
+      std::vector<uint64_t>(static_cast<size_t>(n), cardinality), sparsity);
+}
+
+SyntheticCube RandomSyntheticCube(int n, uint64_t cardinality_min,
+                                  uint64_t cardinality_max, double sparsity,
+                                  uint64_t seed) {
+  OLAPIDX_CHECK(n >= 1);
+  OLAPIDX_CHECK(cardinality_min >= 1);
+  OLAPIDX_CHECK(cardinality_min <= cardinality_max);
+  Pcg32 rng(seed);
+  std::vector<uint64_t> cards;
+  double lo = std::log(static_cast<double>(cardinality_min));
+  double hi = std::log(static_cast<double>(cardinality_max));
+  for (int i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    cards.push_back(static_cast<uint64_t>(
+        std::llround(std::exp(lo + u * (hi - lo)))));
+  }
+  return SyntheticCubeWithCardinalities(cards, sparsity);
+}
+
+}  // namespace olapidx

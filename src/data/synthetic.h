@@ -1,0 +1,41 @@
+// Synthetic cube instances for the Section 6 experiments: cubes of varying
+// dimensionality, per-dimension cardinality, and sparsity, with view sizes
+// from the [HRU96] analytical model.
+
+#ifndef OLAPIDX_DATA_SYNTHETIC_H_
+#define OLAPIDX_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/analytical_model.h"
+#include "cost/view_sizes.h"
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+struct SyntheticCube {
+  CubeSchema schema;
+  ViewSizes sizes;
+  double raw_rows = 0.0;
+  double sparsity = 0.0;
+};
+
+// A cube whose n dimensions all have the given cardinality; raw row count
+// chosen to achieve `sparsity` (raw rows / product of cardinalities).
+SyntheticCube UniformSyntheticCube(int n, uint64_t cardinality,
+                                   double sparsity);
+
+// A cube with explicitly given per-dimension cardinalities.
+SyntheticCube SyntheticCubeWithCardinalities(
+    const std::vector<uint64_t>& cardinalities, double sparsity);
+
+// A cube with log-uniformly random cardinalities in
+// [cardinality_min, cardinality_max], deterministic in `seed`.
+SyntheticCube RandomSyntheticCube(int n, uint64_t cardinality_min,
+                                  uint64_t cardinality_max, double sparsity,
+                                  uint64_t seed);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_SYNTHETIC_H_

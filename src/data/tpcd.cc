@@ -1,0 +1,29 @@
+#include "data/tpcd.h"
+
+namespace olapidx {
+
+CubeSchema TpcdSchema() {
+  return CubeSchema({Dimension{"p", 200'000},
+                     Dimension{"s", 10'000},
+                     Dimension{"c", 100'000}});
+}
+
+ViewSizes TpcdPaperSizes() {
+  ViewSizes sizes(3);
+  AttributeSet p = AttributeSet::Of({kTpcdPart});
+  AttributeSet s = AttributeSet::Of({kTpcdSupplier});
+  AttributeSet c = AttributeSet::Of({kTpcdCustomer});
+  sizes.Set(p.Union(s).Union(c), 6e6);  // psc (the raw cube)
+  sizes.Set(p.Union(s), 0.8e6);         // ps
+  sizes.Set(p.Union(c), 6e6);           // pc
+  sizes.Set(s.Union(c), 6e6);           // sc
+  sizes.Set(p, 0.2e6);
+  sizes.Set(s, 0.01e6);
+  sizes.Set(c, 0.1e6);
+  // none = 1 is set by the ViewSizes constructor.
+  OLAPIDX_CHECK(sizes.Complete());
+  OLAPIDX_CHECK(sizes.IsMonotone());
+  return sizes;
+}
+
+}  // namespace olapidx

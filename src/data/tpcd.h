@@ -1,0 +1,32 @@
+// The TPC-D-based running example of Sections 2-4 (Figure 1): dimensions
+// part / supplier / customer with the paper's published subcube row counts.
+// These hard-coded sizes make the selection-level experiments (E1, E8)
+// byte-for-byte reproducible against the paper's numbers; the execution
+// engine uses the scaled generator in data/fact_generator.h instead.
+
+#ifndef OLAPIDX_DATA_TPCD_H_
+#define OLAPIDX_DATA_TPCD_H_
+
+#include "cost/view_sizes.h"
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+// Attribute ids of the TPC-D example, in schema order.
+inline constexpr int kTpcdPart = 0;
+inline constexpr int kTpcdSupplier = 1;
+inline constexpr int kTpcdCustomer = 2;
+
+// part (p, 0.2M members), supplier (s, 0.01M), customer (c, 0.1M).
+CubeSchema TpcdSchema();
+
+// Figure 1 row counts: psc = 6M, pc = 6M, sc = 6M, ps = 0.8M, p = 0.2M,
+// c = 0.1M, s = 0.01M, none = 1.
+ViewSizes TpcdPaperSizes();
+
+// The space budget of Example 2.1 ("around 25M rows worth of space").
+inline constexpr double kTpcdExampleBudget = 25e6;
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_DATA_TPCD_H_

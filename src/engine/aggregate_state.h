@@ -1,0 +1,53 @@
+// AggregateState: the distributive aggregates (SUM, COUNT, MIN, MAX) of a
+// group of fact rows. All four merge associatively, so materialized views
+// storing them can be rolled up from any ancestor and refreshed
+// incrementally; AVG derives as sum/count.
+
+#ifndef OLAPIDX_ENGINE_AGGREGATE_STATE_H_
+#define OLAPIDX_ENGINE_AGGREGATE_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace olapidx {
+
+enum class AggregateKind { kSum, kCount, kMin, kMax, kAvg };
+
+struct AggregateState {
+  double sum = 0.0;
+  uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  static AggregateState OfMeasure(double measure) {
+    return AggregateState{measure, 1, measure, measure};
+  }
+
+  void Merge(const AggregateState& other) {
+    sum += other.sum;
+    count += other.count;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  double Value(AggregateKind kind) const {
+    switch (kind) {
+      case AggregateKind::kSum:
+        return sum;
+      case AggregateKind::kCount:
+        return static_cast<double>(count);
+      case AggregateKind::kMin:
+        return min;
+      case AggregateKind::kMax:
+        return max;
+      case AggregateKind::kAvg:
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_AGGREGATE_STATE_H_

@@ -1,0 +1,108 @@
+#include "engine/catalog.h"
+
+namespace olapidx {
+
+Catalog::Catalog(const FactTable* fact) : fact_(fact) {
+  OLAPIDX_CHECK(fact != nullptr);
+  entries_.resize(static_cast<size_t>(1)
+                  << fact->schema().num_dimensions());
+}
+
+const Catalog::Entry* Catalog::Find(AttributeSet attrs) const {
+  OLAPIDX_CHECK(attrs.mask() < entries_.size());
+  const Entry& e = entries_[attrs.mask()];
+  return e.view != nullptr ? &e : nullptr;
+}
+
+Catalog::Entry* Catalog::Find(AttributeSet attrs) {
+  OLAPIDX_CHECK(attrs.mask() < entries_.size());
+  Entry& e = entries_[attrs.mask()];
+  return e.view != nullptr ? &e : nullptr;
+}
+
+bool Catalog::HasView(AttributeSet attrs) const {
+  return Find(attrs) != nullptr;
+}
+
+const MaterializedView& Catalog::view(AttributeSet attrs) const {
+  const Entry* e = Find(attrs);
+  OLAPIDX_CHECK(e != nullptr);
+  return *e->view;
+}
+
+size_t Catalog::MaterializeView(AttributeSet attrs) {
+  if (const Entry* existing = Find(attrs)) {
+    return existing->view->num_rows();
+  }
+  // Prefer rolling up from the smallest materialized strict superset.
+  const MaterializedView* best_parent = nullptr;
+  for (AttributeSet parent : order_) {
+    if (!attrs.IsSubsetOf(parent) || parent == attrs) continue;
+    const MaterializedView& pv = *entries_[parent.mask()].view;
+    if (best_parent == nullptr || pv.num_rows() < best_parent->num_rows()) {
+      best_parent = &pv;
+    }
+  }
+  Entry& e = entries_[attrs.mask()];
+  if (best_parent != nullptr) {
+    e.view = std::make_unique<MaterializedView>(
+        MaterializedView::FromView(*best_parent, attrs));
+  } else {
+    e.view = std::make_unique<MaterializedView>(
+        MaterializedView::FromFactTable(*fact_, attrs));
+  }
+  e.built_through = fact_->num_rows();
+  order_.push_back(attrs);
+  return e.view->num_rows();
+}
+
+void Catalog::BuildIndex(AttributeSet view_attrs, const IndexKey& key) {
+  Entry* e = Find(view_attrs);
+  OLAPIDX_CHECK(e != nullptr);  // The view must be materialized first.
+  for (const ViewIndex& existing : e->indexes) {
+    if (existing.key() == key) return;
+  }
+  e->indexes.emplace_back(*e->view, key);
+}
+
+const std::vector<ViewIndex>& Catalog::indexes(AttributeSet attrs) const {
+  const Entry* e = Find(attrs);
+  OLAPIDX_CHECK(e != nullptr);
+  return e->indexes;
+}
+
+Catalog::RefreshStats Catalog::RefreshAfterAppend() {
+  RefreshStats stats;
+  size_t now = fact_->num_rows();
+  for (AttributeSet attrs : order_) {
+    Entry& e = entries_[attrs.mask()];
+    if (e.built_through >= now) continue;
+    stats.groups_touched +=
+        e.view->ApplyDelta(*fact_, e.built_through, now);
+    stats.delta_rows_scanned += now - e.built_through;
+    e.built_through = now;
+    ++stats.views_refreshed;
+    // Indexes point into the old row order; rebuild them.
+    for (ViewIndex& index : e.indexes) {
+      index = ViewIndex(*e.view, index.key());
+      ++stats.indexes_rebuilt;
+      stats.index_entries_rebuilt +=
+          static_cast<double>(index.num_entries());
+    }
+  }
+  return stats;
+}
+
+double Catalog::TotalSpaceRows() const {
+  double total = 0.0;
+  for (AttributeSet attrs : order_) {
+    const Entry& e = entries_[attrs.mask()];
+    total += static_cast<double>(e.view->num_rows());
+    for (const ViewIndex& idx : e.indexes) {
+      total += static_cast<double>(idx.num_entries());
+    }
+  }
+  return total;
+}
+
+}  // namespace olapidx

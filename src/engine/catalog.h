@@ -1,0 +1,87 @@
+// Catalog: the set of materialized structures — which subcubes exist, with
+// which indexes — plus the raw fact table. The executor plans against it;
+// benches and examples populate it from an Advisor recommendation.
+
+#ifndef OLAPIDX_ENGINE_CATALOG_H_
+#define OLAPIDX_ENGINE_CATALOG_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/fact_table.h"
+#include "engine/materialized_view.h"
+#include "engine/view_index.h"
+
+namespace olapidx {
+
+class Catalog {
+ public:
+  // The catalog keeps a pointer to `fact`; the caller owns it and must keep
+  // it alive for the catalog's lifetime.
+  explicit Catalog(const FactTable* fact);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  const FactTable& fact() const { return *fact_; }
+  const CubeSchema& schema() const { return fact_->schema(); }
+
+  bool HasView(AttributeSet attrs) const;
+  const MaterializedView& view(AttributeSet attrs) const;
+
+  // Materializes the subcube, rolling up from the smallest materialized
+  // ancestor when one exists (falling back to the fact table). No-op if
+  // already materialized. Returns the view's row count.
+  size_t MaterializeView(AttributeSet attrs);
+
+  // Builds an index on a materialized view. No-op for an exact duplicate.
+  void BuildIndex(AttributeSet view_attrs, const IndexKey& key);
+
+  const std::vector<ViewIndex>& indexes(AttributeSet attrs) const;
+
+  // All materialized view attribute sets, in materialization order.
+  const std::vector<AttributeSet>& materialized_views() const {
+    return order_;
+  }
+
+  // Space in the paper's units: Σ view rows + Σ index leaf entries.
+  double TotalSpaceRows() const;
+
+  // ---- Incremental maintenance ----
+  //
+  // Each materialized structure remembers the fact-table watermark it was
+  // built through. After the caller appends rows to the fact table,
+  // RefreshAfterAppend() folds the delta into every stale view and
+  // rebuilds its indexes. The returned work statistics are what the
+  // update-aware selection extension models as maintenance cost.
+
+  struct RefreshStats {
+    size_t views_refreshed = 0;
+    size_t groups_touched = 0;      // view groups merged or inserted
+    size_t delta_rows_scanned = 0;  // fact rows folded in, summed over views
+    size_t indexes_rebuilt = 0;
+    double index_entries_rebuilt = 0.0;
+  };
+
+  RefreshStats RefreshAfterAppend();
+
+ private:
+  struct Entry {
+    std::unique_ptr<MaterializedView> view;
+    std::vector<ViewIndex> indexes;
+    // Fact rows incorporated into this view so far.
+    size_t built_through = 0;
+  };
+
+  const Entry* Find(AttributeSet attrs) const;
+  Entry* Find(AttributeSet attrs);
+
+  const FactTable* fact_;
+  // Indexed by attribute-set mask; slots are null until materialized.
+  std::vector<Entry> entries_;
+  std::vector<AttributeSet> order_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_CATALOG_H_

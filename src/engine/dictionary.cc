@@ -1,0 +1,17 @@
+#include "engine/dictionary.h"
+
+namespace olapidx {
+
+uint32_t Dictionary::Encode(const std::string& value) {
+  auto [it, inserted] =
+      codes_.emplace(value, static_cast<uint32_t>(values_.size()));
+  if (inserted) values_.push_back(value);
+  return it->second;
+}
+
+uint32_t Dictionary::Lookup(const std::string& value) const {
+  auto it = codes_.find(value);
+  return it == codes_.end() ? kNotFound : it->second;
+}
+
+}  // namespace olapidx

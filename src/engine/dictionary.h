@@ -1,0 +1,43 @@
+// Dictionary: order-of-first-appearance string-to-code encoding for one
+// dimension. Raw data arrives with string dimension members ("Widgets-R-Us");
+// the engine stores dense uint32 codes and the dictionary maps both ways.
+
+#ifndef OLAPIDX_ENGINE_DICTIONARY_H_
+#define OLAPIDX_ENGINE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Returns the code of `value`, assigning the next dense code on first
+  // sight.
+  uint32_t Encode(const std::string& value);
+
+  // Returns the code of `value`, or kNotFound if it was never encoded.
+  static constexpr uint32_t kNotFound = ~0u;
+  uint32_t Lookup(const std::string& value) const;
+
+  const std::string& Decode(uint32_t code) const {
+    OLAPIDX_CHECK(code < values_.size());
+    return values_[code];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> codes_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_DICTIONARY_H_

@@ -1,0 +1,258 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "cost/analytical_model.h"
+#include "engine/key_codec.h"
+
+namespace olapidx {
+
+namespace {
+
+// Accumulates (group key → aggregate state) pairs and emits a
+// GroupedResult sorted by encoded group key.
+class GroupAccumulator {
+ public:
+  GroupAccumulator(const CubeSchema& schema, AttributeSet group_by)
+      : attrs_(group_by.ToVector()), codec_(schema, attrs_) {}
+
+  // `value_of(attr)` returns the current row's value of `attr`.
+  template <typename ValueFn>
+  void Add(ValueFn&& value_of, const AggregateState& state) {
+    scratch_.resize(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      scratch_[i] = value_of(attrs_[i]);
+    }
+    groups_[codec_.EncodePrefix(scratch_)].Merge(state);
+  }
+
+  GroupedResult Finish() const {
+    GroupedResult out;
+    out.group_attrs = attrs_;
+    std::vector<uint64_t> keys;
+    keys.reserve(groups_.size());
+    for (const auto& [key, state] : groups_) {
+      (void)state;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys) {
+      std::vector<uint32_t> row(attrs_.size());
+      for (size_t i = 0; i < attrs_.size(); ++i) {
+        row[i] = codec_.Decode(key, static_cast<int>(i));
+      }
+      out.keys.push_back(std::move(row));
+      const AggregateState& state = groups_.find(key)->second;
+      out.sums.push_back(state.sum);
+      out.aggregates.push_back(state);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> attrs_;
+  KeyCodec codec_;
+  std::unordered_map<uint64_t, AggregateState> groups_;
+  std::vector<uint32_t> scratch_;
+};
+
+// Estimated number of distinct combinations of `attrs` within a table of
+// `rows` rows (independence assumption; exact when the catalog happens to
+// have the subcube materialized — the caller handles that case).
+double EstimateDistinct(const CubeSchema& schema, AttributeSet attrs,
+                        double rows) {
+  if (attrs.empty()) return 1.0;
+  return ExpectedDistinct(schema.DomainSize(attrs), rows);
+}
+
+}  // namespace
+
+Executor::Executor(const Catalog* catalog) : catalog_(catalog) {
+  OLAPIDX_CHECK(catalog != nullptr);
+}
+
+GroupedResult Executor::Execute(
+    const SliceQuery& query, const std::vector<uint32_t>& selection_values,
+    ExecutionStats* stats) const {
+  const CubeSchema& schema = catalog_->schema();
+  std::vector<int> sel_attrs = query.selection().ToVector();
+  OLAPIDX_CHECK(selection_values.size() == sel_attrs.size());
+  // Selection value per attribute id.
+  std::vector<uint32_t> sel_value(
+      static_cast<size_t>(schema.num_dimensions()), 0);
+  for (size_t i = 0; i < sel_attrs.size(); ++i) {
+    sel_value[static_cast<size_t>(sel_attrs[i])] = selection_values[i];
+  }
+
+  // ---- Plan: pick the cheapest access path. ----
+  struct Plan {
+    bool use_raw = true;
+    AttributeSet view;
+    const ViewIndex* index = nullptr;
+    double estimated_cost = 0.0;
+  };
+  Plan plan;
+  plan.estimated_cost = static_cast<double>(catalog_->fact().num_rows());
+
+  for (AttributeSet view_attrs : catalog_->materialized_views()) {
+    if (!query.AnswerableFrom(view_attrs)) continue;
+    const MaterializedView& view = catalog_->view(view_attrs);
+    double view_rows = static_cast<double>(view.num_rows());
+    if (view_rows < plan.estimated_cost) {
+      plan = Plan{false, view_attrs, nullptr, view_rows};
+    }
+    for (const ViewIndex& index : catalog_->indexes(view_attrs)) {
+      AttributeSet prefix =
+          index.key().LongestSelectionPrefix(query.selection());
+      if (prefix.empty()) continue;
+      double distinct = catalog_->HasView(prefix)
+                            ? static_cast<double>(
+                                  catalog_->view(prefix).num_rows())
+                            : EstimateDistinct(schema, prefix, view_rows);
+      double est = view_rows / std::max(1.0, distinct);
+      if (est < plan.estimated_cost) {
+        plan = Plan{false, view_attrs, &index, est};
+      }
+    }
+  }
+
+  // ---- Execute the chosen path. ----
+  GroupAccumulator acc(schema, query.group_by());
+  uint64_t rows_processed = 0;
+
+  auto matches_selection = [&](auto&& value_of) {
+    for (int a : sel_attrs) {
+      if (value_of(a) != sel_value[static_cast<size_t>(a)]) return false;
+    }
+    return true;
+  };
+
+  if (plan.use_raw) {
+    const FactTable& fact = catalog_->fact();
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      ++rows_processed;
+      auto value_of = [&](int a) { return fact.dim(r, a); };
+      if (!matches_selection(value_of)) continue;
+      acc.Add(value_of, AggregateState::OfMeasure(fact.measure(r)));
+    }
+  } else {
+    const MaterializedView& view = catalog_->view(plan.view);
+    if (plan.index == nullptr) {
+      for (size_t r = 0; r < view.num_rows(); ++r) {
+        ++rows_processed;
+        auto value_of = [&](int a) { return view.dim(r, a); };
+        if (!matches_selection(value_of)) continue;
+        acc.Add(value_of, view.aggregate(r));
+      }
+    } else {
+      // Prefix values in index-key order for the matched prefix.
+      AttributeSet prefix =
+          plan.index->key().LongestSelectionPrefix(query.selection());
+      std::vector<uint32_t> prefix_values;
+      for (int a : plan.index->key().attrs()) {
+        if (!prefix.Contains(a)) break;
+        prefix_values.push_back(sel_value[static_cast<size_t>(a)]);
+      }
+      rows_processed += plan.index->ScanPrefix(
+          prefix_values, [&](uint32_t r) {
+            auto value_of = [&](int a) { return view.dim(r, a); };
+            if (!matches_selection(value_of)) return;
+            acc.Add(value_of, view.aggregate(r));
+          });
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rows_processed = rows_processed;
+    stats->used_raw = plan.use_raw;
+    stats->view = plan.use_raw ? AttributeSet() : plan.view;
+    stats->index = plan.index != nullptr ? plan.index->key() : IndexKey();
+    stats->estimated_cost = plan.estimated_cost;
+  }
+  return acc.Finish();
+}
+
+std::vector<Executor::PlanChoice> Executor::Explain(
+    const SliceQuery& query) const {
+  const CubeSchema& schema = catalog_->schema();
+  std::vector<PlanChoice> out;
+  PlanChoice raw;
+  raw.use_raw = true;
+  raw.estimated_cost = static_cast<double>(catalog_->fact().num_rows());
+  out.push_back(raw);
+  for (AttributeSet view_attrs : catalog_->materialized_views()) {
+    if (!query.AnswerableFrom(view_attrs)) continue;
+    const MaterializedView& view = catalog_->view(view_attrs);
+    double view_rows = static_cast<double>(view.num_rows());
+    out.push_back(PlanChoice{false, view_attrs, IndexKey(), view_rows,
+                             false});
+    for (const ViewIndex& index : catalog_->indexes(view_attrs)) {
+      AttributeSet prefix =
+          index.key().LongestSelectionPrefix(query.selection());
+      if (prefix.empty()) continue;
+      double distinct =
+          catalog_->HasView(prefix)
+              ? static_cast<double>(catalog_->view(prefix).num_rows())
+              : EstimateDistinct(schema, prefix, view_rows);
+      out.push_back(PlanChoice{false, view_attrs, index.key(),
+                               view_rows / std::max(1.0, distinct),
+                               false});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PlanChoice& a, const PlanChoice& b) {
+                     return a.estimated_cost < b.estimated_cost;
+                   });
+  if (!out.empty()) out.front().chosen = true;
+  return out;
+}
+
+std::string Executor::ExplainString(const SliceQuery& query) const {
+  const CubeSchema& schema = catalog_->schema();
+  std::string out =
+      "EXPLAIN " + query.ToString(schema.names()) + "\n";
+  for (const PlanChoice& p : Explain(query)) {
+    out += p.chosen ? "  -> " : "     ";
+    if (p.use_raw) {
+      out += "scan raw fact table";
+    } else if (p.index.empty()) {
+      out += "scan " + p.view.ToString(schema.names());
+    } else {
+      out += "index " + p.index.ToString(schema.names()) + " on " +
+             p.view.ToString(schema.names());
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "  (est. %.1f rows)", p.estimated_cost);
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+GroupedResult Executor::ExecuteNaive(
+    const SliceQuery& query,
+    const std::vector<uint32_t>& selection_values) const {
+  const CubeSchema& schema = catalog_->schema();
+  std::vector<int> sel_attrs = query.selection().ToVector();
+  OLAPIDX_CHECK(selection_values.size() == sel_attrs.size());
+  GroupAccumulator acc(schema, query.group_by());
+  const FactTable& fact = catalog_->fact();
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    bool match = true;
+    for (size_t i = 0; i < sel_attrs.size(); ++i) {
+      if (fact.dim(r, sel_attrs[i]) != selection_values[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    acc.Add([&](int a) { return fact.dim(r, a); },
+            AggregateState::OfMeasure(fact.measure(r)));
+  }
+  return acc.Finish();
+}
+
+}  // namespace olapidx

@@ -1,0 +1,83 @@
+// Executor: answers slice queries from the catalog, choosing the cheapest
+// (view, index) access path under the linear cost model, and reports the
+// number of rows actually processed — the measurement experiment E10 checks
+// against the model's predictions.
+
+#ifndef OLAPIDX_ENGINE_EXECUTOR_H_
+#define OLAPIDX_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "workload/slice_query.h"
+
+namespace olapidx {
+
+struct ExecutionStats {
+  // Rows of the chosen table touched to answer the query (the paper's cost
+  // measure).
+  uint64_t rows_processed = 0;
+  bool used_raw = true;
+  AttributeSet view;  // meaningful when !used_raw
+  IndexKey index;     // empty = plain scan
+  // The planner's cost estimate for the chosen path.
+  double estimated_cost = 0.0;
+};
+
+// A group-by result: one row per group, sorted by group key. Carries the
+// full distributive aggregate state per group; `sums` mirrors the SUM
+// values for convenience, and Value(row, kind) answers any AggregateKind.
+struct GroupedResult {
+  std::vector<int> group_attrs;             // ascending attribute ids
+  std::vector<std::vector<uint32_t>> keys;  // [row] parallel to group_attrs
+  std::vector<double> sums;
+  std::vector<AggregateState> aggregates;   // parallel to keys
+
+  size_t num_rows() const { return sums.size(); }
+  double Value(size_t row, AggregateKind kind) const {
+    return aggregates[row].Value(kind);
+  }
+};
+
+class Executor {
+ public:
+  // The caller owns `catalog` and must keep it alive.
+  explicit Executor(const Catalog* catalog);
+
+  // Answers γ_A σ_B with the given selection constants. `selection_values`
+  // is parallel to query.selection().ToVector() (ascending attribute ids).
+  GroupedResult Execute(const SliceQuery& query,
+                        const std::vector<uint32_t>& selection_values,
+                        ExecutionStats* stats = nullptr) const;
+
+  // Reference implementation that always scans the raw fact table; used by
+  // tests to validate Execute's answers.
+  GroupedResult ExecuteNaive(const SliceQuery& query,
+                             const std::vector<uint32_t>& selection_values)
+      const;
+
+  // One considered access path, with the planner's cost estimate.
+  struct PlanChoice {
+    bool use_raw = true;
+    AttributeSet view;
+    IndexKey index;  // empty = plain scan
+    double estimated_cost = 0.0;
+    bool chosen = false;
+  };
+
+  // All access paths the planner would consider for `query`, sorted by
+  // estimated cost (the chosen one first). Does not execute anything.
+  std::vector<PlanChoice> Explain(const SliceQuery& query) const;
+
+  // Human-readable EXPLAIN output.
+  std::string ExplainString(const SliceQuery& query) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_EXECUTOR_H_

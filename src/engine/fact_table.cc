@@ -1,0 +1,32 @@
+#include "engine/fact_table.h"
+
+namespace olapidx {
+
+FactTable::FactTable(const CubeSchema& schema) : schema_(schema) {
+  columns_.resize(static_cast<size_t>(schema_.num_dimensions()));
+}
+
+void FactTable::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+  measure_.reserve(rows);
+}
+
+void FactTable::Append(const std::vector<uint32_t>& dims, double measure) {
+  OLAPIDX_CHECK(dims.size() ==
+                static_cast<size_t>(schema_.num_dimensions()));
+  for (int a = 0; a < schema_.num_dimensions(); ++a) {
+    OLAPIDX_DCHECK(dims[static_cast<size_t>(a)] <
+                   schema_.dimension(a).cardinality);
+    columns_[static_cast<size_t>(a)].push_back(
+        dims[static_cast<size_t>(a)]);
+  }
+  measure_.push_back(measure);
+}
+
+std::vector<uint32_t> FactTable::RowDims(size_t row) const {
+  std::vector<uint32_t> dims(columns_.size());
+  for (size_t a = 0; a < columns_.size(); ++a) dims[a] = columns_[a][row];
+  return dims;
+}
+
+}  // namespace olapidx

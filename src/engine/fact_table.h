@@ -1,0 +1,46 @@
+// FactTable: the raw data — a columnar, dictionary-coded fact table with
+// one uint32 column per dimension and one double measure column (sales).
+
+#ifndef OLAPIDX_ENGINE_FACT_TABLE_H_
+#define OLAPIDX_ENGINE_FACT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+class FactTable {
+ public:
+  explicit FactTable(const CubeSchema& schema);
+
+  const CubeSchema& schema() const { return schema_; }
+  size_t num_rows() const { return measure_.size(); }
+
+  void Reserve(size_t rows);
+
+  // `dims[a]` must be < cardinality of dimension a.
+  void Append(const std::vector<uint32_t>& dims, double measure);
+
+  uint32_t dim(size_t row, int attr) const {
+    OLAPIDX_DCHECK(row < num_rows());
+    return columns_[static_cast<size_t>(attr)][row];
+  }
+  double measure(size_t row) const {
+    OLAPIDX_DCHECK(row < num_rows());
+    return measure_[row];
+  }
+
+  // All dimension values of one row (indexed by attribute id).
+  std::vector<uint32_t> RowDims(size_t row) const;
+
+ private:
+  CubeSchema schema_;
+  std::vector<std::vector<uint32_t>> columns_;  // [attr][row]
+  std::vector<double> measure_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_FACT_TABLE_H_

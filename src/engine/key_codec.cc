@@ -1,0 +1,65 @@
+#include "engine/key_codec.h"
+
+#include <bit>
+
+namespace olapidx {
+
+namespace {
+
+int BitsFor(uint64_t cardinality) {
+  OLAPIDX_CHECK(cardinality >= 1);
+  if (cardinality == 1) return 1;
+  return 64 - std::countl_zero(cardinality - 1);
+}
+
+}  // namespace
+
+KeyCodec::KeyCodec(const CubeSchema& schema, std::vector<int> attr_order)
+    : attr_order_(std::move(attr_order)) {
+  std::vector<int> widths;
+  widths.reserve(attr_order_.size());
+  for (int a : attr_order_) {
+    OLAPIDX_CHECK(a >= 0 && a < schema.num_dimensions());
+    widths.push_back(BitsFor(schema.dimension(a).cardinality));
+  }
+  for (int w : widths) total_bits_ += w;
+  OLAPIDX_CHECK(total_bits_ <= 64);
+  // Most-significant attribute first: shift = bits of everything after it.
+  shifts_.resize(widths.size());
+  masks_.resize(widths.size());
+  int acc = total_bits_;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    acc -= widths[i];
+    shifts_[i] = acc;
+    masks_[i] = (widths[i] == 64) ? ~0ULL : ((1ULL << widths[i]) - 1);
+  }
+}
+
+uint64_t KeyCodec::EncodePrefix(const std::vector<uint32_t>& values) const {
+  OLAPIDX_CHECK(values.size() <= attr_order_.size());
+  uint64_t key = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    OLAPIDX_CHECK(values[i] <= masks_[i]);
+    key |= static_cast<uint64_t>(values[i]) << shifts_[i];
+  }
+  return key;
+}
+
+std::pair<uint64_t, uint64_t> KeyCodec::PrefixRange(
+    const std::vector<uint32_t>& values) const {
+  uint64_t lo = EncodePrefix(values);
+  // shifts_[i] is the bit offset of key position i's least-significant bit,
+  // so the free suffix after a non-empty prefix spans
+  // shifts_[values.size() - 1] bits.
+  int suffix_width = values.empty() ? total_bits_
+                     : values.size() == attr_order_.size()
+                         ? 0
+                         : shifts_[values.size() - 1];
+  uint64_t suffix_bits = (suffix_width >= 64) ? ~0ULL
+                         : (suffix_width == 0)
+                             ? 0
+                             : ((1ULL << suffix_width) - 1);
+  return {lo, lo | suffix_bits};
+}
+
+}  // namespace olapidx

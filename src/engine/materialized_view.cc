@@ -1,0 +1,169 @@
+#include "engine/materialized_view.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/key_codec.h"
+
+namespace olapidx {
+
+MaterializedView::MaterializedView(const CubeSchema& schema,
+                                   AttributeSet attrs)
+    : schema_(schema), attrs_(attrs) {
+  attr_list_ = attrs.ToVector();
+  column_of_.assign(static_cast<size_t>(schema.num_dimensions()), -1);
+  for (size_t i = 0; i < attr_list_.size(); ++i) {
+    column_of_[static_cast<size_t>(attr_list_[i])] = static_cast<int>(i);
+  }
+  columns_.resize(attr_list_.size());
+}
+
+template <typename DimFn, typename StateFn>
+void MaterializedView::Aggregate(size_t rows, DimFn&& dim_of,
+                                 StateFn&& state_of) {
+  KeyCodec codec(schema_, attr_list_);
+  std::unordered_map<uint64_t, AggregateState> groups;
+  groups.reserve(rows);
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(schema_.num_dimensions()), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int a : attr_list_) {
+      dims[static_cast<size_t>(a)] = dim_of(r, a);
+    }
+    groups[codec.EncodeRow(dims)].Merge(state_of(r));
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(groups.size());
+  for (const auto& [key, state] : groups) {
+    (void)state;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (auto& col : columns_) col.reserve(keys.size());
+  states_.reserve(keys.size());
+  for (uint64_t key : keys) {
+    for (size_t i = 0; i < attr_list_.size(); ++i) {
+      columns_[i].push_back(codec.Decode(key, static_cast<int>(i)));
+    }
+    states_.push_back(groups.find(key)->second);
+  }
+}
+
+MaterializedView MaterializedView::FromFactTable(const FactTable& fact,
+                                                 AttributeSet attrs) {
+  MaterializedView view(fact.schema(), attrs);
+  view.Aggregate(
+      fact.num_rows(), [&](size_t r, int a) { return fact.dim(r, a); },
+      [&](size_t r) {
+        return AggregateState::OfMeasure(fact.measure(r));
+      });
+  return view;
+}
+
+MaterializedView MaterializedView::FromView(const MaterializedView& parent,
+                                            AttributeSet attrs) {
+  OLAPIDX_CHECK(attrs.IsSubsetOf(parent.attrs()));
+  MaterializedView view(parent.schema_, attrs);  // copies the schema
+  view.Aggregate(
+      parent.num_rows(), [&](size_t r, int a) { return parent.dim(r, a); },
+      [&](size_t r) { return parent.states_[r]; });
+  return view;
+}
+
+std::vector<uint32_t> MaterializedView::RowKey(size_t row) const {
+  std::vector<uint32_t> key(attr_list_.size());
+  for (size_t i = 0; i < attr_list_.size(); ++i) key[i] = columns_[i][row];
+  return key;
+}
+
+size_t MaterializedView::ApplyDelta(const FactTable& fact, size_t begin_row,
+                                    size_t end_row) {
+  OLAPIDX_CHECK(begin_row <= end_row);
+  OLAPIDX_CHECK(end_row <= fact.num_rows());
+  if (begin_row == end_row) return 0;
+
+  // Aggregate the delta.
+  KeyCodec codec(schema_, attr_list_);
+  std::unordered_map<uint64_t, AggregateState> delta;
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(schema_.num_dimensions()), 0);
+  for (size_t r = begin_row; r < end_row; ++r) {
+    for (int a : attr_list_) {
+      dims[static_cast<size_t>(a)] = fact.dim(r, a);
+    }
+    delta[codec.EncodeRow(dims)].Merge(
+        AggregateState::OfMeasure(fact.measure(r)));
+  }
+
+  // Merge existing groups in place; collect genuinely new keys.
+  size_t touched = 0;
+  std::vector<uint64_t> new_keys;
+  for (auto& [key, state] : delta) {
+    // Binary search over the sorted rows via the encoded key.
+    size_t lo = 0, hi = num_rows();
+    bool found = false;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      std::vector<uint32_t> dims_mid(
+          static_cast<size_t>(schema_.num_dimensions()), 0);
+      for (int a : attr_list_) {
+        dims_mid[static_cast<size_t>(a)] = dim(mid, a);
+      }
+      uint64_t mid_key = codec.EncodeRow(dims_mid);
+      if (mid_key == key) {
+        states_[mid].Merge(state);
+        found = true;
+        ++touched;
+        break;
+      }
+      if (mid_key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (!found) new_keys.push_back(key);
+  }
+
+  if (!new_keys.empty()) {
+    // Append the new groups, then re-sort all rows by key.
+    std::sort(new_keys.begin(), new_keys.end());
+    for (uint64_t key : new_keys) {
+      for (size_t i = 0; i < attr_list_.size(); ++i) {
+        columns_[i].push_back(codec.Decode(key, static_cast<int>(i)));
+      }
+      states_.push_back(delta.find(key)->second);
+      ++touched;
+    }
+    std::vector<size_t> order(num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto key_of = [&](size_t row) {
+      std::vector<uint32_t> dims_row(
+          static_cast<size_t>(schema_.num_dimensions()), 0);
+      for (int a : attr_list_) {
+        dims_row[static_cast<size_t>(a)] = dim(row, a);
+      }
+      return codec.EncodeRow(dims_row);
+    };
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return key_of(a) < key_of(b);
+    });
+    std::vector<std::vector<uint32_t>> new_columns(columns_.size());
+    std::vector<AggregateState> new_states;
+    new_states.reserve(states_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      new_columns[i].reserve(columns_[i].size());
+    }
+    for (size_t row : order) {
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        new_columns[i].push_back(columns_[i][row]);
+      }
+      new_states.push_back(states_[row]);
+    }
+    columns_ = std::move(new_columns);
+    states_ = std::move(new_states);
+  }
+  return touched;
+}
+
+}  // namespace olapidx

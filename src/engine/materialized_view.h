@@ -1,0 +1,73 @@
+// MaterializedView: a precomputed subcube — the distributive aggregates
+// (SUM/COUNT/MIN/MAX of the measure) of the fact table grouped by a set of
+// dimensions, stored columnar and sorted by the (ascending-attribute-id)
+// group-by key. Supports roll-up construction from any ancestor view and
+// in-place incremental refresh from appended fact rows.
+
+#ifndef OLAPIDX_ENGINE_MATERIALIZED_VIEW_H_
+#define OLAPIDX_ENGINE_MATERIALIZED_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/aggregate_state.h"
+#include "engine/fact_table.h"
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+class MaterializedView {
+ public:
+  // Aggregates rows [0, fact.num_rows()) of the fact table directly.
+  static MaterializedView FromFactTable(const FactTable& fact,
+                                        AttributeSet attrs);
+
+  // Rolls up from an already-materialized ancestor (attrs ⊆ parent.attrs());
+  // this is how real ROLAP systems avoid rescanning the raw data.
+  static MaterializedView FromView(const MaterializedView& parent,
+                                   AttributeSet attrs);
+
+  AttributeSet attrs() const { return attrs_; }
+  const CubeSchema& schema() const { return schema_; }
+  size_t num_rows() const { return states_.size(); }
+
+  // Value of attribute `attr` (which must be in attrs()) in row `row`.
+  uint32_t dim(size_t row, int attr) const {
+    int col = column_of_[static_cast<size_t>(attr)];
+    OLAPIDX_DCHECK(col >= 0);
+    return columns_[static_cast<size_t>(col)][row];
+  }
+  // SUM(measure) of the group (the paper's cost model counts rows, but the
+  // engine answers real aggregates).
+  double sum(size_t row) const { return states_[row].sum; }
+  const AggregateState& aggregate(size_t row) const { return states_[row]; }
+
+  // All group-by attribute values of one row, in ascending attribute order.
+  std::vector<uint32_t> RowKey(size_t row) const;
+
+  // Incremental refresh: folds fact rows [begin_row, end_row) into this
+  // view (merging into existing groups, inserting new ones, keeping rows
+  // sorted). Returns the number of groups that were added or changed.
+  // The caller must rebuild any indexes on this view afterwards.
+  size_t ApplyDelta(const FactTable& fact, size_t begin_row,
+                    size_t end_row);
+
+ private:
+  MaterializedView(const CubeSchema& schema, AttributeSet attrs);
+
+  template <typename DimFn, typename StateFn>
+  void Aggregate(size_t rows, DimFn&& dim_of, StateFn&& state_of);
+
+  // Owned by value: views must outlive the fact table they were built
+  // from (e.g. hierarchical views aggregate a transient recoded table).
+  CubeSchema schema_;
+  AttributeSet attrs_;
+  std::vector<int> attr_list_;  // ascending attribute ids
+  std::vector<int> column_of_;  // attr id -> column position or -1
+  std::vector<std::vector<uint32_t>> columns_;  // [column][row]
+  std::vector<AggregateState> states_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_MATERIALIZED_VIEW_H_

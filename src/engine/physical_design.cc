@@ -1,0 +1,49 @@
+#include "engine/physical_design.h"
+
+#include <algorithm>
+
+namespace olapidx {
+
+PhysicalDesignStats MaterializePhysicalDesign(
+    Catalog& catalog, const std::vector<PhysicalDesignItem>& items) {
+  PhysicalDesignStats stats;
+
+  // Gather every view needed (index items imply their view) and build
+  // coarsest-first: more attributes first, so children can roll up.
+  std::vector<AttributeSet> views;
+  for (const PhysicalDesignItem& item : items) {
+    views.push_back(item.view);
+  }
+  std::sort(views.begin(), views.end(),
+            [](AttributeSet a, AttributeSet b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.mask() < b.mask();
+            });
+  views.erase(std::unique(views.begin(), views.end()), views.end());
+
+  for (AttributeSet v : views) {
+    if (catalog.HasView(v)) continue;
+    // Roll-up is possible iff some strict superset is already there.
+    bool has_parent = false;
+    for (AttributeSet existing : catalog.materialized_views()) {
+      if (v.IsSubsetOf(existing) && v != existing) {
+        has_parent = true;
+        break;
+      }
+    }
+    catalog.MaterializeView(v);
+    ++stats.views_materialized;
+    if (has_parent) ++stats.views_rolled_up;
+  }
+
+  for (const PhysicalDesignItem& item : items) {
+    if (item.index.empty()) continue;
+    size_t before = catalog.indexes(item.view).size();
+    catalog.BuildIndex(item.view, item.index);
+    if (catalog.indexes(item.view).size() > before) ++stats.indexes_built;
+  }
+  stats.total_rows = catalog.TotalSpaceRows();
+  return stats;
+}
+
+}  // namespace olapidx

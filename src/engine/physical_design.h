@@ -1,0 +1,35 @@
+// Applying a physical design to a catalog. Views are materialized
+// coarsest-first so that every finer subcube can roll up from an already
+// materialized ancestor instead of rescanning the fact table — the way a
+// real ROLAP load pipeline orders its aggregations.
+
+#ifndef OLAPIDX_ENGINE_PHYSICAL_DESIGN_H_
+#define OLAPIDX_ENGINE_PHYSICAL_DESIGN_H_
+
+#include <vector>
+
+#include "engine/catalog.h"
+
+namespace olapidx {
+
+struct PhysicalDesignItem {
+  AttributeSet view;
+  // Empty key = materialize the view itself; otherwise build this index
+  // (the view is materialized first if needed).
+  IndexKey index;
+};
+
+struct PhysicalDesignStats {
+  size_t views_materialized = 0;
+  size_t views_rolled_up = 0;  // built from an ancestor, not the fact table
+  size_t indexes_built = 0;
+  double total_rows = 0.0;  // space in the paper's units after applying
+};
+
+// Applies the design. Idempotent per item. Returns build statistics.
+PhysicalDesignStats MaterializePhysicalDesign(
+    Catalog& catalog, const std::vector<PhysicalDesignItem>& items);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_PHYSICAL_DESIGN_H_

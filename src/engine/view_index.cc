@@ -1,0 +1,28 @@
+#include "engine/view_index.h"
+
+#include <algorithm>
+
+namespace olapidx {
+
+ViewIndex::ViewIndex(const MaterializedView& view, IndexKey key, int fanout)
+    : key_(std::move(key)),
+      codec_(view.schema(), key_.attrs()),
+      tree_(fanout) {
+  OLAPIDX_CHECK(!key_.empty());
+  OLAPIDX_CHECK(key_.AsSet().IsSubsetOf(view.attrs()));
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  entries.reserve(view.num_rows());
+  std::vector<uint32_t> dims(
+      static_cast<size_t>(view.schema().num_dimensions()), 0);
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    for (int a : key_.attrs()) {
+      dims[static_cast<size_t>(a)] = view.dim(r, a);
+    }
+    entries.emplace_back(codec_.EncodeRow(dims),
+                         static_cast<uint32_t>(r));
+  }
+  std::sort(entries.begin(), entries.end());
+  tree_.BulkLoad(entries);
+}
+
+}  // namespace olapidx

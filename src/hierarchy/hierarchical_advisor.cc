@@ -1,0 +1,63 @@
+#include "hierarchy/hierarchical_advisor.h"
+
+namespace olapidx {
+
+HierarchicalAdvisor::HierarchicalAdvisor(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options)
+    : schema_(schema),
+      cube_graph_(
+          BuildHierarchicalCubeGraph(schema, raw_rows, workload, options)) {
+}
+
+HRecommendation HierarchicalAdvisor::Recommend(
+    const AdvisorConfig& config) const {
+  SelectionResult result;
+  switch (config.algorithm) {
+    case Algorithm::kOneGreedy:
+      result = OneGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kRGreedy:
+      result = RGreedy(cube_graph_.graph, config.space_budget,
+                       config.r_greedy);
+      break;
+    case Algorithm::kInnerLevel:
+      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kTwoStep:
+      result = TwoStep(cube_graph_.graph, config.space_budget,
+                       config.two_step);
+      break;
+    case Algorithm::kHruViewsOnly:
+      result = HruViewGreedy(cube_graph_.graph, config.space_budget);
+      break;
+    case Algorithm::kOptimal:
+      result = BranchAndBoundOptimal(cube_graph_.graph,
+                                     config.space_budget, config.optimal);
+      break;
+  }
+
+  HRecommendation rec;
+  rec.raw = result;
+  rec.space_used = result.space_used;
+  rec.initial_average_cost =
+      result.total_frequency > 0.0
+          ? result.initial_cost / result.total_frequency
+          : 0.0;
+  rec.average_query_cost = result.AverageQueryCost();
+  for (const StructureRef& s : result.picks) {
+    HRecommendedStructure r;
+    r.view = cube_graph_.view_levels[s.view];
+    if (!s.is_view()) {
+      r.index_order =
+          cube_graph_.index_orders[s.view][static_cast<size_t>(s.index)];
+    }
+    r.name = cube_graph_.graph.StructureName(s);
+    r.space = cube_graph_.graph.structure_space(s);
+    rec.structures.push_back(std::move(r));
+  }
+  return rec;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,55 @@
+// HierarchicalAdvisor: the high-level recommendation API for hierarchical
+// cubes — the counterpart of core/advisor.h over the level-vector lattice.
+// Returns picks as (level vector, optional index dimension order), ready to
+// feed HierarchicalCatalog.
+
+#ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
+#define OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "hierarchy/hierarchical_graph.h"
+
+namespace olapidx {
+
+struct HRecommendedStructure {
+  LevelVector view;
+  // Empty = the view itself; otherwise a fat index keyed in this
+  // hierarchy-dimension order.
+  std::vector<int> index_order;
+  std::string name;
+  double space = 0.0;
+
+  bool is_view() const { return index_order.empty(); }
+};
+
+struct HRecommendation {
+  std::vector<HRecommendedStructure> structures;
+  double space_used = 0.0;
+  double initial_average_cost = 0.0;
+  double average_query_cost = 0.0;
+  SelectionResult raw;
+};
+
+class HierarchicalAdvisor {
+ public:
+  HierarchicalAdvisor(const HierarchicalSchema& schema, double raw_rows,
+                      const std::vector<WeightedHQuery>& workload,
+                      const HierarchicalGraphOptions& options = {});
+
+  const HierarchicalCubeGraph& cube_graph() const { return cube_graph_; }
+
+  // Supports the greedy algorithms and the exact solver; two-step uses
+  // the config's two_step options.
+  HRecommendation Recommend(const AdvisorConfig& config) const;
+
+ private:
+  HierarchicalSchema schema_;
+  HierarchicalCubeGraph cube_graph_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_

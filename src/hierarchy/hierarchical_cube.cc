@@ -1,0 +1,176 @@
+#include "hierarchy/hierarchical_cube.h"
+
+#include <algorithm>
+
+#include "cost/analytical_model.h"
+
+namespace olapidx {
+
+bool LevelVector::ComputableFrom(const LevelVector& other) const {
+  OLAPIDX_CHECK(other.size() == size());
+  for (int d = 0; d < size(); ++d) {
+    if (other.level(d) > level(d)) return false;
+  }
+  return true;
+}
+
+LevelVector HSliceQuery::RequiredLevels(
+    const HierarchicalSchema& schema) const {
+  OLAPIDX_CHECK(static_cast<int>(roles_.size()) == schema.num_dimensions());
+  std::vector<int> levels(roles_.size());
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    const HDimRole& r = roles_[static_cast<size_t>(d)];
+    levels[static_cast<size_t>(d)] =
+        r.kind == HDimRole::kAbsent ? schema.all_level(d) : r.level;
+  }
+  return LevelVector(std::move(levels));
+}
+
+bool HSliceQuery::AnswerableFrom(const LevelVector& view,
+                                 const HierarchicalSchema& schema) const {
+  return RequiredLevels(schema).ComputableFrom(view);
+}
+
+std::string HSliceQuery::ToString(const HierarchicalSchema& schema) const {
+  std::string group, select;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    const HDimRole& r = roles_[static_cast<size_t>(d)];
+    if (r.kind == HDimRole::kAbsent) continue;
+    std::string part =
+        schema.dimension(d).name + "." + schema.level_name(d, r.level);
+    if (r.kind == HDimRole::kGroupBy) {
+      group += (group.empty() ? "" : ",") + part;
+    } else {
+      select += (select.empty() ? "" : ",") + part;
+    }
+  }
+  std::string out = "g{" + (group.empty() ? "none" : group) + "}";
+  if (!select.empty()) out += "s{" + select + "}";
+  return out;
+}
+
+HierarchicalLattice::HierarchicalLattice(const HierarchicalSchema* schema)
+    : schema_(schema) {
+  OLAPIDX_CHECK(schema != nullptr);
+  strides_.resize(static_cast<size_t>(schema->num_dimensions()));
+  for (int d = 0; d < schema->num_dimensions(); ++d) {
+    strides_[static_cast<size_t>(d)] = num_views_;
+    num_views_ *= static_cast<uint64_t>(schema->radix(d));
+  }
+}
+
+HViewId HierarchicalLattice::IdOf(const LevelVector& levels) const {
+  OLAPIDX_CHECK(levels.size() == schema_->num_dimensions());
+  HViewId id = 0;
+  for (int d = 0; d < levels.size(); ++d) {
+    OLAPIDX_DCHECK(levels.level(d) >= 0 &&
+                   levels.level(d) <= schema_->all_level(d));
+    id += static_cast<uint64_t>(levels.level(d)) *
+          strides_[static_cast<size_t>(d)];
+  }
+  return id;
+}
+
+LevelVector HierarchicalLattice::LevelsOf(HViewId id) const {
+  OLAPIDX_CHECK(id < num_views_);
+  std::vector<int> levels(static_cast<size_t>(schema_->num_dimensions()));
+  for (int d = 0; d < schema_->num_dimensions(); ++d) {
+    levels[static_cast<size_t>(d)] = static_cast<int>(
+        (id / strides_[static_cast<size_t>(d)]) %
+        static_cast<uint64_t>(schema_->radix(d)));
+  }
+  return LevelVector(std::move(levels));
+}
+
+LevelVector HierarchicalLattice::FinestLevels() const {
+  return LevelVector(
+      std::vector<int>(static_cast<size_t>(schema_->num_dimensions()), 0));
+}
+
+double HierarchicalLattice::DomainSize(const LevelVector& levels) const {
+  double product = 1.0;
+  for (int d = 0; d < levels.size(); ++d) {
+    product *=
+        static_cast<double>(schema_->cardinality(d, levels.level(d)));
+  }
+  return product;
+}
+
+std::string HierarchicalLattice::ViewName(const LevelVector& levels) const {
+  std::string out;
+  for (int d = 0; d < levels.size(); ++d) {
+    if (levels.level(d) == schema_->all_level(d)) continue;
+    if (!out.empty()) out += "|";
+    out += schema_->dimension(d).name + "." +
+           schema_->level_name(d, levels.level(d));
+  }
+  return out.empty() ? "none" : out;
+}
+
+std::vector<int> HierarchicalLattice::ActiveDimensions(
+    const LevelVector& levels) const {
+  std::vector<int> active;
+  for (int d = 0; d < levels.size(); ++d) {
+    if (levels.level(d) != schema_->all_level(d)) active.push_back(d);
+  }
+  return active;
+}
+
+std::vector<std::vector<int>> HierarchicalLattice::FatIndexOrders(
+    const LevelVector& levels) const {
+  std::vector<int> active = ActiveDimensions(levels);
+  OLAPIDX_CHECK(active.size() <= 8);
+  std::vector<std::vector<int>> orders;
+  if (active.empty()) return orders;
+  std::sort(active.begin(), active.end());
+  do {
+    orders.push_back(active);
+  } while (std::next_permutation(active.begin(), active.end()));
+  return orders;
+}
+
+std::vector<double> HierarchicalLattice::AnalyticalSizes(
+    double raw_rows) const {
+  OLAPIDX_CHECK(raw_rows >= 1.0);
+  std::vector<double> sizes(num_views_);
+  for (HViewId v = 0; v < num_views_; ++v) {
+    sizes[v] = std::max(
+        1.0, ExpectedDistinct(DomainSize(LevelsOf(v)), raw_rows));
+  }
+  return sizes;
+}
+
+std::vector<HSliceQuery> EnumerateAllHQueries(
+    const HierarchicalSchema& schema) {
+  // Per dimension: 1 (absent) + num_levels group-by + num_levels select.
+  uint64_t total = 1;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    total *= static_cast<uint64_t>(1 + 2 * schema.num_levels(d));
+  }
+  std::vector<HSliceQuery> out;
+  out.reserve(total);
+  for (uint64_t code = 0; code < total; ++code) {
+    std::vector<HDimRole> roles(
+        static_cast<size_t>(schema.num_dimensions()));
+    uint64_t c = code;
+    for (int d = 0; d < schema.num_dimensions(); ++d) {
+      uint64_t radix = static_cast<uint64_t>(1 + 2 * schema.num_levels(d));
+      int choice = static_cast<int>(c % radix);
+      c /= radix;
+      HDimRole& role = roles[static_cast<size_t>(d)];
+      if (choice == 0) {
+        role.kind = HDimRole::kAbsent;
+      } else if (choice <= schema.num_levels(d)) {
+        role.kind = HDimRole::kGroupBy;
+        role.level = choice - 1;
+      } else {
+        role.kind = HDimRole::kSelect;
+        role.level = choice - 1 - schema.num_levels(d);
+      }
+    }
+    out.emplace_back(std::move(roles));
+  }
+  return out;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,132 @@
+// The hierarchical cube lattice and its slice queries.
+//
+// A view assigns each dimension one level (possibly ALL); view V1 is
+// computable from V2 iff V2 is at least as fine in every dimension. A
+// hierarchical slice query gives each dimension a role — absent (aggregate
+// over it), group-by at a level, or select at a level. Fat indexes are
+// permutations of the view's non-ALL dimensions, keyed at the view's
+// levels; with hierarchically clustered key encodings (day codes ordered
+// within month, etc. — standard ROLAP practice) an index prefix serves
+// selections at the same or any coarser level.
+
+#ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_CUBE_H_
+#define OLAPIDX_HIERARCHY_HIERARCHICAL_CUBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchical_schema.h"
+
+namespace olapidx {
+
+// A level assignment: one level index per dimension (ALL = num_levels).
+class LevelVector {
+ public:
+  LevelVector() = default;
+  explicit LevelVector(std::vector<int> levels)
+      : levels_(std::move(levels)) {}
+
+  int size() const { return static_cast<int>(levels_.size()); }
+  int level(int d) const { return levels_[static_cast<size_t>(d)]; }
+  void set_level(int d, int level) {
+    levels_[static_cast<size_t>(d)] = level;
+  }
+  const std::vector<int>& levels() const { return levels_; }
+
+  // True iff a view at `*this` can be computed from a view at `other`
+  // (other is at least as fine everywhere: other.level[d] <= level[d]).
+  bool ComputableFrom(const LevelVector& other) const;
+
+  friend bool operator==(const LevelVector& a, const LevelVector& b) {
+    return a.levels_ == b.levels_;
+  }
+
+ private:
+  std::vector<int> levels_;
+};
+
+// A hierarchical slice query: per-dimension role.
+struct HDimRole {
+  enum Kind { kAbsent, kGroupBy, kSelect };
+  Kind kind = kAbsent;
+  int level = 0;  // meaningful unless kAbsent
+};
+
+class HSliceQuery {
+ public:
+  HSliceQuery() = default;
+  explicit HSliceQuery(std::vector<HDimRole> roles)
+      : roles_(std::move(roles)) {}
+
+  const std::vector<HDimRole>& roles() const { return roles_; }
+  const HDimRole& role(int d) const {
+    return roles_[static_cast<size_t>(d)];
+  }
+
+  // The coarsest view that can answer this query (its associated view):
+  // mentioned dimensions at their query level, absent dimensions at ALL.
+  LevelVector RequiredLevels(const HierarchicalSchema& schema) const;
+
+  bool AnswerableFrom(const LevelVector& view,
+                      const HierarchicalSchema& schema) const;
+
+  std::string ToString(const HierarchicalSchema& schema) const;
+
+ private:
+  std::vector<HDimRole> roles_;
+};
+
+// Dense view ids via mixed-radix encoding of the level vector.
+using HViewId = uint64_t;
+
+class HierarchicalLattice {
+ public:
+  explicit HierarchicalLattice(const HierarchicalSchema* schema);
+
+  const HierarchicalSchema& schema() const { return *schema_; }
+  uint64_t num_views() const { return num_views_; }
+
+  HViewId IdOf(const LevelVector& levels) const;
+  LevelVector LevelsOf(HViewId id) const;
+
+  // The base view: every dimension at its finest level.
+  HViewId BaseView() const { return IdOf(FinestLevels()); }
+  LevelVector FinestLevels() const;
+
+  // Π cardinality(d, level_d): the domain size of a view.
+  double DomainSize(const LevelVector& levels) const;
+
+  // "store.city|day.month|promo.ALL"-style name.
+  std::string ViewName(const LevelVector& levels) const;
+
+  // The dimensions of a view that are not at ALL (eligible index-key
+  // dimensions), ascending.
+  std::vector<int> ActiveDimensions(const LevelVector& levels) const;
+
+  // All fat indexes of the view: permutations of its active dimensions.
+  // Requires <= 8 active dimensions.
+  std::vector<std::vector<int>> FatIndexOrders(
+      const LevelVector& levels) const;
+
+  // Expected rows of every view for a raw table of `raw_rows` rows, under
+  // the independence model (cost/analytical_model.h applied to the
+  // hierarchical domain sizes). Index = HViewId.
+  std::vector<double> AnalyticalSizes(double raw_rows) const;
+
+ private:
+  const HierarchicalSchema* schema_;
+  std::vector<uint64_t> strides_;
+  uint64_t num_views_ = 1;
+};
+
+// All hierarchical slice queries: each dimension independently absent,
+// grouped at one of its levels, or selected at one of its levels —
+// Π_d (1 + 2·num_levels(d)) queries. (With one level per dimension this
+// degenerates to the paper's 3^n.)
+std::vector<HSliceQuery> EnumerateAllHQueries(
+    const HierarchicalSchema& schema);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_HIERARCHY_HIERARCHICAL_CUBE_H_

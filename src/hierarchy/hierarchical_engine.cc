@@ -1,0 +1,79 @@
+#include "hierarchy/hierarchical_engine.h"
+
+#include "common/rng.h"
+
+namespace olapidx {
+
+CubeSchema LeveledSchema(const HierarchicalSchema& schema,
+                         const LevelVector& levels) {
+  OLAPIDX_CHECK(levels.size() == schema.num_dimensions());
+  std::vector<Dimension> dims;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    int level = levels.level(d);
+    if (level == schema.all_level(d)) continue;
+    dims.push_back(
+        Dimension{schema.dimension(d).name + "." +
+                      schema.level_name(d, level),
+                  schema.cardinality(d, level)});
+  }
+  if (dims.empty()) {
+    // The apex view: keep a single degenerate dimension so the engine's
+    // schema machinery stays happy; it has one member.
+    dims.push_back(Dimension{"all", 1});
+  }
+  return CubeSchema(dims);
+}
+
+MaterializedView MaterializeHierarchicalView(const FactTable& fact,
+                                             const HierarchyMaps& maps,
+                                             const LevelVector& levels) {
+  const HierarchicalSchema& schema = maps.schema();
+  OLAPIDX_CHECK(fact.schema().num_dimensions() == schema.num_dimensions());
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    OLAPIDX_CHECK(fact.schema().dimension(d).cardinality ==
+                  schema.cardinality(d, 0));
+  }
+
+  CubeSchema leveled = LeveledSchema(schema, levels);
+  FactTable recoded(leveled);
+  recoded.Reserve(fact.num_rows());
+  std::vector<int> active;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    if (levels.level(d) != schema.all_level(d)) active.push_back(d);
+  }
+  std::vector<uint32_t> row(
+      std::max<size_t>(1, active.size()), 0);
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    for (size_t i = 0; i < active.size(); ++i) {
+      int d = active[i];
+      row[i] = maps.dimension(d).MapUp(0, levels.level(d), fact.dim(r, d));
+    }
+    recoded.Append(row, fact.measure(r));
+  }
+  return MaterializedView::FromFactTable(
+      recoded, AttributeSet::Full(leveled.num_dimensions()));
+}
+
+FactTable GenerateHierarchicalFacts(const HierarchicalSchema& schema,
+                                    size_t rows, uint64_t seed) {
+  std::vector<Dimension> dims;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    dims.push_back(
+        Dimension{schema.dimension(d).name, schema.cardinality(d, 0)});
+  }
+  CubeSchema flat(dims);
+  FactTable fact(flat);
+  fact.Reserve(rows);
+  Pcg32 rng(seed);
+  std::vector<uint32_t> row(static_cast<size_t>(flat.num_dimensions()));
+  for (size_t r = 0; r < rows; ++r) {
+    for (int d = 0; d < flat.num_dimensions(); ++d) {
+      row[static_cast<size_t>(d)] = rng.NextBounded(
+          static_cast<uint32_t>(flat.dimension(d).cardinality));
+    }
+    fact.Append(row, 1.0 + rng.NextDouble() * 99.0);
+  }
+  return fact;
+}
+
+}  // namespace olapidx

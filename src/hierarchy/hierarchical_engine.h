@@ -1,0 +1,38 @@
+// Bridge between the hierarchical lattice and the execution engine: given
+// a fact table coded at each dimension's *finest* level plus the
+// child→parent level maps, materialize the subcube at any level vector as
+// a regular MaterializedView (over a per-view schema whose cardinalities
+// are the chosen levels'). This is what lets hierarchical selections be
+// physically built and measured, not just costed.
+
+#ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_ENGINE_H_
+#define OLAPIDX_HIERARCHY_HIERARCHICAL_ENGINE_H_
+
+#include "engine/materialized_view.h"
+#include "hierarchy/hierarchical_cube.h"
+#include "hierarchy/level_map.h"
+
+namespace olapidx {
+
+// The flat schema of a hierarchical view: one dimension per *active* (non-
+// ALL) dimension of `levels`, with that level's cardinality; names are
+// "dim.level". Attribute order follows dimension order.
+CubeSchema LeveledSchema(const HierarchicalSchema& schema,
+                         const LevelVector& levels);
+
+// Re-codes `fact` (finest-level codes, schema must have one column per
+// hierarchy dimension with the finest cardinalities) up to `levels` and
+// aggregates. The resulting view's schema is LeveledSchema(...), so its
+// attribute ids are positions among the active dimensions.
+MaterializedView MaterializeHierarchicalView(const FactTable& fact,
+                                             const HierarchyMaps& maps,
+                                             const LevelVector& levels);
+
+// A finest-level fact table for the hierarchical schema: uniform draws at
+// each dimension's level 0 (companion to data/fact_generator.h).
+FactTable GenerateHierarchicalFacts(const HierarchicalSchema& schema,
+                                    size_t rows, uint64_t seed);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_HIERARCHY_HIERARCHICAL_ENGINE_H_

@@ -1,0 +1,307 @@
+#include "hierarchy/hierarchical_executor.h"
+
+#include <algorithm>
+
+namespace olapidx {
+
+namespace {
+
+// Accumulates (group key at query levels → aggregate state), emitting rows
+// in lexicographic key order.
+class HGroupAccumulator {
+ public:
+  explicit HGroupAccumulator(std::vector<int> group_dims)
+      : group_dims_(std::move(group_dims)) {}
+
+  void Add(std::vector<uint32_t> key, const AggregateState& state) {
+    groups_[std::move(key)].Merge(state);
+  }
+
+  HGroupedResult Finish() const {
+    HGroupedResult out;
+    out.group_dims = group_dims_;
+    for (const auto& [key, state] : groups_) {
+      out.keys.push_back(key);
+      out.aggregates.push_back(state);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> group_dims_;
+  std::map<std::vector<uint32_t>, AggregateState> groups_;
+};
+
+}  // namespace
+
+HierarchicalCatalog::HierarchicalCatalog(const FactTable* fact,
+                                         const HierarchyMaps* maps)
+    : fact_(fact), maps_(maps), lattice_(&maps->schema()) {
+  OLAPIDX_CHECK(fact != nullptr);
+  OLAPIDX_CHECK(maps != nullptr);
+  for (int d = 0; d < maps->schema().num_dimensions(); ++d) {
+    OLAPIDX_CHECK(maps->dimension(d).IsClustered());
+  }
+}
+
+size_t HierarchicalCatalog::MaterializeView(const LevelVector& levels) {
+  HViewId id = lattice_.IdOf(levels);
+  auto it = views_.find(id);
+  if (it != views_.end()) return it->second->view.num_rows();
+  auto lv = std::make_unique<LeveledView>(LeveledView{
+      levels, lattice_.ActiveDimensions(levels),
+      MaterializeHierarchicalView(*fact_, *maps_, levels),
+      {}});
+  size_t rows = lv->view.num_rows();
+  views_.emplace(id, std::move(lv));
+  order_.push_back(levels);
+  return rows;
+}
+
+bool HierarchicalCatalog::HasView(const LevelVector& levels) const {
+  return views_.count(lattice_.IdOf(levels)) > 0;
+}
+
+const HierarchicalCatalog::LeveledView* HierarchicalCatalog::Find(
+    const LevelVector& levels) const {
+  auto it = views_.find(lattice_.IdOf(levels));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+void HierarchicalCatalog::BuildIndex(const LevelVector& levels,
+                                     const std::vector<int>& dim_order) {
+  auto it = views_.find(lattice_.IdOf(levels));
+  OLAPIDX_CHECK(it != views_.end());
+  LeveledView& lv = *it->second;
+  for (const LeveledView::Index& existing : lv.indexes) {
+    if (existing.dim_order == dim_order) return;
+  }
+  // Translate hierarchy dimension ids to leveled-schema positions.
+  std::vector<int> positions;
+  for (int d : dim_order) {
+    auto pos = std::find(lv.active_dims.begin(), lv.active_dims.end(), d);
+    OLAPIDX_CHECK(pos != lv.active_dims.end());
+    positions.push_back(static_cast<int>(pos - lv.active_dims.begin()));
+  }
+  lv.indexes.push_back(LeveledView::Index{
+      dim_order, ViewIndex(lv.view, IndexKey(positions))});
+}
+
+double HierarchicalCatalog::TotalSpaceRows() const {
+  double total = 0.0;
+  for (const auto& [id, lv] : views_) {
+    (void)id;
+    total += static_cast<double>(lv->view.num_rows());
+    for (const LeveledView::Index& index : lv->indexes) {
+      total += static_cast<double>(index.index.num_entries());
+    }
+  }
+  return total;
+}
+
+HierarchicalExecutor::HierarchicalExecutor(
+    const HierarchicalCatalog* catalog)
+    : catalog_(catalog) {
+  OLAPIDX_CHECK(catalog != nullptr);
+}
+
+HGroupedResult HierarchicalExecutor::Execute(
+    const HSliceQuery& query, const std::vector<uint32_t>& selection_values,
+    HExecutionStats* stats) const {
+  const HierarchicalSchema& schema = catalog_->schema();
+  const HierarchyMaps& maps = catalog_->maps();
+
+  // Selection value per dimension id, and the dim lists.
+  std::vector<int> select_dims, group_dims;
+  std::vector<uint32_t> sel_value(
+      static_cast<size_t>(schema.num_dimensions()), 0);
+  {
+    size_t vi = 0;
+    for (int d = 0; d < schema.num_dimensions(); ++d) {
+      if (query.role(d).kind == HDimRole::kSelect) {
+        OLAPIDX_CHECK(vi < selection_values.size());
+        sel_value[static_cast<size_t>(d)] = selection_values[vi++];
+        select_dims.push_back(d);
+      } else if (query.role(d).kind == HDimRole::kGroupBy) {
+        group_dims.push_back(d);
+      }
+    }
+    OLAPIDX_CHECK(vi == selection_values.size());
+  }
+
+  // ---- Plan ----
+  struct Plan {
+    bool use_raw = true;
+    const HierarchicalCatalog::LeveledView* view = nullptr;
+    const HierarchicalCatalog::LeveledView::Index* index = nullptr;
+    int point_prefix = 0;   // leading exact-level selected dims in the key
+    int range_dim = -1;     // coarser-selected dim after the points, or -1
+    double estimated_cost = 0.0;
+  };
+  Plan plan;
+  plan.estimated_cost = static_cast<double>(catalog_->fact().num_rows());
+
+  for (const LevelVector& levels : catalog_->materialized_views()) {
+    if (!query.AnswerableFrom(levels, schema)) continue;
+    const HierarchicalCatalog::LeveledView* lv = catalog_->Find(levels);
+    double view_rows = static_cast<double>(lv->view.num_rows());
+    if (view_rows < plan.estimated_cost) {
+      plan = Plan{false, lv, nullptr, 0, -1, view_rows};
+    }
+    for (const auto& index : lv->indexes) {
+      // Contiguous usable prefix: point dims (selected at exactly the
+      // view's level), then optionally one coarser-selected range dim.
+      int points = 0;
+      int range_dim = -1;
+      double selectivity = 1.0;
+      for (int d : index.dim_order) {
+        if (query.role(d).kind != HDimRole::kSelect) break;
+        int view_level = levels.level(d);
+        int sel_level = query.role(d).level;
+        if (sel_level == view_level) {
+          ++points;
+          selectivity *=
+              static_cast<double>(schema.cardinality(d, sel_level));
+        } else {
+          range_dim = d;
+          selectivity *=
+              static_cast<double>(schema.cardinality(d, sel_level));
+          break;  // a range ends the contiguous region
+        }
+      }
+      if (points == 0 && range_dim < 0) continue;
+      double est = std::max(1.0, view_rows / selectivity);
+      if (est < plan.estimated_cost) {
+        plan = Plan{false, lv, &index, points, range_dim, est};
+      }
+    }
+  }
+
+  // ---- Execute ----
+  HGroupAccumulator acc(group_dims);
+  uint64_t rows_processed = 0;
+
+  // Filters/aggregation for a row whose codes live at `row_levels`.
+  auto process_row = [&](const LevelVector& row_levels, auto&& code_of,
+                         const AggregateState& state) {
+    for (int d : select_dims) {
+      uint32_t mapped = maps.dimension(d).MapUp(
+          row_levels.level(d), query.role(d).level, code_of(d));
+      if (mapped != sel_value[static_cast<size_t>(d)]) return;
+    }
+    std::vector<uint32_t> key;
+    key.reserve(group_dims.size());
+    for (int d : group_dims) {
+      key.push_back(maps.dimension(d).MapUp(
+          row_levels.level(d), query.role(d).level, code_of(d)));
+    }
+    acc.Add(std::move(key), state);
+  };
+
+  if (plan.use_raw) {
+    const FactTable& fact = catalog_->fact();
+    LevelVector finest(
+        std::vector<int>(static_cast<size_t>(schema.num_dimensions()), 0));
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      ++rows_processed;
+      process_row(
+          finest, [&](int d) { return fact.dim(r, d); },
+          AggregateState::OfMeasure(fact.measure(r)));
+    }
+  } else {
+    const HierarchicalCatalog::LeveledView& lv = *plan.view;
+    // View rows expose codes by hierarchy dim via active-dim positions.
+    auto code_of_row = [&](size_t r) {
+      return [&, r](int d) {
+        auto pos =
+            std::find(lv.active_dims.begin(), lv.active_dims.end(), d);
+        OLAPIDX_DCHECK(pos != lv.active_dims.end());
+        return lv.view.dim(
+            r, static_cast<int>(pos - lv.active_dims.begin()));
+      };
+    };
+    if (plan.index == nullptr) {
+      for (size_t r = 0; r < lv.view.num_rows(); ++r) {
+        ++rows_processed;
+        process_row(lv.levels, code_of_row(r), lv.view.aggregate(r));
+      }
+    } else {
+      std::vector<uint32_t> points;
+      for (int i = 0; i < plan.point_prefix; ++i) {
+        int d = plan.index->dim_order[static_cast<size_t>(i)];
+        points.push_back(sel_value[static_cast<size_t>(d)]);
+      }
+      auto visit = [&](uint32_t r) {
+        process_row(lv.levels, code_of_row(r), lv.view.aggregate(r));
+      };
+      if (plan.range_dim >= 0) {
+        int d = plan.range_dim;
+        auto [lo, hi] = maps.dimension(d).ChildRange(
+            lv.levels.level(d), query.role(d).level,
+            sel_value[static_cast<size_t>(d)],
+            static_cast<uint32_t>(
+                schema.cardinality(d, lv.levels.level(d))));
+        if (lo <= hi) {
+          rows_processed +=
+              plan.index->index.ScanPrefixRange(points, lo, hi, visit);
+        }
+      } else {
+        rows_processed += plan.index->index.ScanPrefix(points, visit);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rows_processed = rows_processed;
+    stats->used_raw = plan.use_raw;
+    if (!plan.use_raw) stats->view = plan.view->levels;
+    stats->index_order =
+        plan.index != nullptr ? plan.index->dim_order : std::vector<int>();
+    stats->estimated_cost = plan.estimated_cost;
+  }
+  return acc.Finish();
+}
+
+HGroupedResult HierarchicalExecutor::ExecuteNaive(
+    const HSliceQuery& query,
+    const std::vector<uint32_t>& selection_values) const {
+  const HierarchicalSchema& schema = catalog_->schema();
+  const HierarchyMaps& maps = catalog_->maps();
+  const FactTable& fact = catalog_->fact();
+
+  std::vector<int> select_dims, group_dims;
+  std::vector<uint32_t> sel_value(
+      static_cast<size_t>(schema.num_dimensions()), 0);
+  size_t vi = 0;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    if (query.role(d).kind == HDimRole::kSelect) {
+      sel_value[static_cast<size_t>(d)] = selection_values[vi++];
+      select_dims.push_back(d);
+    } else if (query.role(d).kind == HDimRole::kGroupBy) {
+      group_dims.push_back(d);
+    }
+  }
+  OLAPIDX_CHECK(vi == selection_values.size());
+
+  HGroupAccumulator acc(group_dims);
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    bool match = true;
+    for (int d : select_dims) {
+      if (maps.dimension(d).MapUp(0, query.role(d).level, fact.dim(r, d)) !=
+          sel_value[static_cast<size_t>(d)]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::vector<uint32_t> key;
+    for (int d : group_dims) {
+      key.push_back(
+          maps.dimension(d).MapUp(0, query.role(d).level, fact.dim(r, d)));
+    }
+    acc.Add(std::move(key), AggregateState::OfMeasure(fact.measure(r)));
+  }
+  return acc.Finish();
+}
+
+}  // namespace olapidx

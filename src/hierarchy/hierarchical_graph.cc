@@ -1,0 +1,110 @@
+#include "hierarchy/hierarchical_graph.h"
+
+namespace olapidx {
+
+namespace {
+
+// The subcube id holding the distinct combinations of `dims` at the
+// query's selection levels (ALL elsewhere) — the |E| of the cost formula.
+HViewId PrefixSubcube(const HierarchicalLattice& lattice,
+                      const HSliceQuery& query,
+                      const std::vector<int>& prefix_dims) {
+  const HierarchicalSchema& schema = lattice.schema();
+  std::vector<int> levels(static_cast<size_t>(schema.num_dimensions()));
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    levels[static_cast<size_t>(d)] = schema.all_level(d);
+  }
+  for (int d : prefix_dims) {
+    levels[static_cast<size_t>(d)] = query.role(d).level;
+  }
+  return lattice.IdOf(LevelVector(std::move(levels)));
+}
+
+}  // namespace
+
+std::vector<WeightedHQuery> UniformHWorkload(
+    const HierarchicalSchema& schema) {
+  std::vector<WeightedHQuery> out;
+  for (HSliceQuery& q : EnumerateAllHQueries(schema)) {
+    out.push_back(WeightedHQuery{std::move(q), 1.0});
+  }
+  return out;
+}
+
+HierarchicalCubeGraph BuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options) {
+  OLAPIDX_CHECK(raw_rows >= 1.0);
+  OLAPIDX_CHECK(options.raw_scan_penalty >= 1.0);
+  HierarchicalLattice lattice(&schema);
+
+  HierarchicalCubeGraph out;
+  out.view_sizes = lattice.AnalyticalSizes(raw_rows);
+  QueryViewGraph& g = out.graph;
+
+  for (HViewId v = 0; v < lattice.num_views(); ++v) {
+    LevelVector levels = lattice.LevelsOf(v);
+    double size = out.view_sizes[v];
+    uint32_t gv = g.AddView(lattice.ViewName(levels), size);
+    OLAPIDX_CHECK(gv == v);
+    if (options.maintenance_per_row > 0.0) {
+      g.SetViewMaintenance(gv, options.maintenance_per_row * size);
+    }
+    std::vector<std::vector<int>> orders = lattice.FatIndexOrders(levels);
+    for (const std::vector<int>& order : orders) {
+      std::string name = "I_";
+      for (int d : order) {
+        name += schema.dimension(d).name + "." +
+                schema.level_name(d, levels.level(d)) + ".";
+      }
+      name.pop_back();
+      int32_t gi = g.AddIndex(gv, name, size);
+      if (options.maintenance_per_row > 0.0) {
+        g.SetIndexMaintenance(gv, gi,
+                              options.maintenance_per_row * size);
+      }
+    }
+    out.view_levels.push_back(std::move(levels));
+    out.index_orders.push_back(std::move(orders));
+  }
+
+  double default_cost =
+      options.default_query_cost > 0.0
+          ? options.default_query_cost
+          : options.raw_scan_penalty * out.view_sizes[lattice.BaseView()];
+
+  for (const WeightedHQuery& wq : workload) {
+    uint32_t q = g.AddQuery(wq.query.ToString(schema), default_cost,
+                            wq.frequency);
+    out.queries.push_back(wq.query);
+    for (HViewId v = 0; v < lattice.num_views(); ++v) {
+      const LevelVector& levels = out.view_levels[v];
+      if (!wq.query.AnswerableFrom(levels, schema)) continue;
+      double scan = out.view_sizes[v];
+      g.AddViewEdge(q, static_cast<uint32_t>(v), scan);
+      const std::vector<std::vector<int>>& orders = out.index_orders[v];
+      for (size_t k = 0; k < orders.size(); ++k) {
+        // Longest prefix of the key's dimension order made of this
+        // query's selection dimensions.
+        std::vector<int> prefix;
+        for (int d : orders[k]) {
+          if (wq.query.role(d).kind != HDimRole::kSelect) break;
+          prefix.push_back(d);
+        }
+        if (prefix.empty()) continue;
+        double denom =
+            out.view_sizes[PrefixSubcube(lattice, wq.query, prefix)];
+        double cost = scan / denom;
+        if (cost < scan) {
+          g.AddIndexEdge(q, static_cast<uint32_t>(v),
+                         static_cast<int32_t>(k), cost);
+        }
+      }
+    }
+  }
+  g.Finalize();
+  return out;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,56 @@
+// Instantiates the Section 5.1 query-view graph for a *hierarchical* cube,
+// demonstrating the paper's remark that the algorithms are robust to the
+// choice of views, queries and indexes: the selection machinery in core/
+// runs unchanged on this much richer lattice.
+//
+// Cost model, generalized: answering query Q from view V with a fat index
+// keyed in dimension order D costs |V| / |E| rows, where E is the subcube
+// at the longest prefix of D consisting of Q's *selection* dimensions,
+// taken at Q's selection levels (with hierarchically clustered key
+// encodings a finer-keyed index serves coarser selections as range scans).
+// With one level per dimension this reduces exactly to the paper's model.
+
+#ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
+#define OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
+
+#include <vector>
+
+#include "core/query_view_graph.h"
+#include "hierarchy/hierarchical_cube.h"
+
+namespace olapidx {
+
+struct WeightedHQuery {
+  HSliceQuery query;
+  double frequency = 1.0;
+};
+
+struct HierarchicalGraphOptions {
+  // See CubeGraphOptions for the semantics of these knobs.
+  double default_query_cost = 0.0;
+  double raw_scan_penalty = 1.0;
+  double maintenance_per_row = 0.0;
+};
+
+struct HierarchicalCubeGraph {
+  QueryViewGraph graph;
+  // graph view id -> level assignment (dense: graph view id == HViewId).
+  std::vector<LevelVector> view_levels;
+  // graph view id -> index position -> dimension order of the fat index.
+  std::vector<std::vector<std::vector<int>>> index_orders;
+  std::vector<HSliceQuery> queries;
+  std::vector<double> view_sizes;  // by graph view id
+};
+
+HierarchicalCubeGraph BuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options = {});
+
+// Convenience: all hierarchical slice queries, equiprobable.
+std::vector<WeightedHQuery> UniformHWorkload(
+    const HierarchicalSchema& schema);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_

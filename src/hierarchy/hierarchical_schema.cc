@@ -1,0 +1,42 @@
+#include "hierarchy/hierarchical_schema.h"
+
+namespace olapidx {
+
+namespace {
+const std::string kAllName = "ALL";
+}  // namespace
+
+HierarchicalSchema::HierarchicalSchema(
+    std::vector<HierarchicalDimension> dims)
+    : dimensions_(std::move(dims)) {
+  OLAPIDX_CHECK(!dimensions_.empty());
+  OLAPIDX_CHECK(dimensions_.size() <= 16);
+  for (const HierarchicalDimension& d : dimensions_) {
+    OLAPIDX_CHECK(!d.name.empty());
+    OLAPIDX_CHECK(!d.levels.empty());
+    uint64_t prev = ~0ULL;
+    for (const HierarchyLevel& level : d.levels) {
+      OLAPIDX_CHECK(!level.name.empty());
+      OLAPIDX_CHECK(level.cardinality >= 1);
+      // Coarsening can only shrink (or keep) the member count.
+      OLAPIDX_CHECK(level.cardinality <= prev);
+      prev = level.cardinality;
+    }
+  }
+}
+
+const std::string& HierarchicalSchema::level_name(int d, int level) const {
+  OLAPIDX_DCHECK(level >= 0 && level <= all_level(d));
+  if (level == all_level(d)) return kAllName;
+  return dimension(d).levels[static_cast<size_t>(level)].name;
+}
+
+uint64_t HierarchicalSchema::NumViews() const {
+  uint64_t total = 1;
+  for (int d = 0; d < num_dimensions(); ++d) {
+    total *= static_cast<uint64_t>(radix(d));
+  }
+  return total;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,74 @@
+// Dimension hierarchies: each dimension has a chain of levels from finest
+// (index 0, e.g. day) to coarsest (e.g. quarter), topped by the implicit
+// ALL level. This generalizes the flat cube of the paper's TPC-D example
+// the same way [HRU96] generalizes its lattice: a view now picks one level
+// per dimension, and the lattice is the product of the per-dimension
+// chains.
+
+#ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_SCHEMA_H_
+#define OLAPIDX_HIERARCHY_HIERARCHICAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+struct HierarchyLevel {
+  std::string name;
+  // Distinct members at this level; must not increase when coarsening.
+  uint64_t cardinality = 0;
+};
+
+struct HierarchicalDimension {
+  std::string name;
+  // levels[0] is the finest. Must be non-empty; cardinalities must be
+  // non-increasing along the chain.
+  std::vector<HierarchyLevel> levels;
+};
+
+class HierarchicalSchema {
+ public:
+  explicit HierarchicalSchema(std::vector<HierarchicalDimension> dims);
+
+  int num_dimensions() const {
+    return static_cast<int>(dimensions_.size());
+  }
+  const HierarchicalDimension& dimension(int d) const {
+    OLAPIDX_DCHECK(d >= 0 && d < num_dimensions());
+    return dimensions_[static_cast<size_t>(d)];
+  }
+  // Number of proper levels of dimension d (excluding ALL).
+  int num_levels(int d) const {
+    return static_cast<int>(dimension(d).levels.size());
+  }
+  // The ALL pseudo-level index of dimension d.
+  int all_level(int d) const { return num_levels(d); }
+
+  // Cardinality of dimension d at `level` (ALL = 1).
+  uint64_t cardinality(int d, int level) const {
+    OLAPIDX_DCHECK(level >= 0 && level <= all_level(d));
+    return level == all_level(d)
+               ? 1
+               : dimension(d).levels[static_cast<size_t>(level)].cardinality;
+  }
+
+  // "day", "month", ... or "ALL".
+  const std::string& level_name(int d, int level) const;
+
+  // Total number of level choices per dimension (levels + ALL), i.e. the
+  // radix of dimension d in the view encoding.
+  int radix(int d) const { return num_levels(d) + 1; }
+
+  // Π radix(d): the number of views in the hierarchical lattice.
+  uint64_t NumViews() const;
+
+ private:
+  std::vector<HierarchicalDimension> dimensions_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_HIERARCHY_HIERARCHICAL_SCHEMA_H_

@@ -1,0 +1,108 @@
+#include "hierarchy/level_map.h"
+
+namespace olapidx {
+
+DimensionLevelMap::DimensionLevelMap(
+    const HierarchicalDimension& dimension,
+    std::vector<std::vector<uint32_t>> up)
+    : up_(std::move(up)) {
+  OLAPIDX_CHECK(up_.size() + 1 == dimension.levels.size());
+  for (size_t l = 0; l < up_.size(); ++l) {
+    OLAPIDX_CHECK(up_[l].size() == dimension.levels[l].cardinality);
+    for (uint32_t parent : up_[l]) {
+      OLAPIDX_CHECK(parent < dimension.levels[l + 1].cardinality);
+    }
+  }
+}
+
+uint32_t DimensionLevelMap::MapUp(int from_level, int to_level,
+                                  uint32_t code) const {
+  OLAPIDX_CHECK(from_level >= 0);
+  OLAPIDX_CHECK(from_level <= to_level);
+  // Anything at or beyond the ALL pseudo-level collapses to 0.
+  if (to_level > num_levels() - 1) return 0;
+  for (int l = from_level; l < to_level; ++l) {
+    code = up_[static_cast<size_t>(l)][code];
+  }
+  return code;
+}
+
+DimensionLevelMap DimensionLevelMap::Balanced(
+    const HierarchicalDimension& dimension) {
+  std::vector<std::vector<uint32_t>> up;
+  for (size_t l = 0; l + 1 < dimension.levels.size(); ++l) {
+    uint64_t child_card = dimension.levels[l].cardinality;
+    uint64_t parent_card = dimension.levels[l + 1].cardinality;
+    std::vector<uint32_t> table(child_card);
+    for (uint32_t c = 0; c < table.size(); ++c) {
+      table[c] =
+          static_cast<uint32_t>(static_cast<uint64_t>(c) * parent_card /
+                                child_card);
+    }
+    up.push_back(std::move(table));
+  }
+  return DimensionLevelMap(dimension, std::move(up));
+}
+
+bool DimensionLevelMap::IsClustered() const {
+  for (const std::vector<uint32_t>& table : up_) {
+    for (size_t c = 1; c < table.size(); ++c) {
+      if (table[c] < table[c - 1]) return false;
+    }
+  }
+  return true;
+}
+
+std::pair<uint32_t, uint32_t> DimensionLevelMap::ChildRange(
+    int from_level, int to_level, uint32_t parent,
+    uint32_t from_cardinality) const {
+  OLAPIDX_CHECK(from_level <= to_level);
+  if (to_level > num_levels() - 1) {
+    return {0, from_cardinality - 1};  // ALL: everything matches
+  }
+  // MapUp(from, to, ·) is monotone for clustered maps; binary search the
+  // boundaries.
+  OLAPIDX_DCHECK(IsClustered());
+  uint32_t lo = from_cardinality, hi = 0;
+  // First code mapping to >= parent.
+  uint32_t a = 0, b = from_cardinality;
+  while (a < b) {
+    uint32_t mid = a + (b - a) / 2;
+    if (MapUp(from_level, to_level, mid) >= parent) {
+      b = mid;
+    } else {
+      a = mid + 1;
+    }
+  }
+  lo = a;
+  // First code mapping to > parent.
+  b = from_cardinality;
+  while (a < b) {
+    uint32_t mid = a + (b - a) / 2;
+    if (MapUp(from_level, to_level, mid) > parent) {
+      b = mid;
+    } else {
+      a = mid + 1;
+    }
+  }
+  hi = a;  // one past the last match
+  if (lo >= hi) return {1, 0};  // empty
+  return {lo, hi - 1};
+}
+
+HierarchyMaps::HierarchyMaps(const HierarchicalSchema* schema,
+                             std::vector<DimensionLevelMap> dims)
+    : schema_(schema), dims_(std::move(dims)) {
+  OLAPIDX_CHECK(schema != nullptr);
+  OLAPIDX_CHECK(static_cast<int>(dims_.size()) == schema->num_dimensions());
+}
+
+HierarchyMaps HierarchyMaps::Balanced(const HierarchicalSchema& schema) {
+  std::vector<DimensionLevelMap> dims;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    dims.push_back(DimensionLevelMap::Balanced(schema.dimension(d)));
+  }
+  return HierarchyMaps(&schema, std::move(dims));
+}
+
+}  // namespace olapidx

@@ -1,0 +1,23 @@
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+std::string AttributeSet::ToString(
+    const std::vector<std::string>& names) const {
+  if (empty()) return "none";
+  bool all_single = true;
+  for (int a : ToVector()) {
+    OLAPIDX_CHECK(a < static_cast<int>(names.size()));
+    if (names[static_cast<size_t>(a)].size() != 1) all_single = false;
+  }
+  std::string out;
+  bool first = true;
+  for (int a : ToVector()) {
+    if (!all_single && !first) out += ',';
+    out += names[static_cast<size_t>(a)];
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,116 @@
+// AttributeSet: a set of cube dimensions, represented as a bitmask.
+//
+// The paper denotes views (subcubes) by their group-by attribute sets and
+// queries by a (group-by set, selection set) pair; this type is the common
+// currency for all of them. Attribute ids are dense indexes 0..n-1 into a
+// CubeSchema.
+
+#ifndef OLAPIDX_LATTICE_ATTRIBUTE_SET_H_
+#define OLAPIDX_LATTICE_ATTRIBUTE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+// Maximum number of cube dimensions supported by the bitmask representation.
+inline constexpr int kMaxDimensions = 20;
+
+class AttributeSet {
+ public:
+  // The empty set (the apex view "none" in the paper, which has one row).
+  constexpr AttributeSet() : mask_(0) {}
+
+  // Constructs directly from a bitmask (bit i set <=> attribute i present).
+  static constexpr AttributeSet FromMask(uint32_t mask) {
+    return AttributeSet(mask);
+  }
+
+  // Constructs from a list of attribute ids, e.g. AttributeSet::Of({0, 2}).
+  static AttributeSet Of(std::initializer_list<int> attrs) {
+    uint32_t mask = 0;
+    for (int a : attrs) {
+      OLAPIDX_CHECK(a >= 0 && a < kMaxDimensions);
+      mask |= (1u << a);
+    }
+    return AttributeSet(mask);
+  }
+
+  // The full set {0, ..., n-1}.
+  static constexpr AttributeSet Full(int n) {
+    return AttributeSet((n >= 32) ? ~0u : ((1u << n) - 1u));
+  }
+
+  constexpr uint32_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+  int size() const { return std::popcount(mask_); }
+
+  bool Contains(int attr) const { return (mask_ & (1u << attr)) != 0; }
+  constexpr bool IsSubsetOf(AttributeSet other) const {
+    return (mask_ & ~other.mask_) == 0;
+  }
+  constexpr bool IsSupersetOf(AttributeSet other) const {
+    return other.IsSubsetOf(*this);
+  }
+  constexpr bool Intersects(AttributeSet other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  constexpr AttributeSet Union(AttributeSet other) const {
+    return AttributeSet(mask_ | other.mask_);
+  }
+  constexpr AttributeSet Intersect(AttributeSet other) const {
+    return AttributeSet(mask_ & other.mask_);
+  }
+  constexpr AttributeSet Minus(AttributeSet other) const {
+    return AttributeSet(mask_ & ~other.mask_);
+  }
+
+  AttributeSet With(int attr) const {
+    OLAPIDX_DCHECK(attr >= 0 && attr < kMaxDimensions);
+    return AttributeSet(mask_ | (1u << attr));
+  }
+  AttributeSet Without(int attr) const {
+    OLAPIDX_DCHECK(attr >= 0 && attr < kMaxDimensions);
+    return AttributeSet(mask_ & ~(1u << attr));
+  }
+
+  // Attribute ids in ascending order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(size()));
+    for (uint32_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(std::countr_zero(m));
+    }
+    return out;
+  }
+
+  // Concatenated one-letter-per-attribute rendering using `names`
+  // (e.g. "ps"); "none" for the empty set. Falls back to full names joined
+  // by ',' when any name is longer than one character.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  friend constexpr bool operator==(AttributeSet a, AttributeSet b) {
+    return a.mask_ == b.mask_;
+  }
+  friend constexpr bool operator!=(AttributeSet a, AttributeSet b) {
+    return a.mask_ != b.mask_;
+  }
+  friend constexpr bool operator<(AttributeSet a, AttributeSet b) {
+    return a.mask_ < b.mask_;
+  }
+
+ private:
+  explicit constexpr AttributeSet(uint32_t mask) : mask_(mask) {}
+
+  uint32_t mask_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_LATTICE_ATTRIBUTE_SET_H_

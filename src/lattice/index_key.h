@@ -1,0 +1,56 @@
+// IndexKey: the search key of a B-tree index — an *ordered* sequence of
+// distinct attributes. Order matters (Section 3.3 of the paper): the index
+// I_{X1..Xk}(V) helps a slice query exactly on the longest prefix of
+// X1..Xk consisting only of the query's selection attributes.
+
+#ifndef OLAPIDX_LATTICE_INDEX_KEY_H_
+#define OLAPIDX_LATTICE_INDEX_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+class IndexKey {
+ public:
+  // The empty key, denoting "no index" (D = empty sequence in the paper).
+  IndexKey() = default;
+
+  // `attrs` must be distinct attribute ids in search-key order.
+  explicit IndexKey(std::vector<int> attrs);
+
+  const std::vector<int>& attrs() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+  int size() const { return static_cast<int>(attrs_.size()); }
+
+  // The (unordered) set of key attributes.
+  AttributeSet AsSet() const;
+
+  // The longest prefix of this key composed only of attributes in
+  // `selection` — the set E in the paper's cost formula c(Q,V,J) = |C|/|E|.
+  AttributeSet LongestSelectionPrefix(AttributeSet selection) const;
+
+  // True iff `other`'s attribute sequence is a proper prefix of this key's.
+  // Under the paper's index-size model such an `other` is dominated by this
+  // key (Section 4.2.2), which is what justifies fat-index pruning.
+  bool HasProperPrefix(const IndexKey& other) const;
+
+  // "I_sp" style rendering given per-attribute names.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  friend bool operator==(const IndexKey& a, const IndexKey& b) {
+    return a.attrs_ == b.attrs_;
+  }
+  friend bool operator<(const IndexKey& a, const IndexKey& b) {
+    return a.attrs_ < b.attrs_;
+  }
+
+ private:
+  std::vector<int> attrs_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_LATTICE_INDEX_KEY_H_

@@ -1,0 +1,27 @@
+#include "lattice/schema.h"
+
+namespace olapidx {
+
+CubeSchema::CubeSchema(std::vector<Dimension> dimensions)
+    : dimensions_(std::move(dimensions)) {
+  OLAPIDX_CHECK(!dimensions_.empty());
+  OLAPIDX_CHECK(static_cast<int>(dimensions_.size()) <= kMaxDimensions);
+  names_.reserve(dimensions_.size());
+  for (const Dimension& d : dimensions_) {
+    OLAPIDX_CHECK(d.cardinality > 0);
+    OLAPIDX_CHECK(!d.name.empty());
+    names_.push_back(d.name);
+  }
+}
+
+double CubeSchema::DomainSize(AttributeSet attrs) const {
+  double product = 1.0;
+  for (int a : attrs.ToVector()) {
+    OLAPIDX_CHECK(a < num_dimensions());
+    product *= static_cast<double>(dimensions_[static_cast<size_t>(a)]
+                                       .cardinality);
+  }
+  return product;
+}
+
+}  // namespace olapidx

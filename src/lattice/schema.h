@@ -1,0 +1,50 @@
+// CubeSchema: the dimensions of a data cube (names + member cardinalities).
+
+#ifndef OLAPIDX_LATTICE_SCHEMA_H_
+#define OLAPIDX_LATTICE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+struct Dimension {
+  std::string name;
+  // Number of distinct members of the dimension (excluding "ALL").
+  uint64_t cardinality = 0;
+};
+
+class CubeSchema {
+ public:
+  explicit CubeSchema(std::vector<Dimension> dimensions);
+
+  int num_dimensions() const { return static_cast<int>(dimensions_.size()); }
+  const Dimension& dimension(int i) const {
+    OLAPIDX_DCHECK(i >= 0 && i < num_dimensions());
+    return dimensions_[static_cast<size_t>(i)];
+  }
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+
+  // Per-dimension names, in attribute-id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Product of the cardinalities of the attributes in `attrs`
+  // (1 for the empty set). Saturates instead of overflowing.
+  double DomainSize(AttributeSet attrs) const;
+
+  AttributeSet AllAttributes() const {
+    return AttributeSet::Full(num_dimensions());
+  }
+
+ private:
+  std::vector<Dimension> dimensions_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_LATTICE_SCHEMA_H_

@@ -1,0 +1,144 @@
+#include "workload/query_log.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace olapidx {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+// Resolves a comma-separated name list ("-" or empty = none).
+bool ParseAttrs(const std::string& field, const CubeSchema& schema,
+                AttributeSet* attrs, std::string* error) {
+  *attrs = AttributeSet();
+  std::string trimmed = Trim(field);
+  if (trimmed.empty() || trimmed == "-") return true;
+  for (const std::string& raw : Split(trimmed, ',')) {
+    std::string name = Trim(raw);
+    int found = -1;
+    for (int a = 0; a < schema.num_dimensions(); ++a) {
+      if (schema.dimension(a).name == name) {
+        found = a;
+        break;
+      }
+    }
+    if (found < 0) {
+      *error = "unknown dimension '" + name + "'";
+      return false;
+    }
+    if (attrs->Contains(found)) {
+      *error = "duplicate dimension '" + name + "'";
+      return false;
+    }
+    *attrs = attrs->With(found);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseQueryLog(const std::string& text, const CubeSchema& schema,
+                   Workload* workload, std::string* error) {
+  OLAPIDX_CHECK(workload != nullptr);
+  OLAPIDX_CHECK(error != nullptr);
+  std::map<SliceQuery, size_t> position;  // query -> index in `queries`
+  std::vector<WeightedQuery> queries;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (Trim(line).empty()) continue;
+
+    std::vector<std::string> fields = Split(line, ';');
+    if (fields.size() != 2 && fields.size() != 3) {
+      return fail("expected 'group-by ; selection [; count]'");
+    }
+    AttributeSet group_by, selection;
+    std::string attr_error;
+    if (!ParseAttrs(fields[0], schema, &group_by, &attr_error)) {
+      return fail(attr_error);
+    }
+    if (!ParseAttrs(fields[1], schema, &selection, &attr_error)) {
+      return fail(attr_error);
+    }
+    if (group_by.Intersects(selection)) {
+      return fail("group-by and selection attributes overlap");
+    }
+    double count = 1.0;
+    if (fields.size() == 3 && !Trim(fields[2]).empty()) {
+      char* end = nullptr;
+      std::string count_str = Trim(fields[2]);
+      count = std::strtod(count_str.c_str(), &end);
+      // !(count > 0) also rejects NaN, whose comparisons are all false.
+      if (end == nullptr || *end != '\0' || !(count > 0.0) ||
+          !std::isfinite(count)) {
+        return fail("bad count '" + count_str + "'");
+      }
+    }
+    SliceQuery query(group_by, selection);
+    auto [it, inserted] = position.emplace(query, queries.size());
+    if (inserted) {
+      queries.push_back(WeightedQuery{query, count});
+    } else {
+      queries[it->second].frequency += count;
+    }
+  }
+  *workload = Workload(std::move(queries));
+  error->clear();
+  return true;
+}
+
+std::string FormatQueryLog(const Workload& workload,
+                           const CubeSchema& schema) {
+  std::string out;
+  auto attrs_str = [&](AttributeSet attrs) -> std::string {
+    if (attrs.empty()) return "-";
+    std::string s;
+    for (int a : attrs.ToVector()) {
+      if (!s.empty()) s += ",";
+      s += schema.dimension(a).name;
+    }
+    return s;
+  };
+  for (const WeightedQuery& wq : workload.queries()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", wq.frequency);
+    out += attrs_str(wq.query.group_by()) + " ; " +
+           attrs_str(wq.query.selection()) + " ; " + buf + "\n";
+  }
+  return out;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,41 @@
+// Query-log ingestion: turn a textual log of slice queries into a Workload
+// with observed frequencies — the practical way to feed the advisor the
+// f_i of Section 5.1.
+//
+// Format: one query per line,
+//
+//     <group-by attrs> ; <selection attrs> ; <count>
+//
+// where each attrs field is a comma-separated list of dimension names or
+// "-" for the empty set, and <count> is a positive number (optional,
+// default 1). '#' starts a comment; blank lines are ignored. Repeated
+// queries accumulate their counts. Example:
+//
+//     # dashboard traffic, week 27
+//     c    ; p,s ; 120
+//     p,c  ; -   ; 3
+//     -    ; p   ; 15
+
+#ifndef OLAPIDX_WORKLOAD_QUERY_LOG_H_
+#define OLAPIDX_WORKLOAD_QUERY_LOG_H_
+
+#include <string>
+
+#include "lattice/schema.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+
+// Parses `text`. On success returns true and fills `workload` (queries in
+// first-appearance order, counts accumulated). On failure returns false
+// and describes the problem (with a line number) in `error`.
+bool ParseQueryLog(const std::string& text, const CubeSchema& schema,
+                   Workload* workload, std::string* error);
+
+// Renders a workload in the same format (one line per query).
+std::string FormatQueryLog(const Workload& workload,
+                           const CubeSchema& schema);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_WORKLOAD_QUERY_LOG_H_

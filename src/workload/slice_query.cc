@@ -1,0 +1,12 @@
+#include "workload/slice_query.h"
+
+namespace olapidx {
+
+std::string SliceQuery::ToString(
+    const std::vector<std::string>& names) const {
+  std::string out = "g{" + group_by_.ToString(names) + "}";
+  if (!selection_.empty()) out += "s{" + selection_.ToString(names) + "}";
+  return out;
+}
+
+}  // namespace olapidx

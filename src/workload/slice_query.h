@@ -1,0 +1,54 @@
+// SliceQuery: γ_A σ_B — group by the attributes in A after selecting on the
+// attributes in B (Section 3.2). A and B are disjoint; B empty means a whole
+// subcube query; A empty means full aggregation. Every query is associated
+// with its smallest answering view A ∪ B.
+
+#ifndef OLAPIDX_WORKLOAD_SLICE_QUERY_H_
+#define OLAPIDX_WORKLOAD_SLICE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+class SliceQuery {
+ public:
+  SliceQuery() = default;
+  SliceQuery(AttributeSet group_by, AttributeSet selection)
+      : group_by_(group_by), selection_(selection) {
+    OLAPIDX_CHECK(!group_by.Intersects(selection));
+  }
+
+  AttributeSet group_by() const { return group_by_; }
+  AttributeSet selection() const { return selection_; }
+
+  // All attributes the query mentions; the smallest view that can answer it.
+  AttributeSet AllAttributes() const { return group_by_.Union(selection_); }
+
+  // True iff the query can be answered from a view with attributes
+  // `view_attrs` (the computability relation Q ≪ V).
+  bool AnswerableFrom(AttributeSet view_attrs) const {
+    return AllAttributes().IsSubsetOf(view_attrs);
+  }
+
+  // "g{c}s{ps}" style rendering, e.g. γ_c σ_ps.
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  friend bool operator==(const SliceQuery& a, const SliceQuery& b) {
+    return a.group_by_ == b.group_by_ && a.selection_ == b.selection_;
+  }
+  friend bool operator<(const SliceQuery& a, const SliceQuery& b) {
+    if (a.group_by_ != b.group_by_) return a.group_by_ < b.group_by_;
+    return a.selection_ < b.selection_;
+  }
+
+ private:
+  AttributeSet group_by_;
+  AttributeSet selection_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_WORKLOAD_SLICE_QUERY_H_

@@ -1,0 +1,110 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace olapidx {
+
+namespace {
+
+// Enumerates all 3^n (group-by, selection) pairs. For each dimension the
+// trit is 0 = absent, 1 = group-by, 2 = selection.
+std::vector<SliceQuery> EnumerateAll(const CubeLattice& lattice) {
+  int n = lattice.num_dimensions();
+  uint64_t total = 1;
+  for (int i = 0; i < n; ++i) total *= 3;
+  std::vector<SliceQuery> out;
+  out.reserve(total);
+  for (uint64_t code = 0; code < total; ++code) {
+    AttributeSet group_by;
+    AttributeSet selection;
+    uint64_t c = code;
+    for (int a = 0; a < n; ++a) {
+      switch (c % 3) {
+        case 1:
+          group_by = group_by.With(a);
+          break;
+        case 2:
+          selection = selection.With(a);
+          break;
+        default:
+          break;
+      }
+      c /= 3;
+    }
+    out.emplace_back(group_by, selection);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload::Workload(std::vector<WeightedQuery> queries)
+    : queries_(std::move(queries)) {
+  for (const WeightedQuery& wq : queries_) {
+    OLAPIDX_CHECK(wq.frequency >= 0.0);
+  }
+}
+
+double Workload::TotalFrequency() const {
+  return std::accumulate(
+      queries_.begin(), queries_.end(), 0.0,
+      [](double acc, const WeightedQuery& wq) { return acc + wq.frequency; });
+}
+
+void Workload::Normalize() {
+  double total = TotalFrequency();
+  OLAPIDX_CHECK(total > 0.0);
+  for (WeightedQuery& wq : queries_) wq.frequency /= total;
+}
+
+void Workload::Add(SliceQuery query, double frequency) {
+  OLAPIDX_CHECK(frequency >= 0.0);
+  queries_.push_back(WeightedQuery{query, frequency});
+}
+
+Workload AllSliceQueries(const CubeLattice& lattice) {
+  std::vector<WeightedQuery> out;
+  for (const SliceQuery& q : EnumerateAll(lattice)) {
+    out.push_back(WeightedQuery{q, 1.0});
+  }
+  return Workload(std::move(out));
+}
+
+Workload ZipfSliceQueries(const CubeLattice& lattice, double skew,
+                          uint64_t seed) {
+  std::vector<SliceQuery> all = EnumerateAll(lattice);
+  // Shuffle rank assignment deterministically.
+  Pcg32 rng(seed);
+  for (size_t i = all.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(all[i - 1], all[j]);
+  }
+  ZipfSampler zipf(static_cast<uint32_t>(all.size()), skew);
+  std::vector<WeightedQuery> out;
+  out.reserve(all.size());
+  for (size_t k = 0; k < all.size(); ++k) {
+    out.push_back(
+        WeightedQuery{all[k], zipf.Probability(static_cast<uint32_t>(k))});
+  }
+  return Workload(std::move(out));
+}
+
+Workload HotDimensionSliceQueries(const CubeLattice& lattice,
+                                  AttributeSet hot_attrs, double hot_boost) {
+  OLAPIDX_CHECK(hot_boost >= 1.0);
+  std::vector<WeightedQuery> out;
+  for (const SliceQuery& q : EnumerateAll(lattice)) {
+    double f = 1.0;
+    for (int a : q.AllAttributes().Intersect(hot_attrs).ToVector()) {
+      (void)a;
+      f *= hot_boost;
+    }
+    out.push_back(WeightedQuery{q, f});
+  }
+  Workload w(std::move(out));
+  w.Normalize();
+  return w;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,61 @@
+// Workload: the population of slice queries the system must support, each
+// with a frequency. Section 5.1 assumes uniform frequencies; the algorithms
+// generalize to arbitrary f_i (we exercise that in experiment E7).
+
+#ifndef OLAPIDX_WORKLOAD_WORKLOAD_H_
+#define OLAPIDX_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lattice/cube_lattice.h"
+#include "workload/slice_query.h"
+
+namespace olapidx {
+
+struct WeightedQuery {
+  SliceQuery query;
+  double frequency = 1.0;
+};
+
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<WeightedQuery> queries);
+
+  const std::vector<WeightedQuery>& queries() const { return queries_; }
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  const WeightedQuery& operator[](size_t i) const { return queries_[i]; }
+
+  // Sum of all frequencies.
+  double TotalFrequency() const;
+
+  // Rescales frequencies so they sum to 1.
+  void Normalize();
+
+  void Add(SliceQuery query, double frequency = 1.0);
+
+ private:
+  std::vector<WeightedQuery> queries_;
+};
+
+// All 3^n slice queries of an n-dimensional cube, equiprobable
+// (each attribute is a group-by attribute, a selection attribute, or absent).
+Workload AllSliceQueries(const CubeLattice& lattice);
+
+// All 3^n slice queries with Zipf(skew)-distributed frequencies; the rank
+// order of queries is shuffled with `seed` so the skew does not correlate
+// with enumeration order.
+Workload ZipfSliceQueries(const CubeLattice& lattice, double skew,
+                          uint64_t seed);
+
+// All 3^n slice queries, weighting each query by `hot_boost` for every hot
+// attribute it mentions — models workloads concentrated on a few dimensions
+// (the paper's [MS95] "most frequently used dimensions" setting).
+Workload HotDimensionSliceQueries(const CubeLattice& lattice,
+                                  AttributeSet hot_attrs, double hot_boost);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,108 @@
+// Tests for the distributive aggregate states (SUM/COUNT/MIN/MAX/AVG)
+// through materialized views, rollups, and the executor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/fact_generator.h"
+#include "engine/executor.h"
+
+namespace olapidx {
+namespace {
+
+TEST(AggregateStateTest, MergeSemantics) {
+  AggregateState a = AggregateState::OfMeasure(10.0);
+  a.Merge(AggregateState::OfMeasure(2.0));
+  a.Merge(AggregateState::OfMeasure(6.0));
+  EXPECT_EQ(a.Value(AggregateKind::kSum), 18.0);
+  EXPECT_EQ(a.Value(AggregateKind::kCount), 3.0);
+  EXPECT_EQ(a.Value(AggregateKind::kMin), 2.0);
+  EXPECT_EQ(a.Value(AggregateKind::kMax), 10.0);
+  EXPECT_EQ(a.Value(AggregateKind::kAvg), 6.0);
+}
+
+TEST(AggregateStateTest, EmptyState) {
+  AggregateState empty;
+  EXPECT_EQ(empty.Value(AggregateKind::kSum), 0.0);
+  EXPECT_EQ(empty.Value(AggregateKind::kCount), 0.0);
+  EXPECT_EQ(empty.Value(AggregateKind::kAvg), 0.0);
+  // Merging into empty adopts the other's extrema.
+  AggregateState x = AggregateState::OfMeasure(5.0);
+  empty.Merge(x);
+  EXPECT_EQ(empty.Value(AggregateKind::kMin), 5.0);
+  EXPECT_EQ(empty.Value(AggregateKind::kMax), 5.0);
+}
+
+CubeSchema SmallSchema() {
+  return CubeSchema(
+      {Dimension{"a", 5}, Dimension{"b", 4}, Dimension{"c", 3}});
+}
+
+TEST(MaterializedViewAggregatesTest, CountsAndExtremaCorrect) {
+  CubeSchema schema = SmallSchema();
+  FactTable fact(schema);
+  fact.Append({0, 0, 0}, 5.0);
+  fact.Append({0, 0, 1}, 3.0);
+  fact.Append({0, 1, 0}, 9.0);
+  fact.Append({1, 0, 0}, 1.0);
+  MaterializedView v =
+      MaterializedView::FromFactTable(fact, AttributeSet::Of({0}));
+  ASSERT_EQ(v.num_rows(), 2u);
+  // a = 0 group: measures {5, 3, 9}.
+  EXPECT_EQ(v.aggregate(0).count, 3u);
+  EXPECT_EQ(v.aggregate(0).min, 3.0);
+  EXPECT_EQ(v.aggregate(0).max, 9.0);
+  EXPECT_EQ(v.aggregate(0).sum, 17.0);
+  // a = 1 group.
+  EXPECT_EQ(v.aggregate(1).count, 1u);
+  EXPECT_EQ(v.aggregate(1).min, 1.0);
+}
+
+TEST(MaterializedViewAggregatesTest, RollupPreservesAllAggregates) {
+  CubeSchema schema = SmallSchema();
+  FactTable fact = GenerateUniformFacts(schema, 500, /*seed=*/13);
+  MaterializedView base = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1, 2}));
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    MaterializedView direct = MaterializedView::FromFactTable(fact, attrs);
+    MaterializedView rolled = MaterializedView::FromView(base, attrs);
+    ASSERT_EQ(direct.num_rows(), rolled.num_rows());
+    for (size_t r = 0; r < direct.num_rows(); ++r) {
+      EXPECT_NEAR(direct.aggregate(r).sum, rolled.aggregate(r).sum, 1e-9);
+      EXPECT_EQ(direct.aggregate(r).count, rolled.aggregate(r).count);
+      EXPECT_EQ(direct.aggregate(r).min, rolled.aggregate(r).min);
+      EXPECT_EQ(direct.aggregate(r).max, rolled.aggregate(r).max);
+    }
+  }
+}
+
+TEST(ExecutorAggregatesTest, AllKindsMatchNaive) {
+  CubeSchema schema = SmallSchema();
+  FactTable fact = GenerateUniformFacts(schema, 600, /*seed=*/17);
+  Catalog catalog(&fact);
+  catalog.MaterializeView(AttributeSet::Of({0, 1}));
+  catalog.BuildIndex(AttributeSet::Of({0, 1}), IndexKey({1, 0}));
+  Executor executor(&catalog);
+
+  SliceQuery q(AttributeSet::Of({0}), AttributeSet::Of({1}));
+  for (uint32_t b = 0; b < 4; ++b) {
+    ExecutionStats stats;
+    GroupedResult fast = executor.Execute(q, {b}, &stats);
+    GroupedResult naive = executor.ExecuteNaive(q, {b});
+    EXPECT_FALSE(stats.used_raw);
+    ASSERT_EQ(fast.num_rows(), naive.num_rows());
+    for (size_t r = 0; r < fast.num_rows(); ++r) {
+      for (AggregateKind kind :
+           {AggregateKind::kSum, AggregateKind::kCount, AggregateKind::kMin,
+            AggregateKind::kMax, AggregateKind::kAvg}) {
+        EXPECT_NEAR(fast.Value(r, kind), naive.Value(r, kind), 1e-9)
+            << "kind " << static_cast<int>(kind);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,97 @@
+#include "cost/analytical_model.h"
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+TEST(ExpectedDistinctTest, SmallCases) {
+  // One draw from any domain gives exactly one distinct value.
+  EXPECT_NEAR(ExpectedDistinct(10, 1), 1.0, 1e-9);
+  // Domain of one is saturated immediately.
+  EXPECT_NEAR(ExpectedDistinct(1, 100), 1.0, 1e-9);
+  // Two draws from domain 2: E = 2(1 - (1/2)^2) = 1.5.
+  EXPECT_NEAR(ExpectedDistinct(2, 2), 1.5, 1e-9);
+}
+
+TEST(ExpectedDistinctTest, SaturatesAtDomainSize) {
+  EXPECT_NEAR(ExpectedDistinct(100, 1e9), 100.0, 1e-6);
+}
+
+TEST(ExpectedDistinctTest, ApproachesRowsForHugeDomains) {
+  // With a domain vastly larger than the draw count, almost all draws are
+  // distinct.
+  EXPECT_NEAR(ExpectedDistinct(1e18, 1e6), 1e6, 1.0);
+}
+
+TEST(ExpectedDistinctTest, MonotoneInBothArguments) {
+  double prev = 0.0;
+  for (double rows = 1; rows <= 4096; rows *= 2) {
+    double d = ExpectedDistinct(1000, rows);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  prev = 0.0;
+  for (double domain = 1; domain <= 4096; domain *= 2) {
+    double d = ExpectedDistinct(domain, 1000);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(AnalyticalViewSizesTest, BasicProperties) {
+  CubeSchema schema({Dimension{"a", 100}, Dimension{"b", 50},
+                     Dimension{"c", 20}});
+  ViewSizes sizes = AnalyticalViewSizes(schema, 10'000);
+  EXPECT_TRUE(sizes.Complete());
+  EXPECT_TRUE(sizes.IsMonotone());
+  // The apex has one row.
+  EXPECT_NEAR(sizes.SizeOf(AttributeSet()), 1.0, 1e-12);
+  // One-attribute views saturate at their cardinality for many rows.
+  EXPECT_NEAR(sizes.SizeOf(AttributeSet::Of({2})), 20.0, 0.1);
+  // No view exceeds the raw row count or its domain size.
+  for (uint32_t v = 0; v < sizes.num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    EXPECT_LE(sizes[v], 10'000.0 + 1e-9);
+    EXPECT_LE(sizes[v], schema.DomainSize(attrs) + 1e-9);
+  }
+}
+
+TEST(SparsityTest, RoundTrips) {
+  CubeSchema schema({Dimension{"a", 100}, Dimension{"b", 100}});
+  double rows = RawRowsForSparsity(schema, 0.25);
+  EXPECT_NEAR(rows, 2500.0, 1e-9);
+  EXPECT_NEAR(CubeSparsity(schema, rows), 0.25, 1e-12);
+}
+
+TEST(ViewSizesTest, TotalSpaces) {
+  ViewSizes sizes(2);
+  sizes.Set(AttributeSet::Of({0}), 10.0);
+  sizes.Set(AttributeSet::Of({1}), 20.0);
+  sizes.Set(AttributeSet::Of({0, 1}), 100.0);
+  EXPECT_TRUE(sizes.Complete());
+  EXPECT_NEAR(sizes.TotalViewSpace(), 131.0, 1e-12);
+  // Fat-index space: 1-attr views have 1 index each; the 2-attr view has 2.
+  EXPECT_NEAR(sizes.TotalFatIndexSpace(), 10 + 20 + 2 * 100.0, 1e-12);
+}
+
+TEST(ViewSizesTest, MonotoneDetectsViolation) {
+  ViewSizes sizes(2);
+  sizes.Set(AttributeSet::Of({0}), 50.0);
+  sizes.Set(AttributeSet::Of({1}), 20.0);
+  sizes.Set(AttributeSet::Of({0, 1}), 10.0);  // smaller than a child view
+  EXPECT_FALSE(sizes.IsMonotone());
+}
+
+TEST(ViewSizesTest, IncompleteUntilAllSet) {
+  ViewSizes sizes(2);
+  EXPECT_FALSE(sizes.Complete());
+  sizes.Set(AttributeSet::Of({0}), 5.0);
+  sizes.Set(AttributeSet::Of({1}), 5.0);
+  EXPECT_FALSE(sizes.Complete());
+  sizes.Set(AttributeSet::Of({0, 1}), 25.0);
+  EXPECT_TRUE(sizes.Complete());
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,85 @@
+#include "lattice/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+TEST(AttributeSetTest, EmptySet) {
+  AttributeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.mask(), 0u);
+  EXPECT_TRUE(s.ToVector().empty());
+}
+
+TEST(AttributeSetTest, OfBuildsMask) {
+  AttributeSet s = AttributeSet::Of({0, 2, 5});
+  EXPECT_EQ(s.mask(), 0b100101u);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+}
+
+TEST(AttributeSetTest, FullSet) {
+  AttributeSet s = AttributeSet::Full(4);
+  EXPECT_EQ(s.mask(), 0b1111u);
+  EXPECT_EQ(s.size(), 4);
+}
+
+TEST(AttributeSetTest, SubsetRelations) {
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  AttributeSet a = AttributeSet::Of({0});
+  AttributeSet c = AttributeSet::Of({2});
+  EXPECT_TRUE(a.IsSubsetOf(ab));
+  EXPECT_FALSE(ab.IsSubsetOf(a));
+  EXPECT_TRUE(ab.IsSupersetOf(a));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(a));
+  EXPECT_FALSE(c.IsSubsetOf(ab));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  AttributeSet bc = AttributeSet::Of({1, 2});
+  EXPECT_EQ(ab.Union(bc), AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(ab.Intersect(bc), AttributeSet::Of({1}));
+  EXPECT_EQ(ab.Minus(bc), AttributeSet::Of({0}));
+  EXPECT_TRUE(ab.Intersects(bc));
+  EXPECT_FALSE(ab.Intersects(AttributeSet::Of({2})));
+}
+
+TEST(AttributeSetTest, WithWithout) {
+  AttributeSet s = AttributeSet::Of({1});
+  EXPECT_EQ(s.With(3), AttributeSet::Of({1, 3}));
+  EXPECT_EQ(s.Without(1), AttributeSet());
+  EXPECT_EQ(s.Without(0), s);  // removing an absent attribute is a no-op
+}
+
+TEST(AttributeSetTest, ToVectorAscending) {
+  AttributeSet s = AttributeSet::Of({4, 1, 3});
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{1, 3, 4}));
+}
+
+TEST(AttributeSetTest, ToStringSingleLetterNames) {
+  std::vector<std::string> names = {"p", "s", "c"};
+  EXPECT_EQ(AttributeSet::Of({0, 1, 2}).ToString(names), "psc");
+  EXPECT_EQ(AttributeSet::Of({0, 2}).ToString(names), "pc");
+  EXPECT_EQ(AttributeSet().ToString(names), "none");
+}
+
+TEST(AttributeSetTest, ToStringLongNamesUseCommas) {
+  std::vector<std::string> names = {"part", "supplier"};
+  EXPECT_EQ(AttributeSet::Of({0, 1}).ToString(names), "part,supplier");
+}
+
+TEST(AttributeSetTest, Ordering) {
+  EXPECT_LT(AttributeSet::Of({0}), AttributeSet::Of({1}));
+  EXPECT_EQ(AttributeSet::Of({0, 1}), AttributeSet::FromMask(3));
+  EXPECT_NE(AttributeSet::Of({0}), AttributeSet::Of({1}));
+}
+
+}  // namespace
+}  // namespace olapidx

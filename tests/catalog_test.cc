@@ -1,0 +1,88 @@
+#include "engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fact_generator.h"
+
+namespace olapidx {
+namespace {
+
+CubeSchema SmallSchema() {
+  return CubeSchema(
+      {Dimension{"a", 6}, Dimension{"b", 4}, Dimension{"c", 3}});
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest()
+      : fact_(GenerateUniformFacts(SmallSchema(), 500, /*seed=*/1)),
+        catalog_(&fact_) {}
+
+  FactTable fact_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, StartsEmpty) {
+  EXPECT_FALSE(catalog_.HasView(AttributeSet::Of({0})));
+  EXPECT_TRUE(catalog_.materialized_views().empty());
+  EXPECT_EQ(catalog_.TotalSpaceRows(), 0.0);
+}
+
+TEST_F(CatalogTest, MaterializeIsIdempotent) {
+  size_t rows = catalog_.MaterializeView(AttributeSet::Of({0, 1}));
+  EXPECT_TRUE(catalog_.HasView(AttributeSet::Of({0, 1})));
+  EXPECT_EQ(catalog_.MaterializeView(AttributeSet::Of({0, 1})), rows);
+  EXPECT_EQ(catalog_.materialized_views().size(), 1u);
+}
+
+TEST_F(CatalogTest, RollupUsesSmallestAncestor) {
+  catalog_.MaterializeView(AttributeSet::Of({0, 1, 2}));
+  catalog_.MaterializeView(AttributeSet::Of({0, 1}));
+  // Materializing {0} must give the same contents as from the fact table.
+  catalog_.MaterializeView(AttributeSet::Of({0}));
+  MaterializedView direct =
+      MaterializedView::FromFactTable(fact_, AttributeSet::Of({0}));
+  const MaterializedView& rolled = catalog_.view(AttributeSet::Of({0}));
+  ASSERT_EQ(rolled.num_rows(), direct.num_rows());
+  for (size_t r = 0; r < direct.num_rows(); ++r) {
+    EXPECT_EQ(rolled.RowKey(r), direct.RowKey(r));
+    EXPECT_NEAR(rolled.sum(r), direct.sum(r), 1e-9);
+  }
+}
+
+TEST_F(CatalogTest, BuildIndexRequiresView) {
+  EXPECT_DEATH(catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0})),
+               "CHECK");
+  catalog_.MaterializeView(AttributeSet::Of({0}));
+  catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0}));
+  EXPECT_EQ(catalog_.indexes(AttributeSet::Of({0})).size(), 1u);
+  // Duplicate index build is a no-op.
+  catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0}));
+  EXPECT_EQ(catalog_.indexes(AttributeSet::Of({0})).size(), 1u);
+}
+
+TEST_F(CatalogTest, SpaceAccountingMatchesPaperModel) {
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  size_t rows = catalog_.MaterializeView(ab);
+  catalog_.BuildIndex(ab, IndexKey({0, 1}));
+  catalog_.BuildIndex(ab, IndexKey({1, 0}));
+  // View rows + 2 indexes, each the size of the view.
+  EXPECT_EQ(catalog_.TotalSpaceRows(), static_cast<double>(3 * rows));
+}
+
+TEST_F(CatalogTest, ViewSizesMonotoneAcrossLattice) {
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    catalog_.MaterializeView(AttributeSet::FromMask(mask));
+  }
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    for (int a = 0; a < 3; ++a) {
+      if (attrs.Contains(a)) continue;
+      EXPECT_LE(catalog_.view(attrs).num_rows(),
+                catalog_.view(attrs.With(a)).num_rows());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,106 @@
+// Property tests for the linear cost model over random schemas and random
+// queries: structural facts the paper's Section 4 relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/analytical_model.h"
+#include "cost/linear_cost_model.h"
+#include "lattice/cube_lattice.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+class CostPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  CostPropertyTest() {
+    Pcg32 rng(GetParam());
+    std::vector<Dimension> dims;
+    int n = 2 + static_cast<int>(rng.NextBounded(3));  // 2..4 dims
+    for (int a = 0; a < n; ++a) {
+      dims.push_back(Dimension{std::string(1, static_cast<char>('a' + a)),
+                               2 + rng.NextBounded(500)});
+    }
+    schema_ = std::make_unique<CubeSchema>(dims);
+    sizes_ = AnalyticalViewSizes(*schema_,
+                                 100.0 + rng.NextBounded(100'000));
+  }
+
+  std::unique_ptr<CubeSchema> schema_;
+  ViewSizes sizes_;
+};
+
+TEST_P(CostPropertyTest, IndexNeverWorseThanScan) {
+  LinearCostModel model(&sizes_);
+  CubeLattice lattice(*schema_);
+  Workload all = AllSliceQueries(lattice);
+  for (const WeightedQuery& wq : all.queries()) {
+    for (ViewId v = 0; v < lattice.num_views(); ++v) {
+      AttributeSet attrs = lattice.AttrsOf(v);
+      if (!wq.query.AnswerableFrom(attrs)) continue;
+      double scan = model.ScanCost(attrs);
+      for (const IndexKey& key : lattice.FatIndexes(v)) {
+        EXPECT_LE(model.QueryCost(wq.query, attrs, key), scan + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(CostPropertyTest, FatIndexDominatesItsPrefixes) {
+  // c(Q, V, I_A) <= c(Q, V, I_B) whenever B is a prefix of A — the fact
+  // that justifies discarding non-fat indexes (Section 4.2.2).
+  LinearCostModel model(&sizes_);
+  CubeLattice lattice(*schema_);
+  ViewId base = lattice.BaseView();
+  AttributeSet attrs = lattice.AttrsOf(base);
+  Workload all = AllSliceQueries(lattice);
+  for (const IndexKey& fat : lattice.FatIndexes(base)) {
+    for (int len = 1; len < fat.size(); ++len) {
+      IndexKey prefix(std::vector<int>(fat.attrs().begin(),
+                                       fat.attrs().begin() + len));
+      for (const WeightedQuery& wq : all.queries()) {
+        EXPECT_LE(model.QueryCost(wq.query, attrs, fat),
+                  model.QueryCost(wq.query, attrs, prefix) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(CostPropertyTest, SmallestAnsweringViewIsCheapestScan) {
+  // Among views that can answer Q, the associated view A ∪ B has the
+  // minimum scan cost (sizes are monotone across the lattice).
+  LinearCostModel model(&sizes_);
+  CubeLattice lattice(*schema_);
+  Workload all = AllSliceQueries(lattice);
+  for (const WeightedQuery& wq : all.queries()) {
+    double smallest =
+        model.ScanCost(wq.query.AllAttributes());
+    for (ViewId v = 0; v < lattice.num_views(); ++v) {
+      AttributeSet attrs = lattice.AttrsOf(v);
+      if (!wq.query.AnswerableFrom(attrs)) continue;
+      EXPECT_GE(model.ScanCost(attrs) + 1e-9, smallest);
+    }
+  }
+}
+
+TEST_P(CostPropertyTest, CostsAtLeastOneRow) {
+  LinearCostModel model(&sizes_);
+  CubeLattice lattice(*schema_);
+  Workload all = AllSliceQueries(lattice);
+  for (const WeightedQuery& wq : all.queries()) {
+    for (ViewId v = 0; v < lattice.num_views(); ++v) {
+      AttributeSet attrs = lattice.AttrsOf(v);
+      if (!wq.query.AnswerableFrom(attrs)) continue;
+      for (const IndexKey& key : lattice.FatIndexes(v)) {
+        EXPECT_GE(model.QueryCost(wq.query, attrs, key), 1.0 - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace olapidx

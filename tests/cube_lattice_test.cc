@@ -1,0 +1,111 @@
+#include "lattice/cube_lattice.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+CubeSchema ThreeDims() {
+  return CubeSchema(
+      {Dimension{"p", 10}, Dimension{"s", 10}, Dimension{"c", 10}});
+}
+
+TEST(CubeLatticeTest, ViewCount) {
+  CubeLattice lattice(ThreeDims());
+  EXPECT_EQ(lattice.num_dimensions(), 3);
+  EXPECT_EQ(lattice.num_views(), 8u);
+  EXPECT_EQ(lattice.BaseView(), 7u);
+}
+
+TEST(CubeLatticeTest, DependenceRelation) {
+  CubeLattice lattice(ThreeDims());
+  ViewId p = lattice.ViewOf(AttributeSet::Of({0}));
+  ViewId pc = lattice.ViewOf(AttributeSet::Of({0, 2}));
+  ViewId c = lattice.ViewOf(AttributeSet::Of({2}));
+  EXPECT_TRUE(lattice.DependsOn(p, pc));   // p computable from pc
+  EXPECT_FALSE(lattice.DependsOn(pc, p));
+  EXPECT_FALSE(lattice.DependsOn(p, c));
+  EXPECT_TRUE(lattice.DependsOn(p, p));
+  // Everything depends on the base view.
+  for (ViewId v = 0; v < lattice.num_views(); ++v) {
+    EXPECT_TRUE(lattice.DependsOn(v, lattice.BaseView()));
+  }
+}
+
+TEST(CubeLatticeTest, ImmediateChildrenAndParents) {
+  CubeLattice lattice(ThreeDims());
+  ViewId ps = lattice.ViewOf(AttributeSet::Of({0, 1}));
+  std::vector<ViewId> children = lattice.ImmediateChildren(ps);
+  std::set<ViewId> child_set(children.begin(), children.end());
+  EXPECT_EQ(child_set,
+            (std::set<ViewId>{lattice.ViewOf(AttributeSet::Of({0})),
+                              lattice.ViewOf(AttributeSet::Of({1}))}));
+  std::vector<ViewId> parents = lattice.ImmediateParents(ps);
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], lattice.BaseView());
+  EXPECT_TRUE(lattice.ImmediateParents(lattice.BaseView()).empty());
+  EXPECT_TRUE(lattice.ImmediateChildren(0).empty());
+}
+
+TEST(CubeLatticeTest, FatIndexesArePermutations) {
+  CubeLattice lattice(ThreeDims());
+  std::vector<IndexKey> keys = lattice.FatIndexes(lattice.BaseView());
+  EXPECT_EQ(keys.size(), 6u);  // 3! permutations
+  std::set<IndexKey> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const IndexKey& k : keys) {
+    EXPECT_EQ(k.AsSet(), AttributeSet::Of({0, 1, 2}));
+  }
+  // The apex view has no indexes.
+  EXPECT_TRUE(lattice.FatIndexes(0).empty());
+  // A one-attribute view has exactly one.
+  EXPECT_EQ(lattice.FatIndexes(lattice.ViewOf(AttributeSet::Of({1})))
+                .size(),
+            1u);
+}
+
+TEST(CubeLatticeTest, AllIndexesAreOrderedSubsets) {
+  CubeLattice lattice(ThreeDims());
+  std::vector<IndexKey> keys = lattice.AllIndexes(lattice.BaseView());
+  // sum_{r=1..3} 3!/(3-r)! = 3 + 6 + 6 = 15.
+  EXPECT_EQ(keys.size(), 15u);
+  std::set<IndexKey> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 15u);
+}
+
+TEST(CubeLatticeTest, StructureCounts) {
+  EXPECT_EQ(CubeLattice::NumFatIndexes(0), 0u);
+  EXPECT_EQ(CubeLattice::NumFatIndexes(1), 1u);
+  EXPECT_EQ(CubeLattice::NumFatIndexes(3), 6u);
+  EXPECT_EQ(CubeLattice::NumFatIndexes(6), 720u);
+  EXPECT_EQ(CubeLattice::NumAllIndexes(3), 15u);
+  // Section 3.5: 2^n views; fat structures grow factorially.
+  // n = 3: views 8 + indexes (3·1 + 3·2 + 1·6) = 8 + 15 = 23.
+  EXPECT_EQ(CubeLattice::TotalFatStructures(3), 23u);
+  // n = 6: 64 views + 1957 - 64 + ... = computed value must match the sum.
+  uint64_t expected = 0;
+  // C(6,k)·(1 + k!) summed manually: 1·(1+0)=... compute directly:
+  const uint64_t choose[7] = {1, 6, 15, 20, 15, 6, 1};
+  const uint64_t fact[7] = {1, 1, 2, 6, 24, 120, 720};
+  for (int k = 0; k <= 6; ++k) {
+    expected += choose[k] * (1 + (k == 0 ? 0 : fact[k]));
+  }
+  EXPECT_EQ(CubeLattice::TotalFatStructures(6), expected);
+}
+
+TEST(CubeLatticeTest, FatIndexesMatchCountFormula) {
+  CubeSchema schema({Dimension{"a", 2}, Dimension{"b", 2},
+                     Dimension{"c", 2}, Dimension{"d", 2}});
+  CubeLattice lattice(schema);
+  uint64_t total = lattice.num_views();
+  for (ViewId v = 0; v < lattice.num_views(); ++v) {
+    total += lattice.FatIndexes(v).size();
+  }
+  EXPECT_EQ(total, CubeLattice::TotalFatStructures(4));
+}
+
+}  // namespace
+}  // namespace olapidx

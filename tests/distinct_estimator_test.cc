@@ -1,0 +1,86 @@
+#include "cost/distinct_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace olapidx {
+namespace {
+
+std::vector<uint64_t> DrawSample(uint64_t distinct, size_t n,
+                                 uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(rng.NextBounded(static_cast<uint32_t>(distinct)));
+  }
+  return out;
+}
+
+TEST(ExactDistinctTest, Basics) {
+  EXPECT_EQ(ExactDistinct({}), 0u);
+  EXPECT_EQ(ExactDistinct({5}), 1u);
+  EXPECT_EQ(ExactDistinct({5, 5, 5}), 1u);
+  EXPECT_EQ(ExactDistinct({1, 2, 3, 2, 1}), 3u);
+}
+
+TEST(ChaoEstimateTest, AllUniqueSampleExtrapolates) {
+  // A sample with no duplicates: Chao falls back to d_n (f2 == 0), clipped
+  // to the population size.
+  std::vector<uint64_t> sample = {1, 2, 3, 4};
+  EXPECT_NEAR(ChaoEstimate(sample, 1000), 4.0, 1e-9);
+}
+
+TEST(ChaoEstimateTest, ReasonableOnUniformData) {
+  constexpr uint64_t kDistinct = 500;
+  constexpr uint64_t kPopulation = 100'000;
+  std::vector<uint64_t> sample = DrawSample(kDistinct, 2'000, 17);
+  double est = ChaoEstimate(sample, kPopulation);
+  EXPECT_GT(est, kDistinct * 0.7);
+  EXPECT_LT(est, kDistinct * 1.5);
+}
+
+TEST(GeeEstimateTest, WithinGuaranteedFactor) {
+  // GEE is within sqrt(N/n) of the truth; with N/n = 25 the factor is 5.
+  constexpr uint64_t kDistinct = 400;
+  constexpr size_t kSample = 4'000;
+  constexpr uint64_t kPopulation = 100'000;
+  std::vector<uint64_t> sample = DrawSample(kDistinct, kSample, 23);
+  double est = GeeEstimate(sample, kPopulation);
+  double factor = std::sqrt(static_cast<double>(kPopulation) / kSample);
+  EXPECT_GE(est, static_cast<double>(kDistinct) / factor * 0.9);
+  EXPECT_LE(est, static_cast<double>(kDistinct) * factor * 1.1);
+}
+
+TEST(GeeEstimateTest, FullScanIsExact) {
+  // When the "sample" is the full population, every estimator should land
+  // on the exact distinct count.
+  std::vector<uint64_t> all = DrawSample(100, 5'000, 31);
+  uint64_t exact = ExactDistinct(all);
+  EXPECT_NEAR(GeeEstimate(all, all.size()), static_cast<double>(exact),
+              1e-9);
+}
+
+TEST(NaiveScaleUpTest, OverestimatesSaturatedDomains) {
+  // 2000 draws over 50 distinct values: the sample already saw everything,
+  // yet naive scale-up multiplies by N/n — the failure mode that motivates
+  // principled estimators.
+  std::vector<uint64_t> sample = DrawSample(50, 2'000, 41);
+  double naive = NaiveScaleUpEstimate(sample, 100'000);
+  EXPECT_GT(naive, 1'000.0);  // wildly above the true 50
+  double gee = GeeEstimate(sample, 100'000);
+  EXPECT_LT(gee, naive);  // GEE is strictly saner here
+}
+
+TEST(EstimatorsTest, ClampedToPopulation) {
+  std::vector<uint64_t> sample = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_LE(GeeEstimate(sample, 10), 10.0);
+  EXPECT_LE(ChaoEstimate(sample, 10), 10.0);
+  EXPECT_LE(NaiveScaleUpEstimate(sample, 10), 10.0);
+}
+
+}  // namespace
+}  // namespace olapidx

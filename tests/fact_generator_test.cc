@@ -1,0 +1,136 @@
+#include "data/fact_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/analytical_model.h"
+#include "data/synthetic.h"
+#include "engine/materialized_view.h"
+
+namespace olapidx {
+namespace {
+
+TEST(GenerateUniformFactsTest, Deterministic) {
+  CubeSchema schema({Dimension{"a", 10}, Dimension{"b", 10}});
+  FactTable x = GenerateUniformFacts(schema, 100, 5);
+  FactTable y = GenerateUniformFacts(schema, 100, 5);
+  ASSERT_EQ(x.num_rows(), y.num_rows());
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    EXPECT_EQ(x.RowDims(r), y.RowDims(r));
+    EXPECT_EQ(x.measure(r), y.measure(r));
+  }
+  FactTable z = GenerateUniformFacts(schema, 100, 6);
+  bool differs = false;
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    if (x.RowDims(r) != z.RowDims(r)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateUniformFactsTest, ViewSizesTrackAnalyticalModel) {
+  CubeSchema schema({Dimension{"a", 20}, Dimension{"b", 30}});
+  constexpr size_t kRows = 2'000;
+  FactTable fact = GenerateUniformFacts(schema, kRows, 11);
+  for (uint32_t mask = 1; mask < 4; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    MaterializedView v = MaterializedView::FromFactTable(fact, attrs);
+    double expected = ExpectedDistinct(schema.DomainSize(attrs), kRows);
+    EXPECT_NEAR(static_cast<double>(v.num_rows()), expected,
+                0.1 * expected + 3)
+        << "mask " << mask;
+  }
+}
+
+TEST(GenerateTpcdScaledFactsTest, ReproducesFigure1Shape) {
+  // At 1/100 scale the subcube-size *ratios* must match Figure 1:
+  // ps ≈ parts·suppliers_per_part is the only small 2-attr subcube, while
+  // pc and sc sit near the raw row count.
+  TpcdScaledConfig config;
+  FactTable fact = GenerateTpcdScaledFacts(config);
+  EXPECT_EQ(fact.num_rows(), config.rows);
+
+  auto rows_of = [&](AttributeSet attrs) {
+    return static_cast<double>(
+        MaterializedView::FromFactTable(fact, attrs).num_rows());
+  };
+  double ps = rows_of(AttributeSet::Of({0, 1}));
+  double pc = rows_of(AttributeSet::Of({0, 2}));
+  double sc = rows_of(AttributeSet::Of({1, 2}));
+  double p = rows_of(AttributeSet::Of({0}));
+  double s = rows_of(AttributeSet::Of({1}));
+  double c = rows_of(AttributeSet::Of({2}));
+
+  // Paper: ps = 0.8M of a 6M cube → scaled ≈ 8000 of 60000.
+  EXPECT_NEAR(ps, 8'000, 1'200);
+  EXPECT_GT(pc, 0.6 * static_cast<double>(config.rows));
+  EXPECT_GT(sc, 0.6 * static_cast<double>(config.rows));
+  EXPECT_NEAR(p, config.parts, config.parts * 0.1);
+  EXPECT_NEAR(s, config.suppliers, config.suppliers * 0.15);
+  EXPECT_NEAR(c, config.customers, config.customers * 0.1);
+}
+
+TEST(GenerateZipfFactsTest, SkewShrinksDistinctCounts) {
+  CubeSchema schema({Dimension{"a", 500}, Dimension{"b", 500}});
+  constexpr size_t kRows = 5'000;
+  FactTable uniform = GenerateZipfFacts(schema, kRows, 0.0, 3);
+  FactTable skewed = GenerateZipfFacts(schema, kRows, 1.5, 3);
+  for (uint32_t mask = 1; mask < 4; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    size_t d_uniform =
+        MaterializedView::FromFactTable(uniform, attrs).num_rows();
+    size_t d_skewed =
+        MaterializedView::FromFactTable(skewed, attrs).num_rows();
+    EXPECT_LT(d_skewed, d_uniform) << "mask " << mask;
+  }
+}
+
+TEST(GenerateZipfFactsTest, ZeroSkewMatchesAnalyticalModel) {
+  CubeSchema schema({Dimension{"a", 40}, Dimension{"b", 25}});
+  constexpr size_t kRows = 2'000;
+  FactTable fact = GenerateZipfFacts(schema, kRows, 0.0, 5);
+  AttributeSet ab = AttributeSet::Of({0, 1});
+  double expected = ExpectedDistinct(schema.DomainSize(ab), kRows);
+  EXPECT_NEAR(
+      static_cast<double>(
+          MaterializedView::FromFactTable(fact, ab).num_rows()),
+      expected, 0.1 * expected);
+}
+
+TEST(GenerateZipfFactsTest, Deterministic) {
+  CubeSchema schema({Dimension{"a", 10}, Dimension{"b", 10}});
+  FactTable x = GenerateZipfFacts(schema, 50, 1.0, 9);
+  FactTable y = GenerateZipfFacts(schema, 50, 1.0, 9);
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    EXPECT_EQ(x.RowDims(r), y.RowDims(r));
+  }
+}
+
+TEST(SyntheticCubeTest, UniformCube) {
+  SyntheticCube cube = UniformSyntheticCube(4, 50, 0.01);
+  EXPECT_EQ(cube.schema.num_dimensions(), 4);
+  EXPECT_NEAR(cube.raw_rows, 0.01 * 50.0 * 50 * 50 * 50, 1e-6);
+  EXPECT_TRUE(cube.sizes.Complete());
+  EXPECT_TRUE(cube.sizes.IsMonotone());
+}
+
+TEST(SyntheticCubeTest, ExplicitCardinalities) {
+  SyntheticCube cube = SyntheticCubeWithCardinalities({10, 200, 3}, 0.05);
+  EXPECT_EQ(cube.schema.dimension(1).cardinality, 200u);
+  EXPECT_NEAR(cube.sparsity, 0.05, 1e-12);
+}
+
+TEST(SyntheticCubeTest, RandomCardinalitiesInRange) {
+  SyntheticCube cube = RandomSyntheticCube(5, 10, 1'000, 0.01, 77);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(cube.schema.dimension(i).cardinality, 10u);
+    EXPECT_LE(cube.schema.dimension(i).cardinality, 1'000u);
+  }
+  // Deterministic in the seed.
+  SyntheticCube again = RandomSyntheticCube(5, 10, 1'000, 0.01, 77);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(cube.schema.dimension(i).cardinality,
+              again.schema.dimension(i).cardinality);
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

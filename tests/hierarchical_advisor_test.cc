@@ -1,0 +1,92 @@
+#include "hierarchy/hierarchical_advisor.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hierarchical_executor.h"
+
+namespace olapidx {
+namespace {
+
+HierarchicalSchema Schema() {
+  return HierarchicalSchema({
+      HierarchicalDimension{"store", {{"store", 50}, {"region", 5}}},
+      HierarchicalDimension{"day", {{"day", 30}, {"month", 6}}},
+  });
+}
+
+TEST(HierarchicalAdvisorTest, RecommendationIsConsistent) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalGraphOptions options;
+  options.raw_scan_penalty = 2.0;
+  HierarchicalAdvisor advisor(schema, 1'000,
+                              UniformHWorkload(schema), options);
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kInnerLevel;
+  config.space_budget = 2'000;
+  HRecommendation rec = advisor.Recommend(config);
+
+  ASSERT_FALSE(rec.structures.empty());
+  double space = 0.0;
+  for (const HRecommendedStructure& s : rec.structures) space += s.space;
+  EXPECT_NEAR(space, rec.space_used, 1e-6);
+  EXPECT_LT(rec.average_query_cost, rec.initial_average_cost);
+  // Every index pick names a view that appears somewhere in the picks.
+  for (const HRecommendedStructure& s : rec.structures) {
+    if (s.is_view()) continue;
+    bool found = false;
+    for (const HRecommendedStructure& v : rec.structures) {
+      if (v.is_view() && v.view == s.view) found = true;
+    }
+    EXPECT_TRUE(found) << s.name;
+  }
+}
+
+TEST(HierarchicalAdvisorTest, RecommendationMaterializes) {
+  HierarchicalSchema schema = Schema();
+  HierarchyMaps maps = HierarchyMaps::Balanced(schema);
+  FactTable fact = GenerateHierarchicalFacts(schema, 1'000, /*seed=*/3);
+  HierarchicalGraphOptions options;
+  options.raw_scan_penalty = 2.0;
+  HierarchicalAdvisor advisor(schema,
+                              static_cast<double>(fact.num_rows()),
+                              UniformHWorkload(schema), options);
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kRGreedy;
+  config.r_greedy.r = 2;
+  config.space_budget = 2'500;
+  HRecommendation rec = advisor.Recommend(config);
+
+  HierarchicalCatalog catalog(&fact, &maps);
+  for (const HRecommendedStructure& s : rec.structures) {
+    catalog.MaterializeView(s.view);
+    if (!s.is_view()) catalog.BuildIndex(s.view, s.index_order);
+  }
+  EXPECT_EQ(catalog.materialized_views().size(),
+            static_cast<size_t>(std::count_if(
+                rec.structures.begin(), rec.structures.end(),
+                [](const HRecommendedStructure& s) { return s.is_view(); })));
+}
+
+TEST(HierarchicalAdvisorTest, AllAlgorithmsRun) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalGraphOptions options;
+  options.raw_scan_penalty = 2.0;
+  HierarchicalAdvisor advisor(schema, 1'000,
+                              UniformHWorkload(schema), options);
+  for (Algorithm algo :
+       {Algorithm::kOneGreedy, Algorithm::kInnerLevel, Algorithm::kTwoStep,
+        Algorithm::kHruViewsOnly}) {
+    AdvisorConfig config;
+    config.algorithm = algo;
+    config.space_budget = 1'000;
+    config.two_step.strict_fit = true;
+    HRecommendation rec = advisor.Recommend(config);
+    EXPECT_LE(rec.average_query_cost, rec.initial_average_cost)
+        << AlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

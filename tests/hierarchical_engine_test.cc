@@ -1,0 +1,134 @@
+#include "hierarchy/hierarchical_engine.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+HierarchicalSchema RetailSchema() {
+  return HierarchicalSchema({
+      HierarchicalDimension{"store",
+                            {{"store", 30}, {"city", 7}, {"region", 3}}},
+      HierarchicalDimension{"day", {{"day", 20}, {"month", 4}}},
+  });
+}
+
+TEST(LevelMapTest, BalancedMappingIsConsistent) {
+  HierarchicalSchema schema = RetailSchema();
+  DimensionLevelMap map = DimensionLevelMap::Balanced(schema.dimension(0));
+  EXPECT_EQ(map.num_levels(), 3);
+  // Identity at the same level.
+  EXPECT_EQ(map.MapUp(0, 0, 17u), 17u);
+  // Transitivity: store → region equals store → city → region.
+  for (uint32_t s = 0; s < 30; ++s) {
+    uint32_t city = map.MapUp(0, 1, s);
+    EXPECT_LT(city, 7u);
+    EXPECT_EQ(map.MapUp(0, 2, s), map.MapUp(1, 2, city));
+  }
+  // ALL level collapses everything.
+  EXPECT_EQ(map.MapUp(0, 3, 29u), 0u);
+}
+
+TEST(LevelMapTest, ValidatesTables) {
+  HierarchicalSchema schema = RetailSchema();
+  // Parent code out of range.
+  std::vector<std::vector<uint32_t>> bad_up = {
+      std::vector<uint32_t>(30, 99), std::vector<uint32_t>(7, 0)};
+  EXPECT_DEATH(DimensionLevelMap(schema.dimension(0), std::move(bad_up)),
+               "CHECK");
+}
+
+class HierarchicalEngineTest : public ::testing::Test {
+ protected:
+  HierarchicalEngineTest()
+      : schema_(RetailSchema()),
+        maps_(HierarchyMaps::Balanced(schema_)),
+        fact_(GenerateHierarchicalFacts(schema_, 600, /*seed=*/21)) {}
+
+  HierarchicalSchema schema_;
+  HierarchyMaps maps_;
+  FactTable fact_;
+};
+
+TEST_F(HierarchicalEngineTest, LeveledSchemaShapes) {
+  CubeSchema city_month = LeveledSchema(schema_, LevelVector({1, 1}));
+  ASSERT_EQ(city_month.num_dimensions(), 2);
+  EXPECT_EQ(city_month.dimension(0).name, "store.city");
+  EXPECT_EQ(city_month.dimension(0).cardinality, 7u);
+  EXPECT_EQ(city_month.dimension(1).cardinality, 4u);
+  // One ALL dimension drops out.
+  CubeSchema region_only = LeveledSchema(schema_, LevelVector({2, 2}));
+  ASSERT_EQ(region_only.num_dimensions(), 1);
+  EXPECT_EQ(region_only.dimension(0).cardinality, 3u);
+  // Apex.
+  CubeSchema apex = LeveledSchema(schema_, LevelVector({3, 2}));
+  ASSERT_EQ(apex.num_dimensions(), 1);
+  EXPECT_EQ(apex.dimension(0).cardinality, 1u);
+}
+
+TEST_F(HierarchicalEngineTest, TotalsPreservedAtEveryLevel) {
+  double total = 0.0;
+  for (size_t r = 0; r < fact_.num_rows(); ++r) total += fact_.measure(r);
+  HierarchicalLattice lattice(&schema_);
+  for (HViewId v = 0; v < lattice.num_views(); ++v) {
+    MaterializedView view =
+        MaterializeHierarchicalView(fact_, maps_, lattice.LevelsOf(v));
+    double view_total = 0.0;
+    for (size_t r = 0; r < view.num_rows(); ++r) {
+      view_total += view.sum(r);
+    }
+    EXPECT_NEAR(view_total, total, 1e-6) << "view " << v;
+  }
+}
+
+TEST_F(HierarchicalEngineTest, CityViewMatchesManualRollup) {
+  MaterializedView city =
+      MaterializeHierarchicalView(fact_, maps_, LevelVector({1, 2}));
+  // Manual: sum measures by mapped city code.
+  std::map<uint32_t, double> expected;
+  for (size_t r = 0; r < fact_.num_rows(); ++r) {
+    expected[maps_.dimension(0).MapUp(0, 1, fact_.dim(r, 0))] +=
+        fact_.measure(r);
+  }
+  ASSERT_EQ(city.num_rows(), expected.size());
+  for (size_t r = 0; r < city.num_rows(); ++r) {
+    EXPECT_NEAR(city.sum(r), expected[city.dim(r, 0)], 1e-9);
+  }
+}
+
+TEST_F(HierarchicalEngineTest, CoarserViewsNeverLarger) {
+  HierarchicalLattice lattice(&schema_);
+  for (HViewId a = 0; a < lattice.num_views(); ++a) {
+    for (HViewId b = 0; b < lattice.num_views(); ++b) {
+      if (!lattice.LevelsOf(a).ComputableFrom(lattice.LevelsOf(b))) {
+        continue;
+      }
+      MaterializedView va =
+          MaterializeHierarchicalView(fact_, maps_, lattice.LevelsOf(a));
+      MaterializedView vb =
+          MaterializeHierarchicalView(fact_, maps_, lattice.LevelsOf(b));
+      EXPECT_LE(va.num_rows(), vb.num_rows()) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_F(HierarchicalEngineTest, MeasuredSizesTrackGraphEstimates) {
+  // The selection graph's analytical sizes should be in the right
+  // ballpark of physically materialized row counts (balanced hierarchies,
+  // uniform data — the model's home turf).
+  HierarchicalLattice lattice(&schema_);
+  std::vector<double> estimated =
+      lattice.AnalyticalSizes(static_cast<double>(fact_.num_rows()));
+  for (HViewId v = 0; v < lattice.num_views(); ++v) {
+    MaterializedView view =
+        MaterializeHierarchicalView(fact_, maps_, lattice.LevelsOf(v));
+    EXPECT_NEAR(static_cast<double>(view.num_rows()), estimated[v],
+                0.15 * estimated[v] + 3.0)
+        << lattice.ViewName(lattice.LevelsOf(v));
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,181 @@
+#include "hierarchy/hierarchical_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace olapidx {
+namespace {
+
+HierarchicalSchema RetailSchema() {
+  return HierarchicalSchema({
+      HierarchicalDimension{"store",
+                            {{"store", 40}, {"city", 8}, {"region", 3}}},
+      HierarchicalDimension{"day", {{"day", 24}, {"month", 6}}},
+      HierarchicalDimension{"promo", {{"promo", 5}}},
+  });
+}
+
+bool Same(const HGroupedResult& a, const HGroupedResult& b) {
+  if (a.group_dims != b.group_dims) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (a.keys[r] != b.keys[r]) return false;
+    if (std::abs(a.aggregates[r].sum - b.aggregates[r].sum) > 1e-6) {
+      return false;
+    }
+    if (a.aggregates[r].count != b.aggregates[r].count) return false;
+  }
+  return true;
+}
+
+class HierarchicalExecutorTest : public ::testing::Test {
+ protected:
+  HierarchicalExecutorTest()
+      : schema_(RetailSchema()),
+        maps_(HierarchyMaps::Balanced(schema_)),
+        fact_(GenerateHierarchicalFacts(schema_, 800, /*seed=*/31)),
+        catalog_(&fact_, &maps_),
+        executor_(&catalog_) {}
+
+  HierarchicalSchema schema_;
+  HierarchyMaps maps_;
+  FactTable fact_;
+  HierarchicalCatalog catalog_;
+  HierarchicalExecutor executor_;
+};
+
+TEST_F(HierarchicalExecutorTest, ClusteredChildRanges) {
+  const DimensionLevelMap& store = maps_.dimension(0);
+  EXPECT_TRUE(store.IsClustered());
+  // Every city's stores are a contiguous block covering all 40 stores.
+  uint32_t covered = 0;
+  for (uint32_t city = 0; city < 8; ++city) {
+    auto [lo, hi] = store.ChildRange(0, 1, city, 40);
+    ASSERT_LE(lo, hi);
+    for (uint32_t s = lo; s <= hi; ++s) {
+      EXPECT_EQ(store.MapUp(0, 1, s), city);
+    }
+    covered += hi - lo + 1;
+  }
+  EXPECT_EQ(covered, 40u);
+  // ALL level: the whole range.
+  auto [alo, ahi] = store.ChildRange(0, 3, 0, 40);
+  EXPECT_EQ(alo, 0u);
+  EXPECT_EQ(ahi, 39u);
+}
+
+TEST_F(HierarchicalExecutorTest, RawMatchesNaive) {
+  // Group by city, select month = 2.
+  HSliceQuery q({HDimRole{HDimRole::kGroupBy, 1},
+                 HDimRole{HDimRole::kSelect, 1},
+                 HDimRole{HDimRole::kAbsent, 0}});
+  HExecutionStats stats;
+  HGroupedResult fast = executor_.Execute(q, {2}, &stats);
+  EXPECT_TRUE(stats.used_raw);
+  EXPECT_TRUE(Same(fast, executor_.ExecuteNaive(q, {2})));
+}
+
+TEST_F(HierarchicalExecutorTest, LeveledViewScanUsedAndCorrect) {
+  catalog_.MaterializeView(LevelVector({1, 1, 1}));  // city, month, ALL
+  HSliceQuery q({HDimRole{HDimRole::kGroupBy, 2},   // by region
+                 HDimRole{HDimRole::kSelect, 1},    // month = 3
+                 HDimRole{HDimRole::kAbsent, 0}});
+  HExecutionStats stats;
+  HGroupedResult fast = executor_.Execute(q, {3}, &stats);
+  EXPECT_FALSE(stats.used_raw);
+  EXPECT_TRUE(stats.view == LevelVector({1, 1, 1}));
+  EXPECT_EQ(stats.rows_processed,
+            catalog_.Find(LevelVector({1, 1, 1}))->view.num_rows());
+  EXPECT_TRUE(Same(fast, executor_.ExecuteNaive(q, {3})));
+}
+
+TEST_F(HierarchicalExecutorTest, PointIndexTouchesOnlyMatchingRows) {
+  LevelVector v({0, 1, 1});  // store, month, ALL (promo's ALL level is 1)
+  catalog_.MaterializeView(v);
+  catalog_.BuildIndex(v, {1, 0});  // keyed (day-dim at month, store)
+  // Select month = 4 exactly at the view's level; group by store.
+  HSliceQuery q({HDimRole{HDimRole::kGroupBy, 0},
+                 HDimRole{HDimRole::kSelect, 1},
+                 HDimRole{HDimRole::kAbsent, 0}});
+  HExecutionStats stats;
+  HGroupedResult fast = executor_.Execute(q, {4}, &stats);
+  EXPECT_FALSE(stats.used_raw);
+  EXPECT_EQ(stats.index_order, (std::vector<int>{1, 0}));
+  EXPECT_TRUE(Same(fast, executor_.ExecuteNaive(q, {4})));
+  // Only rows with month 4 were visited.
+  const auto* lv = catalog_.Find(v);
+  size_t matching = 0;
+  for (size_t r = 0; r < lv->view.num_rows(); ++r) {
+    if (lv->view.dim(r, 1) == 4) ++matching;  // position 1 = day dim
+  }
+  EXPECT_EQ(stats.rows_processed, matching);
+}
+
+TEST_F(HierarchicalExecutorTest, CoarserSelectionUsesRangeScan) {
+  LevelVector v({0, 0, 1});  // store, day, ALL — finest view
+  catalog_.MaterializeView(v);
+  catalog_.BuildIndex(v, {0, 1});  // keyed (store, day)
+  // Select store's *city* = 5 (coarser than the view's store level).
+  HSliceQuery q({HDimRole{HDimRole::kSelect, 1},
+                 HDimRole{HDimRole::kGroupBy, 1},
+                 HDimRole{HDimRole::kAbsent, 0}});
+  HExecutionStats stats;
+  HGroupedResult fast = executor_.Execute(q, {5}, &stats);
+  EXPECT_FALSE(stats.used_raw);
+  EXPECT_EQ(stats.index_order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(Same(fast, executor_.ExecuteNaive(q, {5})));
+  // Visited rows are exactly those whose store belongs to city 5.
+  const auto* lv = catalog_.Find(v);
+  size_t matching = 0;
+  for (size_t r = 0; r < lv->view.num_rows(); ++r) {
+    if (maps_.dimension(0).MapUp(0, 1, lv->view.dim(r, 0)) == 5) {
+      ++matching;
+    }
+  }
+  EXPECT_EQ(stats.rows_processed, matching);
+  EXPECT_LT(stats.rows_processed, lv->view.num_rows());
+}
+
+TEST_F(HierarchicalExecutorTest, AllQueriesAgreeWithNaive) {
+  // Materialize a few views + indexes, then sweep every hierarchical
+  // slice-query shape with random selection constants.
+  catalog_.MaterializeView(LevelVector({0, 0, 0}));
+  catalog_.MaterializeView(LevelVector({1, 1, 1}));
+  catalog_.MaterializeView(LevelVector({2, 2, 0}));
+  catalog_.BuildIndex(LevelVector({0, 0, 0}), {0, 1, 2});
+  catalog_.BuildIndex(LevelVector({0, 0, 0}), {2, 1, 0});
+  catalog_.BuildIndex(LevelVector({1, 1, 1}), {1, 0});
+
+  Pcg32 rng(77);
+  for (const HSliceQuery& q : EnumerateAllHQueries(schema_)) {
+    std::vector<uint32_t> values;
+    for (int d = 0; d < schema_.num_dimensions(); ++d) {
+      if (q.role(d).kind == HDimRole::kSelect) {
+        values.push_back(rng.NextBounded(static_cast<uint32_t>(
+            schema_.cardinality(d, q.role(d).level))));
+      }
+    }
+    HGroupedResult fast = executor_.Execute(q, values);
+    HGroupedResult naive = executor_.ExecuteNaive(q, values);
+    ASSERT_TRUE(Same(fast, naive)) << q.ToString(schema_);
+  }
+}
+
+TEST_F(HierarchicalExecutorTest, SpaceAccounting) {
+  LevelVector v({1, 1, 0});
+  size_t rows = catalog_.MaterializeView(v);
+  catalog_.BuildIndex(v, {0, 1, 2});
+  catalog_.BuildIndex(v, {2, 0, 1});
+  EXPECT_EQ(catalog_.TotalSpaceRows(), static_cast<double>(3 * rows));
+  // Duplicate build is a no-op.
+  catalog_.BuildIndex(v, {0, 1, 2});
+  EXPECT_EQ(catalog_.TotalSpaceRows(), static_cast<double>(3 * rows));
+}
+
+TEST_F(HierarchicalExecutorTest, IndexRequiresMaterializedView) {
+  EXPECT_DEATH(catalog_.BuildIndex(LevelVector({9, 9, 9}), {0}), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,91 @@
+#include "cost/hyperloglog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace olapidx {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLogTest, ExactForTinyCardinalities) {
+  HyperLogLog hll(12);
+  for (uint64_t v = 0; v < 10; ++v) hll.Add(v);
+  // Linear-counting regime: essentially exact.
+  EXPECT_NEAR(hll.Estimate(), 10.0, 1.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t v = 0; v < 50; ++v) hll.Add(v);
+  }
+  EXPECT_NEAR(hll.Estimate(), 50.0, 3.0);
+}
+
+class HyperLogLogAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(HyperLogLogAccuracyTest, WithinExpectedError) {
+  auto [precision, distinct] = GetParam();
+  HyperLogLog hll(precision);
+  SplitMix64 gen(42 ^ distinct);
+  for (uint64_t i = 0; i < distinct; ++i) {
+    hll.Add(gen.Next());
+  }
+  double std_error = 1.04 / std::sqrt(static_cast<double>(1u << precision));
+  // Allow 4 standard errors plus a small absolute cushion.
+  double tolerance = 4.0 * std_error * static_cast<double>(distinct) + 3.0;
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(distinct), tolerance)
+      << "p=" << precision << " n=" << distinct;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HyperLogLogAccuracyTest,
+    ::testing::Combine(::testing::Values(10, 12, 14),
+                       ::testing::Values(100u, 5'000u, 100'000u,
+                                         1'000'000u)));
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  SplitMix64 gen(7);
+  for (int i = 0; i < 20'000; ++i) {
+    uint64_t v = gen.Next();
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    u.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), u.Estimate(), 1e-9);
+}
+
+TEST(HyperLogLogTest, MergeDisjointAdds) {
+  HyperLogLog a(12), b(12);
+  SplitMix64 ga(1), gb(2);
+  for (int i = 0; i < 10'000; ++i) a.Add(ga.Next());
+  for (int i = 0; i < 10'000; ++i) b.Add(gb.Next());
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), 20'000.0, 20'000.0 * 0.15);
+}
+
+TEST(HyperLogLogDeathTest, PrecisionBounds) {
+  EXPECT_DEATH(HyperLogLog(3), "CHECK");
+  EXPECT_DEATH(HyperLogLog(19), "CHECK");
+}
+
+TEST(HyperLogLogDeathTest, MergePrecisionMismatch) {
+  HyperLogLog a(10), b(12);
+  EXPECT_DEATH(a.Merge(b), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,66 @@
+#include "lattice/index_key.h"
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+TEST(IndexKeyTest, EmptyKeyIsNoIndex) {
+  IndexKey key;
+  EXPECT_TRUE(key.empty());
+  EXPECT_EQ(key.size(), 0);
+  EXPECT_TRUE(key.AsSet().empty());
+  // With no index, the usable prefix is always empty (cost degrades to a
+  // full scan in the cost model).
+  EXPECT_TRUE(key.LongestSelectionPrefix(AttributeSet::Of({0, 1})).empty());
+}
+
+TEST(IndexKeyTest, AsSetIgnoresOrder) {
+  EXPECT_EQ(IndexKey({2, 0}).AsSet(), AttributeSet::Of({0, 2}));
+  EXPECT_EQ(IndexKey({0, 2}).AsSet(), AttributeSet::Of({0, 2}));
+}
+
+TEST(IndexKeyTest, LongestSelectionPrefixDependsOnOrder) {
+  // Section 2's example: I_sp on view ps helps a query selecting on s,
+  // but I_ps does not.
+  IndexKey sp({1, 0});  // supplier, part
+  IndexKey ps({0, 1});  // part, supplier
+  AttributeSet select_s = AttributeSet::Of({1});
+  EXPECT_EQ(sp.LongestSelectionPrefix(select_s), AttributeSet::Of({1}));
+  EXPECT_TRUE(ps.LongestSelectionPrefix(select_s).empty());
+}
+
+TEST(IndexKeyTest, PrefixStopsAtFirstNonSelectionAttribute) {
+  IndexKey key({3, 1, 2, 0});
+  // Selection {3, 2}: prefix is just {3} because 1 interrupts.
+  EXPECT_EQ(key.LongestSelectionPrefix(AttributeSet::Of({2, 3})),
+            AttributeSet::Of({3}));
+  // Selection {3, 1, 0}: prefix is {3, 1}; 2 interrupts before 0.
+  EXPECT_EQ(key.LongestSelectionPrefix(AttributeSet::Of({0, 1, 3})),
+            AttributeSet::Of({1, 3}));
+  // Full selection: whole key.
+  EXPECT_EQ(key.LongestSelectionPrefix(AttributeSet::Of({0, 1, 2, 3})),
+            AttributeSet::Of({0, 1, 2, 3}));
+}
+
+TEST(IndexKeyTest, HasProperPrefix) {
+  IndexKey scp({1, 2, 0});
+  EXPECT_TRUE(scp.HasProperPrefix(IndexKey({1})));
+  EXPECT_TRUE(scp.HasProperPrefix(IndexKey({1, 2})));
+  EXPECT_FALSE(scp.HasProperPrefix(IndexKey({1, 2, 0})));  // not proper
+  EXPECT_FALSE(scp.HasProperPrefix(IndexKey({2})));
+  EXPECT_FALSE(IndexKey({1}).HasProperPrefix(scp));
+}
+
+TEST(IndexKeyTest, ToString) {
+  std::vector<std::string> names = {"p", "s", "c"};
+  EXPECT_EQ(IndexKey({1, 0}).ToString(names), "I_sp");
+  EXPECT_EQ(IndexKey().ToString(names), "I_none");
+}
+
+TEST(IndexKeyDeathTest, DuplicateAttributesRejected) {
+  EXPECT_DEATH(IndexKey({0, 0}), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

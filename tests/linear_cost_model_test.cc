@@ -1,0 +1,117 @@
+#include "cost/linear_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/tpcd.h"
+
+namespace olapidx {
+namespace {
+
+// The worked examples of Sections 2 and 4 of the paper, verbatim.
+class LinearCostModelPaperTest : public ::testing::Test {
+ protected:
+  LinearCostModelPaperTest() : sizes_(TpcdPaperSizes()), model_(&sizes_) {}
+
+  ViewSizes sizes_;
+  LinearCostModel model_;
+  AttributeSet p_ = AttributeSet::Of({kTpcdPart});
+  AttributeSet s_ = AttributeSet::Of({kTpcdSupplier});
+  AttributeSet c_ = AttributeSet::Of({kTpcdCustomer});
+};
+
+TEST_F(LinearCostModelPaperTest, Q1FromPsWithoutIndexCostsFullScan) {
+  // Q1 = γ_p σ_s answered from subcube ps: 0.8M rows.
+  SliceQuery q1(p_, s_);
+  EXPECT_NEAR(model_.QueryCost(q1, p_.Union(s_), IndexKey()), 0.8e6, 1);
+}
+
+TEST_F(LinearCostModelPaperTest, Q1FromPscCosts6M) {
+  SliceQuery q1(p_, s_);
+  EXPECT_NEAR(model_.QueryCost(q1, p_.Union(s_).Union(c_), IndexKey()), 6e6,
+              1);
+}
+
+TEST_F(LinearCostModelPaperTest, Q1WithIspCosts80Rows) {
+  // Section 2: answering γ_p σ_s via I_sp on ps processes
+  // |ps| / |s| = 0.8M / 0.01M = 80 rows.
+  SliceQuery q1(p_, s_);
+  IndexKey i_sp({kTpcdSupplier, kTpcdPart});
+  EXPECT_NEAR(model_.QueryCost(q1, p_.Union(s_), i_sp), 80.0, 1e-9);
+}
+
+TEST_F(LinearCostModelPaperTest, UselessIndexDegradesToScan) {
+  // I_ps does not help γ_p σ_s (prefix p is not a selection attribute).
+  SliceQuery q1(p_, s_);
+  IndexKey i_ps({kTpcdPart, kTpcdSupplier});
+  EXPECT_NEAR(model_.QueryCost(q1, p_.Union(s_), i_ps), 0.8e6, 1);
+}
+
+TEST_F(LinearCostModelPaperTest, Section411WorkedExample) {
+  // Section 4.1.1: V = psc, Q = γ_p σ_s, J = I_scp. E = s, so the cost is
+  // |psc| / |s| = 6M / 0.01M = 600 rows.
+  SliceQuery q(p_, s_);
+  IndexKey i_scp({kTpcdSupplier, kTpcdCustomer, kTpcdPart});
+  EXPECT_NEAR(
+      model_.QueryCost(q, p_.Union(s_).Union(c_), i_scp), 600.0, 1e-9);
+}
+
+TEST_F(LinearCostModelPaperTest, SliceOnPartFromPs) {
+  // Section 4.1: γ_s σ_p from part,supplier with I_ps costs
+  // |ps| / |p| = 0.8M / 0.2M = 4 rows.
+  SliceQuery q(s_, p_);
+  IndexKey i_ps({kTpcdPart, kTpcdSupplier});
+  EXPECT_NEAR(model_.QueryCost(q, p_.Union(s_), i_ps), 4.0, 1e-9);
+}
+
+TEST_F(LinearCostModelPaperTest, SubcubeQueryIgnoresIndexes) {
+  // A whole-subcube query (no selection) always scans |V|.
+  SliceQuery q(p_.Union(s_), AttributeSet());
+  IndexKey i_sp({kTpcdSupplier, kTpcdPart});
+  EXPECT_NEAR(model_.QueryCost(q, p_.Union(s_), i_sp), 0.8e6, 1);
+}
+
+TEST_F(LinearCostModelPaperTest, FullSelectionPointLookup) {
+  // Selecting on every attribute of ps via I_ps touches
+  // |ps| / |ps| = 1 row.
+  SliceQuery q(AttributeSet(), p_.Union(s_));
+  IndexKey i_ps({kTpcdPart, kTpcdSupplier});
+  EXPECT_NEAR(model_.QueryCost(q, p_.Union(s_), i_ps), 1.0, 1e-9);
+}
+
+TEST_F(LinearCostModelPaperTest, SpaceModel) {
+  AttributeSet ps = p_.Union(s_);
+  EXPECT_NEAR(model_.ViewSpace(ps), 0.8e6, 1);
+  // Any index on a view occupies the view's size (Section 4.2.2).
+  EXPECT_NEAR(model_.IndexSpace(ps), 0.8e6, 1);
+}
+
+TEST_F(LinearCostModelPaperTest, PrefixDominanceJustifiesFatPruning) {
+  // c(Q, V, I_A) <= c(Q, V, I_B) whenever B is a proper prefix of A:
+  // the fat index is never worse on any query.
+  AttributeSet psc = p_.Union(s_).Union(c_);
+  IndexKey fat({kTpcdSupplier, kTpcdCustomer, kTpcdPart});
+  IndexKey thin({kTpcdSupplier, kTpcdCustomer});
+  EXPECT_TRUE(fat.HasProperPrefix(thin));
+  // Check over all 27 slice queries answerable from psc.
+  for (uint32_t gb = 0; gb < 8; ++gb) {
+    for (uint32_t sel = 0; sel < 8; ++sel) {
+      if ((gb & sel) != 0) continue;
+      SliceQuery q(AttributeSet::FromMask(gb), AttributeSet::FromMask(sel));
+      EXPECT_LE(model_.QueryCost(q, psc, fat),
+                model_.QueryCost(q, psc, thin) + 1e-9)
+          << q.ToString({"p", "s", "c"});
+    }
+  }
+}
+
+TEST(LinearCostModelDeathTest, UnanswerableQueryRejected) {
+  ViewSizes sizes = TpcdPaperSizes();
+  LinearCostModel model(&sizes);
+  SliceQuery q(AttributeSet::Of({kTpcdCustomer}), AttributeSet());
+  EXPECT_DEATH(
+      model.QueryCost(q, AttributeSet::Of({kTpcdPart}), IndexKey()),
+      "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,120 @@
+#include "engine/materialized_view.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/fact_generator.h"
+
+namespace olapidx {
+namespace {
+
+CubeSchema SmallSchema() {
+  return CubeSchema(
+      {Dimension{"a", 4}, Dimension{"b", 3}, Dimension{"c", 2}});
+}
+
+FactTable FixedFacts() {
+  CubeSchema schema = SmallSchema();
+  FactTable fact(schema);
+  fact.Append({0, 0, 0}, 1.0);
+  fact.Append({0, 0, 1}, 2.0);
+  fact.Append({0, 1, 0}, 4.0);
+  fact.Append({1, 0, 0}, 8.0);
+  fact.Append({1, 0, 0}, 16.0);  // duplicate key in abc
+  return fact;
+}
+
+TEST(FactTableTest, AppendAndAccess) {
+  FactTable fact = FixedFacts();
+  EXPECT_EQ(fact.num_rows(), 5u);
+  EXPECT_EQ(fact.dim(3, 0), 1u);
+  EXPECT_EQ(fact.dim(3, 1), 0u);
+  EXPECT_EQ(fact.measure(4), 16.0);
+  EXPECT_EQ(fact.RowDims(2), (std::vector<uint32_t>{0, 1, 0}));
+}
+
+TEST(MaterializedViewTest, FullGroupByMergesDuplicates) {
+  FactTable fact = FixedFacts();
+  MaterializedView v = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(v.num_rows(), 4u);  // (1,0,0) appears twice
+  // Rows sorted by (a, b, c); find (1,0,0) → sum 24.
+  double sum_100 = 0.0;
+  for (size_t r = 0; r < v.num_rows(); ++r) {
+    if (v.dim(r, 0) == 1 && v.dim(r, 1) == 0 && v.dim(r, 2) == 0) {
+      sum_100 = v.sum(r);
+    }
+  }
+  EXPECT_EQ(sum_100, 24.0);
+}
+
+TEST(MaterializedViewTest, PartialGroupBy) {
+  FactTable fact = FixedFacts();
+  MaterializedView v =
+      MaterializedView::FromFactTable(fact, AttributeSet::Of({0}));
+  EXPECT_EQ(v.num_rows(), 2u);  // a ∈ {0, 1}
+  std::map<uint32_t, double> sums;
+  for (size_t r = 0; r < v.num_rows(); ++r) sums[v.dim(r, 0)] = v.sum(r);
+  EXPECT_EQ(sums[0], 7.0);   // 1 + 2 + 4
+  EXPECT_EQ(sums[1], 24.0);  // 8 + 16
+}
+
+TEST(MaterializedViewTest, ApexViewIsGrandTotal) {
+  FactTable fact = FixedFacts();
+  MaterializedView v =
+      MaterializedView::FromFactTable(fact, AttributeSet());
+  ASSERT_EQ(v.num_rows(), 1u);
+  EXPECT_EQ(v.sum(0), 31.0);
+  EXPECT_TRUE(v.RowKey(0).empty());
+}
+
+TEST(MaterializedViewTest, RollupFromParentMatchesDirect) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 500, /*seed=*/7);
+  MaterializedView base = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1, 2}));
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    AttributeSet attrs = AttributeSet::FromMask(mask);
+    MaterializedView direct =
+        MaterializedView::FromFactTable(fact, attrs);
+    MaterializedView rolled = MaterializedView::FromView(base, attrs);
+    ASSERT_EQ(direct.num_rows(), rolled.num_rows()) << "mask " << mask;
+    for (size_t r = 0; r < direct.num_rows(); ++r) {
+      EXPECT_EQ(direct.RowKey(r), rolled.RowKey(r));
+      EXPECT_NEAR(direct.sum(r), rolled.sum(r), 1e-9);
+    }
+  }
+}
+
+TEST(MaterializedViewTest, RowsSortedByKey) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 300, /*seed=*/9);
+  MaterializedView v = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1}));
+  for (size_t r = 1; r < v.num_rows(); ++r) {
+    EXPECT_LT(v.RowKey(r - 1), v.RowKey(r));
+  }
+}
+
+TEST(MaterializedViewTest, SumsPreserveTotal) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 400, /*seed=*/11);
+  double total = 0.0;
+  for (size_t r = 0; r < fact.num_rows(); ++r) total += fact.measure(r);
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    MaterializedView v = MaterializedView::FromFactTable(
+        fact, AttributeSet::FromMask(mask));
+    double view_total = 0.0;
+    for (size_t r = 0; r < v.num_rows(); ++r) view_total += v.sum(r);
+    EXPECT_NEAR(view_total, total, 1e-6) << "mask " << mask;
+  }
+}
+
+TEST(MaterializedViewDeathTest, RollupRequiresSubset) {
+  FactTable fact = FixedFacts();
+  MaterializedView a =
+      MaterializedView::FromFactTable(fact, AttributeSet::Of({0}));
+  EXPECT_DEATH(MaterializedView::FromView(a, AttributeSet::Of({1})),
+               "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,82 @@
+#include "engine/physical_design.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fact_generator.h"
+
+namespace olapidx {
+namespace {
+
+CubeSchema SmallSchema() {
+  return CubeSchema(
+      {Dimension{"a", 6}, Dimension{"b", 5}, Dimension{"c", 4}});
+}
+
+TEST(PhysicalDesignTest, MaterializesCoarsestFirst) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 600, /*seed=*/4);
+  Catalog catalog(&fact);
+  // Items deliberately ordered finest-first; the planner must still roll
+  // up everything below the base view.
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({0}), IndexKey()},
+      {AttributeSet::Of({0, 1}), IndexKey()},
+      {AttributeSet::Of({0, 1, 2}), IndexKey()},
+  };
+  PhysicalDesignStats stats = MaterializePhysicalDesign(catalog, items);
+  EXPECT_EQ(stats.views_materialized, 3u);
+  EXPECT_EQ(stats.views_rolled_up, 2u);  // {0,1} from base, {0} from {0,1}
+  EXPECT_EQ(stats.indexes_built, 0u);
+  EXPECT_EQ(stats.total_rows, catalog.TotalSpaceRows());
+}
+
+TEST(PhysicalDesignTest, IndexItemsImplyTheirView) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 300, /*seed=*/5);
+  Catalog catalog(&fact);
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({0, 1}), IndexKey({1, 0})},
+  };
+  PhysicalDesignStats stats = MaterializePhysicalDesign(catalog, items);
+  EXPECT_TRUE(catalog.HasView(AttributeSet::Of({0, 1})));
+  EXPECT_EQ(stats.views_materialized, 1u);
+  EXPECT_EQ(stats.indexes_built, 1u);
+  EXPECT_EQ(catalog.indexes(AttributeSet::Of({0, 1})).size(), 1u);
+}
+
+TEST(PhysicalDesignTest, Idempotent) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 300, /*seed=*/6);
+  Catalog catalog(&fact);
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({1}), IndexKey()},
+      {AttributeSet::Of({1}), IndexKey({1})},
+      {AttributeSet::Of({1}), IndexKey({1})},  // duplicate index
+  };
+  PhysicalDesignStats first = MaterializePhysicalDesign(catalog, items);
+  EXPECT_EQ(first.views_materialized, 1u);
+  EXPECT_EQ(first.indexes_built, 1u);
+  PhysicalDesignStats second = MaterializePhysicalDesign(catalog, items);
+  EXPECT_EQ(second.views_materialized, 0u);
+  EXPECT_EQ(second.indexes_built, 0u);
+  EXPECT_EQ(second.total_rows, first.total_rows);
+}
+
+TEST(PhysicalDesignTest, RollupProducesSameContentsAsDirect) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 700, /*seed=*/7);
+  Catalog planned(&fact);
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({2}), IndexKey()},
+      {AttributeSet::Of({1, 2}), IndexKey()},
+      {AttributeSet::Of({0, 1, 2}), IndexKey()},
+  };
+  MaterializePhysicalDesign(planned, items);
+  MaterializedView direct =
+      MaterializedView::FromFactTable(fact, AttributeSet::Of({2}));
+  const MaterializedView& rolled = planned.view(AttributeSet::Of({2}));
+  ASSERT_EQ(rolled.num_rows(), direct.num_rows());
+  for (size_t r = 0; r < direct.num_rows(); ++r) {
+    EXPECT_EQ(rolled.RowKey(r), direct.RowKey(r));
+    EXPECT_NEAR(rolled.sum(r), direct.sum(r), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace olapidx

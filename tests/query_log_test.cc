@@ -1,0 +1,107 @@
+#include "workload/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include "data/tpcd.h"
+
+namespace olapidx {
+namespace {
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  CubeSchema schema_ = TpcdSchema();  // dims p, s, c
+  Workload workload_;
+  std::string error_;
+};
+
+TEST_F(QueryLogTest, ParsesBasicLines) {
+  const char* log =
+      "# a comment\n"
+      "c ; p,s ; 120\n"
+      "p,c ; - ; 3\n"
+      "\n"
+      "- ; p ; 15\n";
+  ASSERT_TRUE(ParseQueryLog(log, schema_, &workload_, &error_)) << error_;
+  ASSERT_EQ(workload_.size(), 3u);
+  EXPECT_EQ(workload_[0].query.group_by(), AttributeSet::Of({2}));
+  EXPECT_EQ(workload_[0].query.selection(), AttributeSet::Of({0, 1}));
+  EXPECT_EQ(workload_[0].frequency, 120.0);
+  EXPECT_EQ(workload_[1].query.group_by(), AttributeSet::Of({0, 2}));
+  EXPECT_TRUE(workload_[1].query.selection().empty());
+  EXPECT_EQ(workload_[2].frequency, 15.0);
+}
+
+TEST_F(QueryLogTest, DefaultCountIsOne) {
+  ASSERT_TRUE(ParseQueryLog("p ; s\n", schema_, &workload_, &error_));
+  ASSERT_EQ(workload_.size(), 1u);
+  EXPECT_EQ(workload_[0].frequency, 1.0);
+}
+
+TEST_F(QueryLogTest, RepeatedQueriesAccumulate) {
+  const char* log =
+      "p ; s ; 2\n"
+      "c ; - ; 1\n"
+      "p ; s ; 5\n";
+  ASSERT_TRUE(ParseQueryLog(log, schema_, &workload_, &error_));
+  ASSERT_EQ(workload_.size(), 2u);
+  EXPECT_EQ(workload_[0].frequency, 7.0);
+}
+
+TEST_F(QueryLogTest, TrailingCommentOnDataLine) {
+  ASSERT_TRUE(ParseQueryLog("p ; s ; 4 # dashboards\n", schema_,
+                            &workload_, &error_));
+  EXPECT_EQ(workload_[0].frequency, 4.0);
+}
+
+TEST_F(QueryLogTest, RejectsUnknownDimension) {
+  EXPECT_FALSE(ParseQueryLog("q ; - ; 1\n", schema_, &workload_, &error_));
+  EXPECT_NE(error_.find("line 1"), std::string::npos);
+  EXPECT_NE(error_.find("unknown dimension"), std::string::npos);
+}
+
+TEST_F(QueryLogTest, RejectsOverlap) {
+  EXPECT_FALSE(ParseQueryLog("p ; p ; 1\n", schema_, &workload_, &error_));
+  EXPECT_NE(error_.find("overlap"), std::string::npos);
+}
+
+TEST_F(QueryLogTest, RejectsBadCount) {
+  EXPECT_FALSE(
+      ParseQueryLog("p ; s ; zero\n", schema_, &workload_, &error_));
+  EXPECT_FALSE(ParseQueryLog("p ; s ; -2\n", schema_, &workload_, &error_));
+}
+
+TEST_F(QueryLogTest, RejectsWrongArity) {
+  EXPECT_FALSE(ParseQueryLog("p\n", schema_, &workload_, &error_));
+  EXPECT_FALSE(
+      ParseQueryLog("p ; s ; 1 ; extra\n", schema_, &workload_, &error_));
+}
+
+TEST_F(QueryLogTest, RejectsDuplicateAttr) {
+  EXPECT_FALSE(
+      ParseQueryLog("p,p ; s ; 1\n", schema_, &workload_, &error_));
+  EXPECT_NE(error_.find("duplicate"), std::string::npos);
+}
+
+TEST_F(QueryLogTest, RoundTrip) {
+  const char* log =
+      "c ; p,s ; 120\n"
+      "p,c ; - ; 3\n"
+      "- ; p ; 15\n";
+  ASSERT_TRUE(ParseQueryLog(log, schema_, &workload_, &error_));
+  std::string rendered = FormatQueryLog(workload_, schema_);
+  Workload reparsed;
+  ASSERT_TRUE(ParseQueryLog(rendered, schema_, &reparsed, &error_));
+  ASSERT_EQ(reparsed.size(), workload_.size());
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    EXPECT_TRUE(reparsed[i].query == workload_[i].query);
+    EXPECT_EQ(reparsed[i].frequency, workload_[i].frequency);
+  }
+}
+
+TEST_F(QueryLogTest, EmptyLogIsEmptyWorkload) {
+  ASSERT_TRUE(ParseQueryLog("# nothing\n\n", schema_, &workload_, &error_));
+  EXPECT_TRUE(workload_.empty());
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,0 +1,105 @@
+#include "core/query_view_graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+TEST(QueryViewGraphTest, BuildAndIntrospect) {
+  QueryViewGraph g;
+  uint32_t v0 = g.AddView("V0", 10.0);
+  uint32_t v1 = g.AddView("V1", 5.0);
+  int32_t i0 = g.AddIndex(v0, "I0", 10.0);
+  uint32_t q0 = g.AddQuery("Q0", 100.0, 2.0);
+  uint32_t q1 = g.AddQuery("Q1", 50.0);
+  g.AddViewEdge(q0, v0, 10.0);
+  g.AddIndexEdge(q0, v0, i0, 2.0);
+  g.AddViewEdge(q1, v1, 5.0);
+  g.Finalize();
+
+  EXPECT_EQ(g.num_views(), 2u);
+  EXPECT_EQ(g.num_queries(), 2u);
+  EXPECT_EQ(g.num_structures(), 3u);
+  EXPECT_EQ(g.view_name(v0), "V0");
+  EXPECT_EQ(g.view_space(v0), 10.0);
+  EXPECT_EQ(g.num_indexes(v0), 1);
+  EXPECT_EQ(g.num_indexes(v1), 0);
+  EXPECT_EQ(g.index_space(v0, i0), 10.0);
+  EXPECT_EQ(g.query_default_cost(q0), 100.0);
+  EXPECT_EQ(g.query_frequency(q0), 2.0);
+  EXPECT_EQ(g.query_frequency(q1), 1.0);
+  // τ(G, ∅) = 2·100 + 1·50.
+  EXPECT_NEAR(g.DefaultTotalCost(), 250.0, 1e-12);
+
+  ASSERT_EQ(g.ViewQueries(v0).size(), 1u);
+  EXPECT_EQ(g.ViewQueries(v0)[0], q0);
+  EXPECT_EQ(g.ViewCostAt(v0, 0), 10.0);
+  EXPECT_EQ(g.IndexCostAt(v0, i0, 0), 2.0);
+  ASSERT_EQ(g.ViewQueries(v1).size(), 1u);
+  EXPECT_EQ(g.ViewCostAt(v1, 0), 5.0);
+}
+
+TEST(QueryViewGraphTest, MissingEdgesAreInfinite) {
+  QueryViewGraph g;
+  uint32_t v = g.AddView("V", 1.0);
+  int32_t i = g.AddIndex(v, "I", 1.0);
+  uint32_t q = g.AddQuery("Q", 10.0);
+  // Only an index edge, no view edge.
+  g.AddIndexEdge(q, v, i, 3.0);
+  g.Finalize();
+  ASSERT_EQ(g.ViewQueries(v).size(), 1u);
+  EXPECT_TRUE(std::isinf(g.ViewCostAt(v, 0)));
+  EXPECT_EQ(g.IndexCostAt(v, i, 0), 3.0);
+}
+
+TEST(QueryViewGraphTest, MultigraphKeepsCheapestLabel) {
+  QueryViewGraph g;
+  uint32_t v = g.AddView("V", 1.0);
+  uint32_t q = g.AddQuery("Q", 10.0);
+  g.AddViewEdge(q, v, 7.0);
+  g.AddViewEdge(q, v, 4.0);
+  g.AddViewEdge(q, v, 9.0);
+  g.Finalize();
+  EXPECT_EQ(g.ViewCostAt(v, 0), 4.0);
+}
+
+TEST(QueryViewGraphTest, StructureNames) {
+  QueryViewGraph g;
+  uint32_t v = g.AddView("ps", 1.0);
+  int32_t i = g.AddIndex(v, "I_sp", 1.0);
+  g.Finalize();
+  EXPECT_EQ(g.StructureName(StructureRef{v, StructureRef::kNoIndex}), "ps");
+  EXPECT_EQ(g.StructureName(StructureRef{v, i}), "I_sp(ps)");
+  EXPECT_EQ(g.structure_space(StructureRef{v, i}), 1.0);
+}
+
+TEST(QueryViewGraphTest, ViewsWithNoEdgesHaveEmptyQueryLists) {
+  QueryViewGraph g;
+  g.AddView("V0", 1.0);
+  uint32_t v1 = g.AddView("V1", 1.0);
+  uint32_t q = g.AddQuery("Q", 10.0);
+  g.AddViewEdge(q, v1, 1.0);
+  g.Finalize();
+  EXPECT_TRUE(g.ViewQueries(0).empty());
+  EXPECT_EQ(g.ViewQueries(v1).size(), 1u);
+}
+
+TEST(QueryViewGraphDeathTest, EdgesAfterFinalizeRejected) {
+  QueryViewGraph g;
+  uint32_t v = g.AddView("V", 1.0);
+  uint32_t q = g.AddQuery("Q", 1.0);
+  g.Finalize();
+  EXPECT_DEATH(g.AddViewEdge(q, v, 1.0), "CHECK");
+}
+
+TEST(QueryViewGraphDeathTest, BadIndexPositionRejected) {
+  QueryViewGraph g;
+  uint32_t v = g.AddView("V", 1.0);
+  uint32_t q = g.AddQuery("Q", 1.0);
+  EXPECT_DEATH(g.AddIndexEdge(q, v, 0, 1.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

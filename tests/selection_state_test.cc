@@ -1,0 +1,128 @@
+#include "core/selection_state.h"
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+// A small fixed graph:
+//   V0 (space 4): answers Q0 at 2 (scan), index I00 answers Q0 at 1,
+//                 answers Q1 at 3 (scan), I00 answers Q1 at 1.
+//   V1 (space 2): answers Q1 at 1 (scan).
+//   Defaults: Q0 = 10 (freq 1), Q1 = 20 (freq 2).
+class SelectionStateTest : public ::testing::Test {
+ protected:
+  SelectionStateTest() {
+    v0_ = g_.AddView("V0", 4.0);
+    v1_ = g_.AddView("V1", 2.0);
+    i00_ = g_.AddIndex(v0_, "I00", 4.0);
+    q0_ = g_.AddQuery("Q0", 10.0, 1.0);
+    q1_ = g_.AddQuery("Q1", 20.0, 2.0);
+    g_.AddViewEdge(q0_, v0_, 2.0);
+    g_.AddIndexEdge(q0_, v0_, i00_, 1.0);
+    g_.AddViewEdge(q1_, v0_, 3.0);
+    g_.AddIndexEdge(q1_, v0_, i00_, 1.0);
+    g_.AddViewEdge(q1_, v1_, 1.0);
+    g_.Finalize();
+  }
+
+  QueryViewGraph g_;
+  uint32_t v0_, v1_, q0_, q1_;
+  int32_t i00_;
+};
+
+TEST_F(SelectionStateTest, InitialState) {
+  SelectionState state(&g_);
+  EXPECT_NEAR(state.TotalCost(), 10.0 + 2 * 20.0, 1e-12);
+  EXPECT_EQ(state.SpaceUsed(), 0.0);
+  EXPECT_EQ(state.TotalBenefit(), 0.0);
+  EXPECT_FALSE(state.ViewSelected(v0_));
+  EXPECT_EQ(state.QueryBestCost(q0_), 10.0);
+}
+
+TEST_F(SelectionStateTest, ViewBenefit) {
+  SelectionState state(&g_);
+  // V0 alone: Q0 10→2 (+8·1), Q1 20→3 (+17·2) = 42.
+  Candidate c{v0_, true, {}};
+  EXPECT_NEAR(state.CandidateBenefit(c), 8 + 34, 1e-12);
+  EXPECT_NEAR(state.CandidateSpace(c), 4.0, 1e-12);
+}
+
+TEST_F(SelectionStateTest, ViewPlusIndexBenefit) {
+  SelectionState state(&g_);
+  // V0 + I00: Q0 10→1 (+9), Q1 20→1 (+19·2) = 47; space 8.
+  Candidate c{v0_, true, {i00_}};
+  EXPECT_NEAR(state.CandidateBenefit(c), 9 + 38, 1e-12);
+  EXPECT_NEAR(state.CandidateSpace(c), 8.0, 1e-12);
+}
+
+TEST_F(SelectionStateTest, ApplyUpdatesEverything) {
+  SelectionState state(&g_);
+  Candidate c{v0_, true, {}};
+  state.Apply(c);
+  EXPECT_TRUE(state.ViewSelected(v0_));
+  EXPECT_NEAR(state.TotalCost(), 50.0 - 42.0, 1e-12);
+  EXPECT_NEAR(state.SpaceUsed(), 4.0, 1e-12);
+  EXPECT_NEAR(state.TotalBenefit(), 42.0, 1e-12);
+  EXPECT_EQ(state.QueryBestCost(q0_), 2.0);
+  EXPECT_EQ(state.QueryBestCost(q1_), 3.0);
+  ASSERT_EQ(state.picks().size(), 1u);
+  EXPECT_TRUE(state.picks()[0].is_view());
+
+  // Index afterwards: Q0 2→1 (+1), Q1 3→1 (+2·2) = 5.
+  Candidate ci{v0_, false, {i00_}};
+  EXPECT_NEAR(state.CandidateBenefit(ci), 5.0, 1e-12);
+  state.Apply(ci);
+  EXPECT_TRUE(state.IndexSelected(v0_, i00_));
+  EXPECT_NEAR(state.TotalBenefit(), 47.0, 1e-12);
+  EXPECT_NEAR(state.SpaceUsed(), 8.0, 1e-12);
+}
+
+TEST_F(SelectionStateTest, BenefitNeverNegative) {
+  SelectionState state(&g_);
+  state.Apply(Candidate{v0_, true, {i00_}});
+  // V1 now helps nothing (Q1 already at 1).
+  Candidate c{v1_, true, {}};
+  EXPECT_NEAR(state.CandidateBenefit(c), 0.0, 1e-12);
+}
+
+TEST_F(SelectionStateTest, StructureHelpers) {
+  SelectionState state(&g_);
+  StructureRef view_ref{v0_, StructureRef::kNoIndex};
+  EXPECT_NEAR(state.StructureBenefit(view_ref), 42.0, 1e-12);
+  state.ApplyStructure(view_ref);
+  StructureRef index_ref{v0_, i00_};
+  EXPECT_NEAR(state.StructureBenefit(index_ref), 5.0, 1e-12);
+  state.ApplyStructure(index_ref);
+  EXPECT_TRUE(state.Selected(view_ref));
+  EXPECT_TRUE(state.Selected(index_ref));
+}
+
+TEST_F(SelectionStateTest, FrequenciesWeightBenefit) {
+  SelectionState state(&g_);
+  // V1 alone: only Q1, 20→1, frequency 2 → benefit 38.
+  Candidate c{v1_, true, {}};
+  EXPECT_NEAR(state.CandidateBenefit(c), 38.0, 1e-12);
+}
+
+TEST_F(SelectionStateTest, ApplyIsIdempotentOnCosts) {
+  // Applying a candidate that no longer helps leaves τ unchanged.
+  SelectionState state(&g_);
+  state.Apply(Candidate{v0_, true, {i00_}});
+  double cost = state.TotalCost();
+  state.Apply(Candidate{v1_, true, {}});
+  EXPECT_NEAR(state.TotalCost(), cost, 1e-12);
+  EXPECT_NEAR(state.SpaceUsed(), 10.0, 1e-12);  // space still accrues
+}
+
+TEST_F(SelectionStateTest, InvalidCandidatesRejected) {
+  SelectionState state(&g_);
+  // Index without its view.
+  EXPECT_DEATH(state.Apply(Candidate{v0_, false, {i00_}}), "CHECK");
+  state.Apply(Candidate{v0_, true, {}});
+  // Re-adding a selected view.
+  EXPECT_DEATH(state.Apply(Candidate{v0_, true, {}}), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

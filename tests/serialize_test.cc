@@ -1,0 +1,94 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "data/tpcd.h"
+
+namespace olapidx {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  CubeSchema schema_ = TpcdSchema();
+  std::string error_;
+};
+
+TEST_F(SerializeTest, DesignRoundTrip) {
+  CubeLattice lattice(schema_);
+  CubeGraphOptions opts;
+  opts.raw_scan_penalty = 2.0;
+  Advisor advisor(schema_, TpcdPaperSizes(), AllSliceQueries(lattice),
+                  opts);
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kOneGreedy;
+  config.space_budget = kTpcdExampleBudget;
+  Recommendation rec = advisor.Recommend(config);
+  ASSERT_FALSE(rec.structures.empty());
+
+  std::string text = SerializeDesign(rec.structures, schema_);
+  std::vector<RecommendedStructure> parsed;
+  ASSERT_TRUE(ParseDesign(text, schema_, &parsed, &error_)) << error_;
+  ASSERT_EQ(parsed.size(), rec.structures.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].view, rec.structures[i].view);
+    EXPECT_TRUE(parsed[i].index == rec.structures[i].index);
+  }
+}
+
+TEST_F(SerializeTest, DesignParsesHandWrittenFile) {
+  const char* text =
+      "olapidx-design v1\n"
+      "# production design, 2026-07\n"
+      "view p,s\n"
+      "index p,s : s,p\n"
+      "view none\n";
+  std::vector<RecommendedStructure> parsed;
+  ASSERT_TRUE(ParseDesign(text, schema_, &parsed, &error_)) << error_;
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].view, AttributeSet::Of({0, 1}));
+  EXPECT_TRUE(parsed[0].is_view());
+  EXPECT_TRUE(parsed[1].index == IndexKey({1, 0}));  // s,p ordering
+  EXPECT_TRUE(parsed[2].view.empty());
+}
+
+TEST_F(SerializeTest, DesignRejectsBadInput) {
+  std::vector<RecommendedStructure> parsed;
+  EXPECT_FALSE(ParseDesign("view p\n", schema_, &parsed, &error_));
+  EXPECT_NE(error_.find("header"), std::string::npos);
+  EXPECT_FALSE(ParseDesign("olapidx-design v1\nview q\n", schema_, &parsed,
+                           &error_));
+  EXPECT_FALSE(ParseDesign("olapidx-design v1\nindex p : s\n", schema_,
+                           &parsed, &error_));
+  EXPECT_NE(error_.find("outside its view"), std::string::npos);
+  EXPECT_FALSE(ParseDesign("olapidx-design v1\nfrobnicate\n", schema_,
+                           &parsed, &error_));
+}
+
+TEST_F(SerializeTest, SizesRoundTrip) {
+  ViewSizes original = TpcdPaperSizes();
+  std::string text = SerializeViewSizes(original, schema_);
+  ViewSizes parsed;
+  ASSERT_TRUE(ParseViewSizes(text, schema_, &parsed, &error_)) << error_;
+  for (uint32_t v = 0; v < original.num_views(); ++v) {
+    EXPECT_EQ(parsed[v], original[v]) << "view " << v;
+  }
+}
+
+TEST_F(SerializeTest, SizesRejectIncomplete) {
+  const char* text =
+      "olapidx-sizes v1\n"
+      "size p 200000\n";
+  ViewSizes parsed;
+  EXPECT_FALSE(ParseViewSizes(text, schema_, &parsed, &error_));
+  EXPECT_NE(error_.find("missing sizes"), std::string::npos);
+}
+
+TEST_F(SerializeTest, SizesRejectGarbage) {
+  ViewSizes parsed;
+  EXPECT_FALSE(ParseViewSizes("olapidx-sizes v1\nsize p many\n", schema_,
+                              &parsed, &error_));
+  EXPECT_FALSE(ParseViewSizes("nonsense\n", schema_, &parsed, &error_));
+}
+
+}  // namespace
+}  // namespace olapidx

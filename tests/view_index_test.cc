@@ -1,0 +1,92 @@
+#include "engine/view_index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fact_generator.h"
+
+namespace olapidx {
+namespace {
+
+CubeSchema SmallSchema() {
+  return CubeSchema(
+      {Dimension{"a", 8}, Dimension{"b", 5}, Dimension{"c", 3}});
+}
+
+TEST(ViewIndexTest, PrefixScanFindsExactlyMatchingRows) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 600, /*seed=*/5);
+  MaterializedView view = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1, 2}));
+  ViewIndex index(view, IndexKey({1, 0, 2}));  // key order b, a, c
+  EXPECT_EQ(index.num_entries(), view.num_rows());
+  index.tree().CheckInvariants();
+
+  // For every b value, the prefix scan must return exactly the rows with
+  // that b.
+  for (uint32_t b = 0; b < 5; ++b) {
+    size_t expected = 0;
+    for (size_t r = 0; r < view.num_rows(); ++r) {
+      if (view.dim(r, 1) == b) ++expected;
+    }
+    size_t got = 0;
+    size_t visited = index.ScanPrefix({b}, [&](uint32_t row) {
+      EXPECT_EQ(view.dim(row, 1), b);
+      ++got;
+    });
+    EXPECT_EQ(got, expected) << "b=" << b;
+    EXPECT_EQ(visited, expected);
+  }
+}
+
+TEST(ViewIndexTest, TwoLevelPrefix) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 600, /*seed=*/6);
+  MaterializedView view = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1}));
+  ViewIndex index(view, IndexKey({1, 0}));
+  for (uint32_t b = 0; b < 5; ++b) {
+    for (uint32_t a = 0; a < 8; ++a) {
+      size_t expected = 0;
+      for (size_t r = 0; r < view.num_rows(); ++r) {
+        if (view.dim(r, 1) == b && view.dim(r, 0) == a) ++expected;
+      }
+      EXPECT_EQ(index.ScanPrefix({b, a}, [](uint32_t) {}), expected);
+    }
+  }
+}
+
+TEST(ViewIndexTest, EmptyPrefixScansEverything) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 200, /*seed=*/8);
+  MaterializedView view = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 2}));
+  ViewIndex index(view, IndexKey({2, 0}));
+  EXPECT_EQ(index.ScanPrefix({}, [](uint32_t) {}), view.num_rows());
+}
+
+TEST(ViewIndexTest, FatIndexKeysAreUnique) {
+  // A fat index (permutation of all view attributes) has one entry per
+  // view row with no duplicate keys.
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 400, /*seed=*/10);
+  MaterializedView view = MaterializedView::FromFactTable(
+      fact, AttributeSet::Of({0, 1, 2}));
+  ViewIndex index(view, IndexKey({2, 1, 0}));
+  uint64_t prev = 0;
+  bool first = true;
+  size_t n = index.tree().ScanRange(0, ~0ULL, [&](uint64_t k, uint32_t) {
+    if (!first) {
+      EXPECT_GT(k, prev);  // strictly increasing: unique
+    }
+    prev = k;
+    first = false;
+  });
+  EXPECT_EQ(n, view.num_rows());
+}
+
+TEST(ViewIndexDeathTest, KeyMustUseViewAttributes) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 50, /*seed=*/2);
+  MaterializedView view =
+      MaterializedView::FromFactTable(fact, AttributeSet::Of({0}));
+  EXPECT_DEATH(ViewIndex(view, IndexKey({1})), "CHECK");
+  EXPECT_DEATH(ViewIndex(view, IndexKey()), "CHECK");
+}
+
+}  // namespace
+}  // namespace olapidx

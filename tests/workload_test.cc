@@ -1,0 +1,123 @@
+#include "workload/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace olapidx {
+namespace {
+
+CubeSchema ThreeDims() {
+  return CubeSchema(
+      {Dimension{"p", 10}, Dimension{"s", 10}, Dimension{"c", 10}});
+}
+
+TEST(SliceQueryTest, DisjointnessEnforced) {
+  SliceQuery ok(AttributeSet::Of({0}), AttributeSet::Of({1}));
+  EXPECT_EQ(ok.AllAttributes(), AttributeSet::Of({0, 1}));
+  EXPECT_DEATH(SliceQuery(AttributeSet::Of({0}), AttributeSet::Of({0})),
+               "CHECK");
+}
+
+TEST(SliceQueryTest, AnswerableFrom) {
+  SliceQuery q(AttributeSet::Of({2}), AttributeSet::Of({0}));  // γ_c σ_p
+  EXPECT_TRUE(q.AnswerableFrom(AttributeSet::Of({0, 2})));
+  EXPECT_TRUE(q.AnswerableFrom(AttributeSet::Of({0, 1, 2})));
+  EXPECT_FALSE(q.AnswerableFrom(AttributeSet::Of({0, 1})));
+  EXPECT_FALSE(q.AnswerableFrom(AttributeSet::Of({2})));
+}
+
+TEST(SliceQueryTest, ToString) {
+  std::vector<std::string> names = {"p", "s", "c"};
+  SliceQuery q(AttributeSet::Of({2}), AttributeSet::Of({0, 1}));
+  EXPECT_EQ(q.ToString(names), "g{c}s{ps}");
+  SliceQuery whole(AttributeSet::Of({0}), AttributeSet());
+  EXPECT_EQ(whole.ToString(names), "g{p}");
+}
+
+TEST(WorkloadTest, AllSliceQueriesCount) {
+  CubeLattice lattice(ThreeDims());
+  Workload w = AllSliceQueries(lattice);
+  EXPECT_EQ(w.size(), 27u);  // 3^3 (Section 3.5)
+  // All distinct.
+  std::set<SliceQuery> seen;
+  for (const WeightedQuery& wq : w.queries()) {
+    EXPECT_EQ(wq.frequency, 1.0);
+    seen.insert(wq.query);
+  }
+  EXPECT_EQ(seen.size(), 27u);
+}
+
+TEST(WorkloadTest, AllSliceQueriesFourDims) {
+  CubeSchema schema({Dimension{"a", 2}, Dimension{"b", 2},
+                     Dimension{"c", 2}, Dimension{"d", 2}});
+  CubeLattice lattice(schema);
+  EXPECT_EQ(AllSliceQueries(lattice).size(), 81u);  // 3^4
+}
+
+TEST(WorkloadTest, NormalizeMakesFrequenciesSumToOne) {
+  CubeLattice lattice(ThreeDims());
+  Workload w = AllSliceQueries(lattice);
+  w.Normalize();
+  EXPECT_NEAR(w.TotalFrequency(), 1.0, 1e-12);
+}
+
+TEST(WorkloadTest, ZipfFrequenciesSumToOne) {
+  CubeLattice lattice(ThreeDims());
+  Workload w = ZipfSliceQueries(lattice, 1.0, /*seed=*/3);
+  EXPECT_EQ(w.size(), 27u);
+  EXPECT_NEAR(w.TotalFrequency(), 1.0, 1e-9);
+  // Skewed: max frequency well above uniform.
+  double max_f = 0.0;
+  for (const WeightedQuery& wq : w.queries()) {
+    max_f = std::max(max_f, wq.frequency);
+  }
+  EXPECT_GT(max_f, 2.0 / 27.0);
+}
+
+TEST(WorkloadTest, ZipfShuffleDependsOnSeed) {
+  CubeLattice lattice(ThreeDims());
+  Workload a = ZipfSliceQueries(lattice, 1.0, 1);
+  Workload b = ZipfSliceQueries(lattice, 1.0, 2);
+  bool different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].query == b[i].query) || a[i].frequency != b[i].frequency) {
+      different = true;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(WorkloadTest, HotDimensionBoostsQueriesMentioningIt) {
+  CubeLattice lattice(ThreeDims());
+  AttributeSet hot = AttributeSet::Of({0});
+  Workload w = HotDimensionSliceQueries(lattice, hot, 4.0);
+  EXPECT_NEAR(w.TotalFrequency(), 1.0, 1e-9);
+  double with_hot = 0.0, without_hot = 0.0;
+  size_t n_with = 0, n_without = 0;
+  for (const WeightedQuery& wq : w.queries()) {
+    if (wq.query.AllAttributes().Contains(0)) {
+      with_hot += wq.frequency;
+      ++n_with;
+    } else {
+      without_hot += wq.frequency;
+      ++n_without;
+    }
+  }
+  // Per-query frequency for hot-mentioning queries is 4x the others.
+  EXPECT_NEAR((with_hot / static_cast<double>(n_with)) /
+                  (without_hot / static_cast<double>(n_without)),
+              4.0, 1e-9);
+}
+
+TEST(WorkloadTest, AddAndTotals) {
+  Workload w;
+  EXPECT_TRUE(w.empty());
+  w.Add(SliceQuery(AttributeSet::Of({0}), AttributeSet()), 2.0);
+  w.Add(SliceQuery(AttributeSet::Of({1}), AttributeSet()), 3.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w.TotalFrequency(), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace olapidx
