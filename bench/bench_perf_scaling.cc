@@ -19,34 +19,47 @@
 namespace olapidx {
 namespace {
 
-CubeGraph MakeGraph(int n) {
+// One synthetic cube instance: the graph and the budget derived from the
+// *same* build (the seed version rebuilt the cube a second time just to
+// compute the budget, doubling setup cost).
+struct ScalingSetup {
+  CubeGraph cg;
+  double budget = 0.0;
+};
+
+ScalingSetup MakeSetup(int n) {
   SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
   CubeLattice lattice(cube.schema);
   CubeGraphOptions opts;
   opts.raw_scan_penalty = 2.0;
-  return BuildCubeGraph(cube.schema, cube.sizes, AllSliceQueries(lattice),
-                        opts);
+  ScalingSetup setup{BuildCubeGraph(cube.schema, cube.sizes,
+                                    AllSliceQueries(lattice), opts),
+                     0.0};
+  setup.budget = 0.25 * (cube.sizes.TotalViewSpace() +
+                         cube.sizes.TotalFatIndexSpace());
+  return setup;
 }
 
-double Budget(int n) {
-  SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
-  return 0.25 *
-         (cube.sizes.TotalViewSpace() + cube.sizes.TotalFatIndexSpace());
+void ReportEvalCounters(benchmark::State& state,
+                        const SelectionResult& res) {
+  state.counters["evaluated"] =
+      static_cast<double>(res.candidates_evaluated);
+  state.counters["cache_hit_rate"] = res.stats.CacheHitRate();
 }
 
 void BM_RGreedy(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   int r = static_cast<int>(state.range(1));
-  CubeGraph cg = MakeGraph(n);
-  double budget = Budget(n);
+  ScalingSetup setup = MakeSetup(n);
+  SelectionResult last;
   for (auto _ : state) {
-    SelectionResult res =
-        RGreedy(cg.graph, budget,
-                RGreedyOptions{.r = r, .max_subsets_per_view = 100'000});
-    benchmark::DoNotOptimize(res.final_cost);
+    last = RGreedy(setup.cg.graph, setup.budget,
+                   RGreedyOptions{.r = r, .max_subsets_per_view = 100'000});
+    benchmark::DoNotOptimize(last.final_cost);
   }
+  ReportEvalCounters(state, last);
   state.counters["structures"] =
-      static_cast<double>(cg.graph.num_structures());
+      static_cast<double>(setup.cg.graph.num_structures());
 }
 BENCHMARK(BM_RGreedy)
     ->ArgsProduct({{3, 4, 5}, {1, 2, 3}})
@@ -54,32 +67,53 @@ BENCHMARK(BM_RGreedy)
     ->Args({6, 2})
     ->Unit(benchmark::kMillisecond);
 
-void BM_LazyOneGreedy(benchmark::State& state) {
+// Ablation: the same selection with memoization disabled — the seed's
+// evaluate-everything-every-stage behavior.
+void BM_RGreedyNoMemo(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  CubeGraph cg = MakeGraph(n);
-  double budget = Budget(n);
+  int r = static_cast<int>(state.range(1));
+  ScalingSetup setup = MakeSetup(n);
   for (auto _ : state) {
     SelectionResult res =
-        RGreedy(cg.graph, budget,
-                RGreedyOptions{.r = 1, .lazy_one_greedy = true});
+        RGreedy(setup.cg.graph, setup.budget,
+                RGreedyOptions{.r = r,
+                               .max_subsets_per_view = 100'000,
+                               .memoize = false});
     benchmark::DoNotOptimize(res.final_cost);
   }
+}
+BENCHMARK(BM_RGreedyNoMemo)
+    ->Args({5, 2})
+    ->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LazyOneGreedy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ScalingSetup setup = MakeSetup(n);
+  SelectionResult last;
+  for (auto _ : state) {
+    last = RGreedy(setup.cg.graph, setup.budget,
+                   RGreedyOptions{.r = 1, .lazy_one_greedy = true});
+    benchmark::DoNotOptimize(last.final_cost);
+  }
+  ReportEvalCounters(state, last);
   state.counters["structures"] =
-      static_cast<double>(cg.graph.num_structures());
+      static_cast<double>(setup.cg.graph.num_structures());
 }
 BENCHMARK(BM_LazyOneGreedy)->DenseRange(3, 6)->Unit(
     benchmark::kMillisecond);
 
 void BM_InnerLevelGreedy(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  CubeGraph cg = MakeGraph(n);
-  double budget = Budget(n);
+  ScalingSetup setup = MakeSetup(n);
+  SelectionResult last;
   for (auto _ : state) {
-    SelectionResult res = InnerLevelGreedy(cg.graph, budget);
-    benchmark::DoNotOptimize(res.final_cost);
+    last = InnerLevelGreedy(setup.cg.graph, setup.budget);
+    benchmark::DoNotOptimize(last.final_cost);
   }
+  ReportEvalCounters(state, last);
   state.counters["structures"] =
-      static_cast<double>(cg.graph.num_structures());
+      static_cast<double>(setup.cg.graph.num_structures());
 }
 BENCHMARK(BM_InnerLevelGreedy)
     ->DenseRange(3, 6)
@@ -87,10 +121,10 @@ BENCHMARK(BM_InnerLevelGreedy)
 
 void BM_TwoStep(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  CubeGraph cg = MakeGraph(n);
-  double budget = Budget(n);
+  ScalingSetup setup = MakeSetup(n);
   for (auto _ : state) {
-    SelectionResult res = TwoStep(cg.graph, budget, TwoStepOptions{});
+    SelectionResult res =
+        TwoStep(setup.cg.graph, setup.budget, TwoStepOptions{});
     benchmark::DoNotOptimize(res.final_cost);
   }
 }
@@ -98,10 +132,10 @@ BENCHMARK(BM_TwoStep)->DenseRange(3, 6)->Unit(benchmark::kMillisecond);
 
 void BM_BranchAndBoundOptimal(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  CubeGraph cg = MakeGraph(n);
-  double budget = Budget(n);
+  ScalingSetup setup = MakeSetup(n);
   for (auto _ : state) {
-    SelectionResult res = BranchAndBoundOptimal(cg.graph, budget);
+    SelectionResult res =
+        BranchAndBoundOptimal(setup.cg.graph, setup.budget);
     benchmark::DoNotOptimize(res.final_cost);
   }
 }

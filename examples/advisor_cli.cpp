@@ -6,7 +6,7 @@
 //               [--algorithm inner|1greedy|2greedy|3greedy|twostep|
 //                viewsonly|optimal]
 //               [--index-fraction 0.5] [--maintenance 0.0]
-//               [--raw-penalty 2.0] [--out design.txt]
+//               [--raw-penalty 2.0] [--threads N] [--out design.txt]
 //               [--dump-sizes sizes.txt]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
 //
@@ -45,7 +45,7 @@ using namespace olapidx;
       "       [--algorithm inner|1greedy|2greedy|3greedy|twostep|"
       "viewsonly|optimal]\n"
       "       [--index-fraction F] [--maintenance RATE] "
-      "[--raw-penalty P] [--out FILE]\n");
+      "[--raw-penalty P] [--threads N] [--out FILE]\n");
   std::exit(2);
 }
 
@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   std::string algorithm = "inner";
   double rows = 0.0, budget = 0.0, index_fraction = 0.5;
   double maintenance = 0.0, raw_penalty = 2.0;
+  long threads = 0;  // 0 = shared pool sized from the hardware
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -95,6 +96,9 @@ int main(int argc, char** argv) {
       maintenance = std::atof(next().c_str());
     } else if (flag == "--raw-penalty") {
       raw_penalty = std::atof(next().c_str());
+    } else if (flag == "--threads") {
+      threads = std::atol(next().c_str());
+      if (threads < 0) Usage("--threads must be >= 0");
     } else if (flag == "--out") {
       out_path = next();
     } else if (flag == "--dump-sizes") {
@@ -199,6 +203,8 @@ int main(int argc, char** argv) {
   } else {
     Usage("unknown --algorithm");
   }
+  config.r_greedy.num_threads = static_cast<size_t>(threads);
+  config.inner_greedy.num_threads = static_cast<size_t>(threads);
 
   CubeGraphOptions gopts;
   gopts.raw_scan_penalty = raw_penalty;
@@ -224,6 +230,13 @@ int main(int argc, char** argv) {
   if (rec.raw.total_maintenance > 0.0) {
     std::printf("maintenance charged: %s\n",
                 FormatRowCount(rec.raw.total_maintenance).c_str());
+  }
+  std::printf("evaluation: %s\n", rec.raw.stats.ToString().c_str());
+  if (rec.raw.candidates_truncated > 0) {
+    std::printf("note: subset enumeration was capped; %llu candidate "
+                "subsets were skipped\n",
+                static_cast<unsigned long long>(
+                    rec.raw.candidates_truncated));
   }
   std::printf("\n%s", SerializeDesign(rec.structures, schema).c_str());
 

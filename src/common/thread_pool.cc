@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace olapidx {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (size_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<size_t, size_t> ThreadPool::ChunkBounds(size_t n, size_t chunks,
+                                                  size_t c) {
+  size_t base = n / chunks;
+  size_t extra = n % chunks;
+  size_t begin = c * base + (c < extra ? c : extra);
+  size_t end = begin + base + (c < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::ParallelFor(size_t n, const ChunkFn& fn) {
+  if (n == 0) return;
+  size_t threads = num_threads();
+  if (threads == 1 || n == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  auto [begin, end] = ChunkBounds(n, threads, 0);
+  if (begin < end) fn(begin, end, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || (epoch_ != seen && job_); });
+      if (shutdown_) return;
+      seen = epoch_;
+      fn = job_;
+      n = job_n_;
+    }
+    auto [begin, end] = ChunkBounds(n, num_threads(), worker);
+    if (begin < end) (*fn)(begin, end, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked deliberately: joining workers during static destruction is a
+  // reliable source of shutdown hangs.
+  static ThreadPool* pool = [] {
+    size_t threads = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("OLAPIDX_THREADS")) {
+      long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) threads = static_cast<size_t>(parsed);
+    }
+    return new ThreadPool(threads == 0 ? 1 : threads);
+  }();
+  return *pool;
+}
+
+}  // namespace olapidx

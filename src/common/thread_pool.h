@@ -1,0 +1,72 @@
+// A fixed-size thread pool for data-parallel loops over dense index
+// ranges — the parallel substrate of the greedy selection algorithms.
+//
+// Scheduling is deliberately work-stealing-free: ParallelFor partitions
+// [0, n) into num_threads() contiguous chunks, fixed purely by (n,
+// num_threads). Each worker owns one chunk, so chunk boundaries — and
+// therefore any per-chunk accumulation a caller does — are reproducible
+// across runs with the same thread count. Determinism of the *result* is
+// the caller's job: accumulate into per-chunk slots and reduce the slots
+// in chunk order after ParallelFor returns (see r_greedy.cc for the
+// canonical pattern).
+
+#ifndef OLAPIDX_COMMON_THREAD_POOL_H_
+#define OLAPIDX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace olapidx {
+
+class ThreadPool {
+ public:
+  // fn(begin, end, chunk): process indexes [begin, end); `chunk` is the
+  // chunk's ordinal in [0, num_threads()), usable as a scratch-slot index.
+  using ChunkFn = std::function<void(size_t begin, size_t end, size_t chunk)>;
+
+  // Spawns num_threads - 1 workers; the calling thread acts as the final
+  // worker inside ParallelFor. num_threads == 0 is treated as 1 (serial).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs fn over [0, n) split into num_threads() contiguous chunks (the
+  // first n % num_threads() chunks get one extra element). Blocks until
+  // every chunk finishes; the caller thread executes chunk 0. Not
+  // reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const ChunkFn& fn);
+
+  // Process-wide pool, sized from the OLAPIDX_THREADS environment
+  // variable when set (and positive), else std::thread::hardware_concurrency.
+  static ThreadPool& Shared();
+
+  // [begin, end) of chunk `c` when [0, n) is split into `chunks` parts.
+  static std::pair<size_t, size_t> ChunkBounds(size_t n, size_t chunks,
+                                               size_t c);
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const ChunkFn* job_ = nullptr;  // non-null while a ParallelFor is active
+  size_t job_n_ = 0;
+  uint64_t epoch_ = 0;     // bumped per ParallelFor to wake workers
+  size_t pending_ = 0;     // workers still running the current job
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_THREAD_POOL_H_

@@ -40,7 +40,8 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
                        config.r_greedy);
       break;
     case Algorithm::kInnerLevel:
-      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget);
+      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget,
+                                config.inner_greedy);
       break;
     case Algorithm::kTwoStep:
       result = TwoStep(cube_graph_.graph, config.space_budget,

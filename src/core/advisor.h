@@ -36,6 +36,8 @@ struct AdvisorConfig {
   double space_budget = 0.0;
   // kRGreedy only.
   RGreedyOptions r_greedy;
+  // kInnerLevel only.
+  InnerGreedyOptions inner_greedy;
   // kTwoStep only.
   TwoStepOptions two_step;
   // kOptimal only.

@@ -1,29 +1,58 @@
 #include "core/inner_greedy.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "core/selection_state.h"
 
 namespace olapidx {
 
 namespace {
 
-// Result of growing IG for one view: the ratio-maximal prefix.
-struct GrownBundle {
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedMicros(SteadyClock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - since)
+          .count());
+}
+
+// One view's cached stage evaluation: for an unselected view the
+// ratio-maximal prefix of its greedy index growth, for a selected view
+// its best single unselected index. Tagged with the ViewVersion it was
+// computed at (bit-exact while the version matches).
+struct ViewSlot {
+  static constexpr uint64_t kNeverEvaluated = ~uint64_t{0};
+
+  uint64_t version = kNeverEvaluated;
+  bool valid = false;  // has a positive-benefit candidate
+  // Certified upper bound on the ratio of ANY candidate rooted at this
+  // view at any later state, valid while bound_ok. The grown bundle's own
+  // ratio is not such a bound (re-growth can take a different order), but
+  //   max(view ratio, max_k marginal_k(view alone) / space_k)
+  // is: benefit(bundle) <= benefit(view) + sum of first-step marginals
+  // (submodularity), each term is monotone non-increasing in M, and a
+  // ratio of sums is at most the max of the per-term ratios (mediant
+  // inequality). For a selected view the candidates are fixed single
+  // indexes and the best ratio itself is the bound.
+  double bound = 0.0;
+  bool bound_ok = false;
   Candidate candidate;
   double benefit = 0.0;
   double space = 0.0;
-  bool valid = false;
 
   double ratio() const { return benefit / space; }
 };
 
 // Grows IG = {view v} U indexes greedily (largest incremental benefit
-// first) while S(IG) < budget, and returns the prefix with maximal benefit
-// per unit space with respect to the current state.
-GrownBundle GrowBundle(const QueryViewGraph& graph,
-                       const SelectionState& state, uint32_t v,
-                       double space_budget, uint64_t* evals) {
+// first) while S(IG) < budget, and stores the prefix with maximal benefit
+// per unit space with respect to the current state into `slot`.
+void GrowBundle(const QueryViewGraph& graph, const SelectionState& state,
+                uint32_t v, double space_budget, ViewSlot* slot,
+                uint64_t* evals) {
   const std::vector<uint32_t>& queries = graph.ViewQueries(v);
   const size_t nq = queries.size();
 
@@ -44,15 +73,15 @@ GrownBundle GrowBundle(const QueryViewGraph& graph,
   double space = graph.view_space(v);
   std::vector<int32_t> order;  // growth order of appended indexes
 
-  GrownBundle best;
-  best.candidate = Candidate{v, /*add_view=*/true, {}};
-  best.benefit = benefit;
-  best.space = space;
-  best.valid = true;
+  slot->candidate = Candidate{v, /*add_view=*/true, {}};
+  slot->benefit = benefit;
+  slot->space = space;
+  slot->bound = benefit / space;
 
   std::vector<int32_t> remaining;
   for (int32_t k = 0; k < graph.num_indexes(v); ++k) remaining.push_back(k);
 
+  bool first_growth_step = true;
   while (space < space_budget && !remaining.empty()) {
     // Find the index with the largest incremental benefit w.r.t. M ∪ IG.
     double best_inc = 0.0;
@@ -71,6 +100,12 @@ GrownBundle GrowBundle(const QueryViewGraph& graph,
       }
       inc -= graph.structure_maintenance(StructureRef{v, k});
       ++*evals;
+      if (first_growth_step && inc > 0.0) {
+        // First-step marginals (w.r.t. the view alone) feed the certified
+        // ratio bound documented on ViewSlot.
+        slot->bound =
+            std::max(slot->bound, inc / graph.index_space(v, k));
+      }
       if (inc <= 0.0) {
         // Offered costs only decrease as IG grows, so a zero-increment
         // index stays at zero for the rest of this growth: drop it.
@@ -87,6 +122,7 @@ GrownBundle GrowBundle(const QueryViewGraph& graph,
       }
       ++i;
     }
+    first_growth_step = false;
     if (!found) break;
     int32_t k = remaining[best_at];
     remaining[best_at] = remaining.back();
@@ -99,19 +135,53 @@ GrownBundle GrowBundle(const QueryViewGraph& graph,
     space += graph.index_space(v, k);
     order.push_back(k);
 
-    if (benefit / space > best.ratio()) {
-      best.candidate.indexes = order;
-      best.benefit = benefit;
-      best.space = space;
+    if (benefit / space > slot->ratio()) {
+      slot->candidate.indexes = order;
+      slot->benefit = benefit;
+      slot->space = space;
     }
   }
-  return best;
+}
+
+// Recomputes `slot` for view v: a grown bundle when v is unselected, the
+// best single unselected index when v is selected. Runs concurrently
+// across views — reads only const state, writes only its own slot.
+void EvaluateView(const SelectionState& state, uint32_t v,
+                  double space_budget, ViewSlot* slot, uint64_t* evals) {
+  const QueryViewGraph& graph = state.graph();
+  slot->version = state.ViewVersion(v);
+  slot->valid = false;
+  slot->bound_ok = true;
+  if (!state.ViewSelected(v)) {
+    GrowBundle(graph, state, v, space_budget, slot, evals);
+    slot->valid = slot->benefit > 0.0;
+    return;
+  }
+  slot->bound = 0.0;
+  for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+    if (state.IndexSelected(v, k)) continue;
+    Candidate c{v, /*add_view=*/false, {k}};
+    double b = state.CandidateBenefit(c);
+    ++*evals;
+    if (b <= 0.0) continue;
+    double sp = state.CandidateSpace(c);
+    if (!slot->valid || b / sp > slot->ratio()) {
+      slot->candidate = c;
+      slot->benefit = b;
+      slot->space = sp;
+      slot->valid = true;
+    }
+  }
+  // Fixed candidate family: the best single-index ratio bounds every
+  // later re-evaluation (benefits are monotone non-increasing).
+  if (slot->valid) slot->bound = slot->ratio();
 }
 
 }  // namespace
 
 SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
-                                 double space_budget) {
+                                 double space_budget,
+                                 const InnerGreedyOptions& options) {
   OLAPIDX_CHECK(graph.finalized());
   OLAPIDX_CHECK(space_budget >= 0.0);
 
@@ -122,53 +192,90 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
     result.total_frequency += graph.query_frequency(q);
   }
 
-  while (state.SpaceUsed() < space_budget) {
-    // Phase 1: the best greedily-grown {view + indexes} bundle.
-    GrownBundle best_bundle;
-    for (uint32_t v = 0; v < graph.num_views(); ++v) {
-      if (state.ViewSelected(v)) continue;
-      GrownBundle g = GrowBundle(graph, state, v, space_budget,
-                                 &result.candidates_evaluated);
-      if (g.valid && g.benefit > 0.0 &&
-          (!best_bundle.valid || g.ratio() > best_bundle.ratio())) {
-        best_bundle = g;
-      }
-    }
+  std::unique_ptr<ThreadPool> private_pool;
+  if (options.num_threads != 0) {
+    private_pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  ThreadPool& pool = private_pool ? *private_pool : ThreadPool::Shared();
+  const size_t chunks = pool.num_threads();
+  result.stats.threads_used = chunks;
 
-    // Phase 2: the best single index on an already-selected view.
-    GrownBundle best_index;
-    for (uint32_t v = 0; v < graph.num_views(); ++v) {
-      if (!state.ViewSelected(v)) continue;
-      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
-        if (state.IndexSelected(v, k)) continue;
-        Candidate c{v, /*add_view=*/false, {k}};
-        double b = state.CandidateBenefit(c);
-        ++result.candidates_evaluated;
-        if (b <= 0.0) continue;
-        double ratio = b / state.CandidateSpace(c);
-        if (!best_index.valid || ratio > best_index.ratio()) {
-          best_index.candidate = c;
-          best_index.benefit = b;
-          best_index.space = state.CandidateSpace(c);
-          best_index.valid = true;
+  const uint32_t num_views = graph.num_views();
+  std::vector<ViewSlot> slots(num_views);
+  std::vector<uint32_t> dirty;
+  dirty.reserve(num_views);
+  std::vector<uint64_t> chunk_evals(chunks);
+  const auto run_start = SteadyClock::now();
+
+  while (state.SpaceUsed() < space_budget) {
+    const auto stage_start = SteadyClock::now();
+
+    // Pass 1: clean slots are exact; the best clean ratio becomes the
+    // lazy-skip threshold for the dirty ones.
+    double prune_ratio = 0.0;
+    for (uint32_t v = 0; v < num_views; ++v) {
+      if (options.memoize && slots[v].version == state.ViewVersion(v)) {
+        ++result.stats.cache_hits;
+        if (slots[v].valid && slots[v].ratio() > prune_ratio) {
+          prune_ratio = slots[v].ratio();
         }
       }
     }
 
-    const GrownBundle* winner = nullptr;
-    if (best_bundle.valid && best_bundle.benefit > 0.0) {
-      winner = &best_bundle;
+    // Pass 2: a dirty view whose certified stale bound (see ViewSlot)
+    // cannot reach the best clean ratio cannot win this stage; skip its
+    // regrowth. The slot stays stale and its bound stays valid, since
+    // every bound term is monotone non-increasing in M.
+    dirty.clear();
+    for (uint32_t v = 0; v < num_views; ++v) {
+      if (options.memoize && slots[v].version == state.ViewVersion(v)) {
+        continue;
+      }
+      const ViewSlot& s = slots[v];
+      if (options.memoize && s.bound_ok && s.bound < prune_ratio) {
+        ++result.stats.bound_prunes;
+        continue;
+      }
+      dirty.push_back(v);
     }
-    if (best_index.valid &&
-        (winner == nullptr || best_index.ratio() > winner->ratio())) {
-      winner = &best_index;
-    }
-    if (winner == nullptr) break;
+    result.stats.cache_misses += dirty.size();
 
-    const Candidate& c = winner->candidate;
+    std::fill(chunk_evals.begin(), chunk_evals.end(), 0);
+    pool.ParallelFor(dirty.size(),
+                     [&](size_t begin, size_t end, size_t chunk) {
+                       for (size_t i = begin; i < end; ++i) {
+                         EvaluateView(state, dirty[i], space_budget,
+                                      &slots[dirty[i]],
+                                      &chunk_evals[chunk]);
+                       }
+                     });
+    for (uint64_t e : chunk_evals) result.candidates_evaluated += e;
+
+    // Deterministic reduction over all views: ascending view id with
+    // strictly-greater ratio implements the documented candidate order.
+    // Bound-pruned stale slots are harmless: their cached ratio is at
+    // most their bound, strictly below the best clean ratio, which
+    // itself participates.
+    const ViewSlot* winner = nullptr;
+    for (uint32_t v = 0; v < num_views; ++v) {
+      const ViewSlot& s = slots[v];
+      if (s.valid && (winner == nullptr || s.ratio() > winner->ratio())) {
+        winner = &s;
+      }
+    }
+    if (winner == nullptr) {
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;
+    }
+
+    const Candidate c = winner->candidate;  // copy: Apply dirties the slot
     double per_structure =
         winner->benefit / static_cast<double>(c.NumStructures());
     state.Apply(c);
+    // The picked view's candidate family changed (bundle growth gives
+    // way to single indexes, or an index left the family): its stale
+    // bound no longer applies, so force re-evaluation.
+    slots[c.view].bound_ok = false;
     if (c.add_view) {
       result.picks.push_back(StructureRef{c.view, StructureRef::kNoIndex});
       result.pick_benefits.push_back(per_structure);
@@ -177,8 +284,11 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
       result.picks.push_back(StructureRef{c.view, k});
       result.pick_benefits.push_back(per_structure);
     }
+    ++result.stats.stages;
+    result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
   }
 
+  result.stats.total_wall_micros = ElapsedMicros(run_start);
   result.space_used = state.SpaceUsed();
   result.final_cost = state.TotalCost();
   result.total_maintenance = state.TotalMaintenance();

@@ -8,16 +8,37 @@
 //
 // Guarantee 1 − e^−0.63 ≈ 0.467 (between 2- and 3-greedy) at O(k²m²) time;
 // the solution uses at most 2·S space (Theorem 5.2).
+//
+// Determinism contract: each stage picks the maximum under (higher
+// benefit-per-space ratio, then lower view id) over all per-view
+// candidates — grown bundles for unselected views, single indexes for
+// selected ones (within a selected view, the lowest index position wins
+// ratio ties). The same order is the parallel reduction's comparator, so
+// picks are bit-identical for every thread count and with or without
+// memoization.
 
 #ifndef OLAPIDX_CORE_INNER_GREEDY_H_
 #define OLAPIDX_CORE_INNER_GREEDY_H_
+
+#include <cstddef>
 
 #include "core/selection_result.h"
 
 namespace olapidx {
 
+struct InnerGreedyOptions {
+  // Worker threads for per-view bundle growth: 0 = the process-wide
+  // shared pool, 1 = serial, n ≥ 2 = a private pool for this call.
+  size_t num_threads = 0;
+  // Reuse each view's cached bundle while the view is clean (dirty-set
+  // invalidation via SelectionState::ViewVersion); exact, picks are
+  // bit-identical with the flag off.
+  bool memoize = true;
+};
+
 SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
-                                 double space_budget);
+                                 double space_budget,
+                                 const InnerGreedyOptions& options = {});
 
 }  // namespace olapidx
 

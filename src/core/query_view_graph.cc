@@ -111,6 +111,14 @@ void QueryViewGraph::Finalize() {
   }
   pending_.clear();
   pending_.shrink_to_fit();
+  // Invert the view→queries adjacency. Views are visited in ascending
+  // order, so each query's view list comes out sorted.
+  query_views_.assign(queries_.size(), {});
+  for (uint32_t v = 0; v < num_views(); ++v) {
+    for (uint32_t q : views_[v].queries) {
+      query_views_[q].push_back(v);
+    }
+  }
   finalized_ = true;
 }
 

@@ -127,6 +127,14 @@ class QueryViewGraph {
     OLAPIDX_DCHECK(finalized_);
     return views_[v].queries;
   }
+  // Inverse of ViewQueries: views that have at least one edge to `q`, in
+  // ascending view order. This is the invalidation fan-out the selection
+  // algorithms use — when a pick improves q, exactly these views' benefits
+  // can change.
+  const std::vector<uint32_t>& QueryViews(uint32_t q) const {
+    OLAPIDX_DCHECK(finalized_);
+    return query_views_[q];
+  }
   // Cost of answering ViewQueries(v)[pos] from v alone (kInfiniteCost if
   // there is no k = 0 edge).
   double ViewCostAt(uint32_t v, size_t pos) const {
@@ -165,6 +173,7 @@ class QueryViewGraph {
 
   std::vector<ViewData> views_;
   std::vector<QueryData> queries_;
+  std::vector<std::vector<uint32_t>> query_views_;  // built by Finalize()
   std::vector<PendingEdge> pending_;
   uint32_t num_structures_ = 0;
   bool finalized_ = false;

@@ -1,48 +1,64 @@
 #include "core/r_greedy.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <queue>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "core/selection_state.h"
 
 namespace olapidx {
 
 namespace {
 
-// Tracks the best candidate of the current stage by benefit per unit space.
-class BestCandidate {
- public:
-  explicit BestCandidate(const SelectionState* state) : state_(state) {}
+using SteadyClock = std::chrono::steady_clock;
 
-  void Consider(const Candidate& c, double benefit) {
-    if (benefit <= 0.0) return;
-    double ratio = benefit / state_->CandidateSpace(c);
-    if (!valid_ || ratio > best_ratio_) {
-      valid_ = true;
-      best_ratio_ = ratio;
-      best_benefit_ = benefit;
-      best_ = c;
-    }
-  }
+uint64_t ElapsedMicros(SteadyClock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - since)
+          .count());
+}
 
-  bool valid() const { return valid_; }
-  const Candidate& candidate() const { return best_; }
-  double benefit() const { return best_benefit_; }
+// One view's cached stage evaluation: the best candidate rooted at the
+// view under the determinism contract of r_greedy.h, tagged with the
+// SelectionState::ViewVersion it was computed at. While the version
+// matches the slot is bit-exact; once the view is dirtied it is
+// recomputed before the next reduction.
+struct ViewSlot {
+  static constexpr uint64_t kNeverEvaluated = ~uint64_t{0};
 
- private:
-  const SelectionState* state_;
-  Candidate best_;
-  double best_ratio_ = 0.0;
-  double best_benefit_ = 0.0;
-  bool valid_ = false;
+  uint64_t version = kNeverEvaluated;
+  bool valid = false;  // has a positive-benefit candidate
+  // True when the slot's ratio is a certified upper bound on every
+  // candidate of this view at any later state (CELF generalized beyond
+  // r = 1): benefits are monotone non-increasing, and every un-enumerated
+  // subset reduces to an enumerated one with at least its ratio. False
+  // when the enumeration was truncated by max_subsets_per_view or the
+  // view's own selection set changed since the evaluation (a selected
+  // view's indexes are a different candidate family with smaller spaces).
+  bool bound_ok = false;
+  double ratio = 0.0;
+  double benefit = 0.0;
+  Candidate cand;
+};
+
+// Per-chunk work counters, merged after each ParallelFor so totals are
+// independent of thread count and schedule.
+struct ChunkCounters {
+  uint64_t evals = 0;
+  uint64_t truncated = 0;
 };
 
 // Enumerates subsets of `pool` of size 2..max_size (size-1 subsets are
 // evaluated separately by the caller), in lexicographic order, invoking
-// `fn(subset)` for each, up to `cap` subsets in total.
+// `fn(subset)` for each, up to `cap` subsets in total. Returns the number
+// of subsets emitted.
 template <typename Fn>
-void EnumerateSubsets(const std::vector<int32_t>& pool, int max_size,
-                      size_t cap, Fn&& fn) {
+size_t EnumerateSubsets(const std::vector<int32_t>& pool, int max_size,
+                        size_t cap, Fn&& fn) {
   std::vector<int32_t> subset;
   size_t emitted = 0;
   auto rec = [&](auto&& self, size_t start) -> void {
@@ -61,6 +77,225 @@ void EnumerateSubsets(const std::vector<int32_t>& pool, int max_size,
     }
   };
   rec(rec, 0);
+  return emitted;
+}
+
+// Σ_{s=2}^{max_size} C(n, s), saturating at UINT64_MAX — how many subsets
+// an uncapped enumeration would visit.
+uint64_t TotalSubsetCount(size_t n, int max_size) {
+  uint64_t total = 0;
+  for (int s = 2; s <= max_size && static_cast<size_t>(s) <= n; ++s) {
+    uint64_t c = 1;
+    for (uint64_t i = 1; i <= static_cast<uint64_t>(s); ++i) {
+      uint64_t num = static_cast<uint64_t>(n) - static_cast<uint64_t>(s) + i;
+      if (c > ~uint64_t{0} / num) return ~uint64_t{0};
+      c = c * num / i;  // exact: the running product is C(n-s+i, i) * i!/i!
+    }
+    if (total > ~uint64_t{0} - c) return ~uint64_t{0};
+    total += c;
+  }
+  return total;
+}
+
+// Recomputes `slot` for view v against the current state: the best
+// candidate rooted at v, with ties broken by enumeration rank (strict >
+// keeps the earliest). Runs concurrently across views — reads only const
+// state, writes only its own slot and counters.
+void EvaluateView(const SelectionState& state, uint32_t v,
+                  const RGreedyOptions& options, ViewSlot* slot,
+                  ChunkCounters* counters) {
+  const QueryViewGraph& graph = state.graph();
+  slot->version = state.ViewVersion(v);
+  slot->valid = false;
+  slot->bound_ok = true;
+  slot->ratio = 0.0;
+  slot->benefit = 0.0;
+
+  auto consider = [&](const Candidate& c, double benefit) {
+    if (benefit <= 0.0) return;
+    double ratio = benefit / state.CandidateSpace(c);
+    if (!slot->valid || ratio > slot->ratio) {
+      slot->valid = true;
+      slot->ratio = ratio;
+      slot->benefit = benefit;
+      slot->cand = c;
+    }
+  };
+
+  if (!state.ViewSelected(v)) {
+    // (a) The view plus at most r-1 of its indexes.
+    Candidate view_only{v, /*add_view=*/true, {}};
+    double view_benefit = state.CandidateBenefit(view_only);
+    ++counters->evals;
+    consider(view_only, view_benefit);
+    if (options.r < 2) return;
+
+    // Indexes worth pairing with the view: those that improve at least
+    // one query beyond the plain view scan. An index that adds nothing
+    // next to the view alone can never add anything inside a larger
+    // candidate (a set's offered cost is the min over its members).
+    std::vector<int32_t> useful;
+    for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+      Candidate with_index{v, /*add_view=*/true, {k}};
+      double b = state.CandidateBenefit(with_index);
+      ++counters->evals;
+      consider(with_index, b);
+      if (b > view_benefit) useful.push_back(k);
+    }
+    if (options.r >= 3 && useful.size() >= 2) {
+      size_t emitted = EnumerateSubsets(
+          useful, options.r - 1, options.max_subsets_per_view,
+          [&](const std::vector<int32_t>& subset) {
+            Candidate c{v, /*add_view=*/true, subset};
+            double b = state.CandidateBenefit(c);
+            ++counters->evals;
+            consider(c, b);
+          });
+      if (emitted == options.max_subsets_per_view) {
+        uint64_t total = TotalSubsetCount(useful.size(), options.r - 1);
+        if (total > emitted) {
+          counters->truncated += total - emitted;
+          // Un-enumerated subsets beyond the cap are not covered by the
+          // slot's ratio, so it is not a certified bound.
+          slot->bound_ok = false;
+        }
+      }
+    }
+  } else {
+    // (b) A single not-yet-selected index of the already-selected view.
+    for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+      if (state.IndexSelected(v, k)) continue;
+      Candidate c{v, /*add_view=*/false, {k}};
+      double b = state.CandidateBenefit(c);
+      ++counters->evals;
+      consider(c, b);
+    }
+  }
+}
+
+// The eager (r ≥ 1) path: per stage, recompute only the views dirtied
+// since their last evaluation — in parallel — then reduce all view slots
+// deterministically (ascending view id, strictly-greater ratio wins).
+SelectionResult EagerRGreedy(const QueryViewGraph& graph,
+                             double space_budget,
+                             const RGreedyOptions& options) {
+  SelectionState state(&graph);
+  SelectionResult result;
+  result.initial_cost = state.TotalCost();
+  for (uint32_t q = 0; q < graph.num_queries(); ++q) {
+    result.total_frequency += graph.query_frequency(q);
+  }
+
+  std::unique_ptr<ThreadPool> private_pool;
+  if (options.num_threads != 0) {
+    private_pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  ThreadPool& pool = private_pool ? *private_pool : ThreadPool::Shared();
+  const size_t chunks = pool.num_threads();
+  result.stats.threads_used = chunks;
+
+  const uint32_t num_views = graph.num_views();
+  std::vector<ViewSlot> slots(num_views);
+  std::vector<uint32_t> dirty;
+  dirty.reserve(num_views);
+  std::vector<ChunkCounters> counters(chunks);
+  const auto run_start = SteadyClock::now();
+
+  while (state.SpaceUsed() < space_budget) {
+    const auto stage_start = SteadyClock::now();
+
+    // Pass 1: clean slots are exact; the best clean ratio becomes the
+    // lazy-skip threshold for the dirty ones.
+    double prune_ratio = 0.0;
+    for (uint32_t v = 0; v < num_views; ++v) {
+      if (options.memoize && slots[v].version == state.ViewVersion(v)) {
+        ++result.stats.cache_hits;
+        if (slots[v].valid && slots[v].ratio > prune_ratio) {
+          prune_ratio = slots[v].ratio;
+        }
+      }
+    }
+
+    // Pass 2: a dirty view whose certified stale upper bound cannot reach
+    // the best clean ratio cannot win this stage, so its re-evaluation is
+    // skipped (the slot stays stale and its bound stays valid — benefits
+    // are monotone non-increasing). A stale slot with no positive
+    // candidate can never regain one while its candidate family is
+    // unchanged, so it is skipped regardless of the threshold.
+    dirty.clear();
+    for (uint32_t v = 0; v < num_views; ++v) {
+      if (options.memoize && slots[v].version == state.ViewVersion(v)) {
+        continue;
+      }
+      const ViewSlot& s = slots[v];
+      if (options.memoize && s.bound_ok &&
+          (!s.valid || s.ratio < prune_ratio)) {
+        ++result.stats.bound_prunes;
+        continue;
+      }
+      dirty.push_back(v);
+    }
+    result.stats.cache_misses += dirty.size();
+
+    std::fill(counters.begin(), counters.end(), ChunkCounters{});
+    pool.ParallelFor(dirty.size(),
+                     [&](size_t begin, size_t end, size_t chunk) {
+                       for (size_t i = begin; i < end; ++i) {
+                         EvaluateView(state, dirty[i], options,
+                                      &slots[dirty[i]], &counters[chunk]);
+                       }
+                     });
+    for (const ChunkCounters& c : counters) {
+      result.candidates_evaluated += c.evals;
+      result.candidates_truncated += c.truncated;
+    }
+
+    // Deterministic reduction over all views (cached and recomputed
+    // alike): ascending view id with strictly-greater ratio implements
+    // the documented candidate order. Slots skipped by the bound prune
+    // are harmless here: their stale ratio is strictly below the best
+    // clean ratio, which itself participates, so they can never win.
+    const ViewSlot* best = nullptr;
+    for (uint32_t v = 0; v < num_views; ++v) {
+      const ViewSlot& s = slots[v];
+      if (s.valid && (best == nullptr || s.ratio > best->ratio)) {
+        best = &s;
+      }
+    }
+    if (best == nullptr) {
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;  // Nothing left with positive benefit.
+    }
+
+    const Candidate c = best->cand;  // copy: Apply dirties the slot
+    double stage_benefit = best->benefit;
+    // Record per-structure incremental benefits (distributed equally, as
+    // in the proof of Theorem 5.1) so analyses can replay the a_i
+    // sequence.
+    double per_structure =
+        stage_benefit / static_cast<double>(c.NumStructures());
+    state.Apply(c);
+    // The picked view's candidate family changed (view-only/subset
+    // candidates give way to single-index ones with smaller spaces), so
+    // its stale ratio no longer bounds anything: force re-evaluation.
+    slots[c.view].bound_ok = false;
+    if (c.add_view) {
+      result.picks.push_back(StructureRef{c.view, StructureRef::kNoIndex});
+      result.pick_benefits.push_back(per_structure);
+    }
+    for (int32_t k : c.indexes) {
+      result.picks.push_back(StructureRef{c.view, k});
+      result.pick_benefits.push_back(per_structure);
+    }
+    ++result.stats.stages;
+    result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+  }
+
+  result.stats.total_wall_micros = ElapsedMicros(run_start);
+  result.space_used = state.SpaceUsed();
+  result.final_cost = state.TotalCost();
+  result.total_maintenance = state.TotalMaintenance();
+  return result;
 }
 
 // CELF-style lazy 1-greedy: a max-heap of candidates keyed by their last
@@ -73,6 +308,7 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
   for (uint32_t q = 0; q < graph.num_queries(); ++q) {
     result.total_frequency += graph.query_frequency(q);
   }
+  const auto run_start = SteadyClock::now();
 
   struct Entry {
     double ratio;
@@ -117,6 +353,7 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
     state.ApplyStructure(top.ref);
     result.picks.push_back(top.ref);
     result.pick_benefits.push_back(b);
+    ++result.stats.stages;
     if (top.ref.is_view()) {
       for (int32_t k = 0; k < graph.num_indexes(top.ref.view); ++k) {
         push_fresh(StructureRef{top.ref.view, k});
@@ -124,6 +361,10 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
     }
   }
 
+  // The heap *is* the cache here: every evaluation is counted as a miss,
+  // and the per-view memoization counters stay 0.
+  result.stats.cache_misses = result.candidates_evaluated;
+  result.stats.total_wall_micros = ElapsedMicros(run_start);
   result.space_used = state.SpaceUsed();
   result.final_cost = state.TotalCost();
   result.total_maintenance = state.TotalMaintenance();
@@ -140,84 +381,7 @@ SelectionResult RGreedy(const QueryViewGraph& graph, double space_budget,
   if (options.r == 1 && options.lazy_one_greedy) {
     return LazyOneGreedy(graph, space_budget);
   }
-
-  SelectionState state(&graph);
-  SelectionResult result;
-  result.initial_cost = state.TotalCost();
-  for (uint32_t q = 0; q < graph.num_queries(); ++q) {
-    result.total_frequency += graph.query_frequency(q);
-  }
-
-  while (state.SpaceUsed() < space_budget) {
-    BestCandidate best(&state);
-
-    // (a) A not-yet-selected view plus at most r-1 of its indexes.
-    for (uint32_t v = 0; v < graph.num_views(); ++v) {
-      if (state.ViewSelected(v)) continue;
-      Candidate view_only{v, /*add_view=*/true, {}};
-      double view_benefit = state.CandidateBenefit(view_only);
-      ++result.candidates_evaluated;
-      best.Consider(view_only, view_benefit);
-      if (options.r < 2) continue;
-
-      // Indexes worth pairing with the view: those that improve at least
-      // one query beyond the plain view scan. An index that adds nothing
-      // next to the view alone can never add anything inside a larger
-      // candidate (a set's offered cost is the min over its members).
-      std::vector<int32_t> useful;
-      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
-        Candidate with_index{v, /*add_view=*/true, {k}};
-        double b = state.CandidateBenefit(with_index);
-        ++result.candidates_evaluated;
-        best.Consider(with_index, b);
-        if (b > view_benefit) useful.push_back(k);
-      }
-      if (options.r >= 3 && useful.size() >= 2) {
-        EnumerateSubsets(useful, options.r - 1,
-                         options.max_subsets_per_view,
-                         [&](const std::vector<int32_t>& subset) {
-                           Candidate c{v, /*add_view=*/true, subset};
-                           double b = state.CandidateBenefit(c);
-                           ++result.candidates_evaluated;
-                           best.Consider(c, b);
-                         });
-      }
-    }
-
-    // (b) A single index whose view was selected in a previous stage.
-    for (uint32_t v = 0; v < graph.num_views(); ++v) {
-      if (!state.ViewSelected(v)) continue;
-      for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
-        if (state.IndexSelected(v, k)) continue;
-        Candidate c{v, /*add_view=*/false, {k}};
-        double b = state.CandidateBenefit(c);
-        ++result.candidates_evaluated;
-        best.Consider(c, b);
-      }
-    }
-
-    if (!best.valid()) break;  // Nothing left with positive benefit.
-    double stage_benefit = best.benefit();
-    const Candidate& c = best.candidate();
-    // Record per-structure incremental benefits (distributed equally, as in
-    // the proof of Theorem 5.1) so analyses can replay the a_i sequence.
-    double per_structure =
-        stage_benefit / static_cast<double>(c.NumStructures());
-    state.Apply(c);
-    if (c.add_view) {
-      result.picks.push_back(StructureRef{c.view, StructureRef::kNoIndex});
-      result.pick_benefits.push_back(per_structure);
-    }
-    for (int32_t k : c.indexes) {
-      result.picks.push_back(StructureRef{c.view, k});
-      result.pick_benefits.push_back(per_structure);
-    }
-  }
-
-  result.space_used = state.SpaceUsed();
-  result.final_cost = state.TotalCost();
-  result.total_maintenance = state.TotalMaintenance();
-  return result;
+  return EagerRGreedy(graph, space_budget, options);
 }
 
 }  // namespace olapidx

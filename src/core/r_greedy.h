@@ -10,6 +10,19 @@
 // Performance guarantee: 1 − e^−((r−1)/r) of the optimal benefit
 // (0 for r = 1 — 1-greedy can be arbitrarily bad; 0.39 / 0.49 / 0.53 for
 // r = 2 / 3 / 4; → 1 − 1/e ≈ 0.63 as r → ∞). Running time O(k·m^r).
+//
+// Determinism contract. Each stage picks the maximum under this strict
+// total order on positive-benefit candidates (best first):
+//   1. higher benefit-per-unit-space ratio;
+//   2. lower view id;
+//   3. within one view, earlier enumeration rank: the bare view, then
+//      view+single-index in index order k = 0, 1, ..., then view+subset in
+//      lexicographic order over the view's useful indexes (for a selected
+//      view: single indexes in index order).
+// The same order is used as the parallel reduction's comparator, so runs
+// are bit-identical for every thread count, and identical with and
+// without memoization (a clean cached benefit is bit-exact, see
+// SelectionState::ViewVersion).
 
 #ifndef OLAPIDX_CORE_R_GREEDY_H_
 #define OLAPIDX_CORE_R_GREEDY_H_
@@ -28,7 +41,22 @@ struct RGreedyOptions {
   // r = 3): at most this many index subsets are enumerated per view per
   // stage, in lexicographic order of the view's *useful* indexes (those
   // whose solo benefit next to the view is positive). SIZE_MAX = exact.
+  // Subsets skipped by the cap are counted in
+  // SelectionResult::candidates_truncated.
   size_t max_subsets_per_view = SIZE_MAX;
+
+  // Worker threads for candidate evaluation: 0 = the process-wide shared
+  // pool (hardware concurrency, overridable via OLAPIDX_THREADS), 1 =
+  // serial, n ≥ 2 = a private pool of n threads for this call. Picks are
+  // bit-identical for every value (see the determinism contract above).
+  size_t num_threads = 0;
+
+  // Reuse each view's cached stage evaluation while the view is clean —
+  // i.e. no pick since the evaluation improved a query adjacent to the
+  // view (dirty-set invalidation, SelectionState::ViewVersion). Turns
+  // stages after the first from O(m) candidate evaluations into
+  // O(affected). Exact: picks are bit-identical with the flag off.
+  bool memoize = true;
 
   // r = 1 only: use CELF-style lazy evaluation (Leskovec et al., 2007).
   // Because single-structure benefits are monotone non-increasing as the

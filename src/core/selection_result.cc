@@ -1,6 +1,23 @@
 #include "core/selection_result.h"
 
+#include <cstdio>
+
 namespace olapidx {
+
+std::string EvaluationStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%llu stages, %llu evaluated / %llu cached (%.1f%% hit), "
+                "%llu bound-pruned, %.1f ms, %zu thread%s",
+                static_cast<unsigned long long>(stages),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(cache_hits),
+                100.0 * CacheHitRate(),
+                static_cast<unsigned long long>(bound_prunes),
+                static_cast<double>(total_wall_micros) / 1000.0,
+                threads_used, threads_used == 1 ? "" : "s");
+  return buf;
+}
 
 std::string SelectionResult::PicksToString(
     const QueryViewGraph& graph) const {

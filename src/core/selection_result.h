@@ -12,6 +12,39 @@
 
 namespace olapidx {
 
+// Per-run telemetry of the selection loop: how much work each stage did
+// and how much the benefit cache saved. Filled by the greedy algorithms;
+// the branch-and-bound solver leaves everything but total_wall_micros 0.
+struct EvaluationStats {
+  // Greedy stages executed (= picks made by r-greedy / inner-level).
+  uint64_t stages = 0;
+  // Per-view evaluations served from the memoized benefit cache (the
+  // view's version was unchanged since its last evaluation).
+  uint64_t cache_hits = 0;
+  // Per-view evaluations actually recomputed (dirty or first touch).
+  uint64_t cache_misses = 0;
+  // Dirty views whose re-evaluation was skipped because their stale
+  // cached ratio — a valid upper bound under submodularity — could not
+  // reach the best clean ratio of the stage (generalized CELF prune).
+  uint64_t bound_prunes = 0;
+  // Wall-clock μs per stage, in stage order, and their total.
+  std::vector<uint64_t> stage_wall_micros;
+  uint64_t total_wall_micros = 0;
+  // Worker threads used for candidate evaluation (1 = serial).
+  size_t threads_used = 1;
+
+  double CacheHitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
+  // "4 stages, 123 evaluated / 456 cached (78.7% hit), 9 bound-pruned,
+  // 1.2 ms, 1 thread".
+  std::string ToString() const;
+};
+
 struct SelectionResult {
   std::vector<StructureRef> picks;  // in selection order
   // Incremental benefit of each pick at the time it was made (the a_i of
@@ -26,6 +59,12 @@ struct SelectionResult {
   double total_frequency = 0.0;
   // Number of candidate sets whose benefit was evaluated (work measure).
   uint64_t candidates_evaluated = 0;
+  // Number of index subsets skipped by the max_subsets_per_view cap across
+  // all performed evaluations (0 = the enumeration was exhaustive; cached
+  // evaluations are not re-counted).
+  uint64_t candidates_truncated = 0;
+  // Work/caching/timing telemetry of the selection loop.
+  EvaluationStats stats;
   // True iff the result is provably optimal for its budget (set only by the
   // branch-and-bound solver when it runs to completion).
   bool proven_optimal = false;

@@ -15,6 +15,7 @@ SelectionState::SelectionState(const QueryViewGraph* graph) : graph_(graph) {
   }
   total_cost_ = initial_cost_;
   view_selected_.assign(graph->num_views(), 0);
+  view_version_.assign(graph->num_views(), 0);
   index_selected_.resize(graph->num_views());
   for (uint32_t v = 0; v < graph->num_views(); ++v) {
     index_selected_[v].assign(
@@ -89,8 +90,14 @@ void SelectionState::Apply(const Candidate& c) {
     if (offered < best_cost_[q]) {
       total_cost_ -= graph_->query_frequency(q) * (best_cost_[q] - offered);
       best_cost_[q] = offered;
+      // q got cheaper: every view adjacent to q may now offer less benefit.
+      for (uint32_t w : graph_->QueryViews(q)) ++view_version_[w];
     }
   }
+  // The candidate's own view always changes (its structures became
+  // selected), even when the pick improved no query adjacent to some
+  // cached evaluation — e.g. a zero-frequency-only improvement.
+  ++view_version_[v];
   space_used_ += CandidateSpace(c);
   maintenance_ += CandidateMaintenance(c);
   if (c.add_view) {

@@ -84,6 +84,19 @@ class SelectionState {
   // Current best cost for query q (min of T_q and selected structures).
   double QueryBestCost(uint32_t q) const { return best_cost_[q]; }
 
+  // ---- Dirty-set invalidation support (benefit memoization) ----
+  //
+  // A candidate's benefit depends on the current state only through the
+  // best costs of the queries adjacent to its view. Apply() bumps the
+  // version of every view adjacent to a query whose best cost it changed
+  // (fan-out via QueryViewGraph::QueryViews). Hence a benefit computed
+  // for a candidate on view v while ViewVersion(v) == t is
+  //   * bit-exact as long as ViewVersion(v) == t still holds, and
+  //   * an upper bound on the current benefit otherwise (single-view
+  //     candidate benefits are monotone non-increasing in M, the
+  //     submodularity fact the CELF lazy trick relies on).
+  uint64_t ViewVersion(uint32_t v) const { return view_version_[v]; }
+
  private:
   void ValidateCandidate(const Candidate& c) const;
 
@@ -92,6 +105,7 @@ class SelectionState {
   std::vector<uint8_t> view_selected_;      // per view
   std::vector<std::vector<uint8_t>> index_selected_;  // [view][index]
   std::vector<StructureRef> picks_;
+  std::vector<uint64_t> view_version_;  // bumped when a view's benefit may change
   double initial_cost_ = 0.0;
   double total_cost_ = 0.0;
   double space_used_ = 0.0;

@@ -23,7 +23,8 @@ HRecommendation HierarchicalAdvisor::Recommend(
                        config.r_greedy);
       break;
     case Algorithm::kInnerLevel:
-      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget);
+      result = InnerLevelGreedy(cube_graph_.graph, config.space_budget,
+                                config.inner_greedy);
       break;
     case Algorithm::kTwoStep:
       result = TwoStep(cube_graph_.graph, config.space_budget,

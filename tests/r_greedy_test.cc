@@ -194,12 +194,20 @@ TEST(LazyOneGreedyTest, EvaluatesFewerCandidatesOnLargeInstances) {
         1000.0 - 5.0 * (v + 1));
   }
   g.Finalize();
-  SelectionResult eager = OneGreedy(g, 20.0);
+  // Compare against the full-rescan (unmemoized) eager run: that is the
+  // work the lazy heap is designed to avoid. The memoized eager run can
+  // legitimately evaluate even fewer candidates than lazy.
+  SelectionResult eager =
+      RGreedy(g, 20.0, RGreedyOptions{.r = 1, .memoize = false});
   SelectionResult lazy = RGreedy(
       g, 20.0, RGreedyOptions{.r = 1, .lazy_one_greedy = true});
   EXPECT_NEAR(lazy.Benefit(), eager.Benefit(), 1e-9);
   EXPECT_EQ(lazy.picks.size(), eager.picks.size());
   EXPECT_LT(lazy.candidates_evaluated, eager.candidates_evaluated / 2);
+  SelectionResult memoized = OneGreedy(g, 20.0);
+  EXPECT_NEAR(memoized.Benefit(), eager.Benefit(), 1e-9);
+  EXPECT_LT(memoized.candidates_evaluated, eager.candidates_evaluated);
+  EXPECT_GT(memoized.stats.cache_hits, 0u);
 }
 
 TEST(RGreedyDeathTest, InvalidR) {
