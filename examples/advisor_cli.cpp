@@ -8,6 +8,8 @@
 //               [--index-fraction 0.5] [--maintenance 0.0]
 //               [--raw-penalty 2.0] [--threads N] [--out design.txt]
 //               [--dump-sizes sizes.txt]
+//               [--deadline-ms 500] [--max-stages N]
+//               [--checkpoint ckpt.txt] [--resume ckpt.txt]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
 //
 // Dimension sizes come from --sizes (olapidx-sizes v1 file), from the
@@ -17,12 +19,22 @@
 // without it, all 3^n slice queries are equiprobable. The chosen design
 // is printed and optionally written in the olapidx-design v1 format
 // (see core/serialize.h).
+//
+// Anytime runs: --deadline-ms (wall clock) and --max-stages (deterministic
+// stage budget) interrupt the greedy algorithms mid-run; the best-so-far
+// design is printed, and with --checkpoint FILE the pick prefix is saved
+// in the olapidx-checkpoint v1 format. A later run with --resume FILE (and
+// the same inputs, algorithm, and budget) continues where it stopped,
+// reproducing the uninterrupted pick sequence bit-exactly.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/format.h"
 #include "core/advisor.h"
@@ -45,7 +57,9 @@ using namespace olapidx;
       "       [--algorithm inner|1greedy|2greedy|3greedy|twostep|"
       "viewsonly|optimal]\n"
       "       [--index-fraction F] [--maintenance RATE] "
-      "[--raw-penalty P] [--threads N] [--out FILE]\n");
+      "[--raw-penalty P] [--threads N] [--out FILE]\n"
+      "       [--deadline-ms MS] [--max-stages N] [--checkpoint FILE] "
+      "[--resume FILE]\n");
   std::exit(2);
 }
 
@@ -64,11 +78,13 @@ std::string ReadFileOrDie(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string dims_arg, sizes_path, workload_path, out_path, csv_path;
-  std::string dump_sizes_path;
+  std::string dump_sizes_path, checkpoint_path, resume_path;
   std::string algorithm = "inner";
   double rows = 0.0, budget = 0.0, index_fraction = 0.5;
   double maintenance = 0.0, raw_penalty = 2.0;
   long threads = 0;  // 0 = shared pool sized from the hardware
+  long deadline_ms = 0;  // 0 = no deadline
+  long max_stages = 0;   // 0 = no stage budget
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -103,6 +119,16 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (flag == "--dump-sizes") {
       dump_sizes_path = next();
+    } else if (flag == "--deadline-ms") {
+      deadline_ms = std::atol(next().c_str());
+      if (deadline_ms <= 0) Usage("--deadline-ms must be positive");
+    } else if (flag == "--max-stages") {
+      max_stages = std::atol(next().c_str());
+      if (max_stages <= 0) Usage("--max-stages must be positive");
+    } else if (flag == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (flag == "--resume") {
+      resume_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -115,16 +141,16 @@ int main(int argc, char** argv) {
   if (budget <= 0.0) Usage("--budget is required and must be positive");
 
   // Schema and sizes: from the CSV data, or from --dims plus --rows/--sizes.
-  std::unique_ptr<CsvCube> csv;
+  std::optional<CsvCube> csv;
   std::unique_ptr<CubeSchema> schema_holder;
   if (!csv_path.empty()) {
-    std::string error;
-    csv = LoadCsvFacts(ReadFileOrDie(csv_path), &error);
-    if (csv == nullptr) {
+    StatusOr<CsvCube> loaded = LoadCsvFacts(ReadFileOrDie(csv_path));
+    if (!loaded.ok()) {
       std::fprintf(stderr, "error in %s: %s\n", csv_path.c_str(),
-                   error.c_str());
+                   loaded.status().ToString().c_str());
       return 2;
     }
+    csv.emplace(std::move(loaded).value());
     schema_holder = std::make_unique<CubeSchema>(csv->schema);
   } else {
     std::vector<Dimension> dims;
@@ -145,18 +171,19 @@ int main(int argc, char** argv) {
   CubeSchema& schema = *schema_holder;
 
   ViewSizes sizes;
-  if (csv != nullptr) {
+  if (csv.has_value()) {
     sizes = csv->fact.num_rows() <= 200'000
                 ? ExactViewSizes(csv->fact)
                 : EstimateViewSizesHll(csv->fact);
   } else if (!sizes_path.empty()) {
-    std::string error;
-    if (!ParseViewSizes(ReadFileOrDie(sizes_path), schema, &sizes,
-                        &error)) {
+    StatusOr<ViewSizes> parsed =
+        ParseViewSizes(ReadFileOrDie(sizes_path), schema);
+    if (!parsed.ok()) {
       std::fprintf(stderr, "error in %s: %s\n", sizes_path.c_str(),
-                   error.c_str());
+                   parsed.status().ToString().c_str());
       return 2;
     }
+    sizes = std::move(parsed).value();
   } else if (rows >= 1.0) {
     sizes = AnalyticalViewSizes(schema, rows);
   } else {
@@ -206,13 +233,44 @@ int main(int argc, char** argv) {
   config.r_greedy.num_threads = static_cast<size_t>(threads);
   config.inner_greedy.num_threads = static_cast<size_t>(threads);
 
+  if (deadline_ms > 0) {
+    config.control.deadline =
+        Deadline::AfterMillis(static_cast<int64_t>(deadline_ms));
+  }
+  if (max_stages > 0) {
+    config.control.max_steps = static_cast<size_t>(max_stages);
+  }
+  SelectionCheckpoint resume_checkpoint;
+  if (!resume_path.empty()) {
+    StatusOr<SelectionCheckpoint> parsed =
+        ParseCheckpoint(ReadFileOrDie(resume_path), schema);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error in %s: %s\n", resume_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    resume_checkpoint = std::move(parsed).value();
+    config.resume = &resume_checkpoint;
+  }
+
   CubeGraphOptions gopts;
   gopts.raw_scan_penalty = raw_penalty;
   gopts.maintenance_per_row = maintenance;
   Advisor advisor(schema, sizes, workload, gopts);
   Recommendation rec = advisor.Recommend(config);
 
+  if (!rec.status.ok() && !rec.status.IsInterruption()) {
+    std::fprintf(stderr, "error: %s\n", rec.status.ToString().c_str());
+    return 2;
+  }
+
   std::printf("algorithm: %s\n", AlgorithmName(config.algorithm));
+  if (!rec.completed) {
+    std::printf("note: selection interrupted (%s) after %llu stage(s); "
+                "the design below is the valid best-so-far prefix\n",
+                rec.status.ToString().c_str(),
+                static_cast<unsigned long long>(rec.raw.stats.stages));
+  }
   std::printf("queries: %zu   structures considered: %u\n",
               workload.size(),
               advisor.cube_graph().graph.num_structures());
@@ -248,6 +306,23 @@ int main(int argc, char** argv) {
     }
     out << SerializeDesign(rec.structures, schema);
     std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  if (!checkpoint_path.empty()) {
+    if (rec.completed) {
+      std::printf("\nrun completed; no checkpoint needed (not writing "
+                  "%s)\n",
+                  checkpoint_path.c_str());
+    } else {
+      std::ofstream out(checkpoint_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     checkpoint_path.c_str());
+        return 2;
+      }
+      out << SerializeCheckpoint(rec.ToCheckpoint(config), schema);
+      std::printf("\nwrote %s (continue with --resume)\n",
+                  checkpoint_path.c_str());
+    }
   }
   if (!dump_sizes_path.empty()) {
     std::ofstream out(dump_sizes_path);

@@ -73,7 +73,13 @@ int main() {
     for (const RecommendedStructure& s : rec.structures) {
       items.push_back(PhysicalDesignItem{s.view, s.index});
     }
-    MaterializePhysicalDesign(catalog, items);
+    StatusOr<PhysicalDesignStats> applied =
+        MaterializePhysicalDesign(catalog, items);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   applied.status().ToString().c_str());
+      return 1;
+    }
     Executor executor(&catalog);
 
     double query_rows = 0.0;

@@ -1,0 +1,109 @@
+// Cooperative interruption primitives for long-running advisor work.
+//
+// Deadline is a point on the monotonic clock (immune to wall-clock steps);
+// CancelToken is a thread-safe flag another thread flips to request a stop.
+// RunControl bundles both, plus a deterministic step budget, and is what
+// the selection algorithms thread through their per-stage candidate loops:
+// they poll StopRequested() at safe points and return their best-so-far
+// result (the "anytime" contract, see SelectionResult::completed).
+
+#ifndef OLAPIDX_COMMON_DEADLINE_H_
+#define OLAPIDX_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace olapidx {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: never expires.
+  Deadline() : tp_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point tp) { return Deadline(tp); }
+  static Deadline AfterMillis(int64_t ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+  static Deadline AfterMicros(int64_t us) {
+    return Deadline(Clock::now() + std::chrono::microseconds(us));
+  }
+
+  bool infinite() const { return tp_ == Clock::time_point::max(); }
+  bool expired() const { return !infinite() && Clock::now() >= tp_; }
+
+  // Microseconds until expiry; negative once expired, INT64_MAX if
+  // infinite.
+  int64_t remaining_micros() const {
+    if (infinite()) return INT64_MAX;
+    return std::chrono::duration_cast<std::chrono::microseconds>(tp_ -
+                                                                 Clock::now())
+        .count();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point tp) : tp_(tp) {}
+  Clock::time_point tp_;
+};
+
+// A one-way stop flag. The owner keeps it alive for the duration of the
+// run; any thread may call Cancel(), the running algorithm polls
+// cancelled() at safe points. Cancellation is cooperative and sticky.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Interruption inputs for one algorithm run. Default-constructed =
+// uninterruptible (infinite deadline, no token, unlimited steps).
+struct RunControl {
+  Deadline deadline;
+  // Not owned; may be null. Must outlive the run when set.
+  const CancelToken* cancel = nullptr;
+  // Deterministic budget on the algorithm's own step unit (a greedy
+  // *stage* for the selection algorithms; replayed checkpoint stages do
+  // not count). Unlike the wall-clock deadline this interrupts at exactly
+  // the same point on every run, which is what the resume tests and
+  // steppers rely on. SIZE_MAX = unlimited.
+  size_t max_steps = SIZE_MAX;
+
+  bool unlimited() const {
+    return deadline.infinite() && cancel == nullptr &&
+           max_steps == SIZE_MAX;
+  }
+
+  // Polled inside candidate loops. Does not consider max_steps — step
+  // accounting lives with the algorithm, which knows its step unit.
+  bool StopRequested() const {
+    return (cancel != nullptr && cancel->cancelled()) || deadline.expired();
+  }
+
+  // The interruption Status matching StopRequested() — cancellation wins
+  // over an expired deadline (the caller asked first).
+  Status StopStatus() const {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("cancellation requested");
+    }
+    return Status::DeadlineExceeded("deadline expired");
+  }
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_DEADLINE_H_

@@ -1,0 +1,88 @@
+#include "common/fault_injection.h"
+
+#include "common/rng.h"
+
+namespace olapidx {
+
+FaultInjector& FaultInjector::Global() {
+  // Leaked deliberately, like ThreadPool::Shared(): fault points may be
+  // crossed during static destruction.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::ArmNth(const std::string& point, uint64_t nth,
+                           StatusCode code) {
+  OLAPIDX_CHECK(nth >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& s = points_[point];
+  s.mode = PointState::Mode::kNth;
+  s.nth = nth;
+  s.armed_at_hit = s.hits;
+  s.code = code;
+}
+
+void FaultInjector::ArmAlways(const std::string& point, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& s = points_[point];
+  s.mode = PointState::Mode::kAlways;
+  s.code = code;
+}
+
+void FaultInjector::ArmRandom(const std::string& point, double probability,
+                              uint64_t seed, StatusCode code) {
+  OLAPIDX_CHECK(probability >= 0.0 && probability <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& s = points_[point];
+  s.mode = PointState::Mode::kRandom;
+  s.probability = probability;
+  s.rng_state = seed;
+  s.code = code;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.mode = PointState::Mode::kDisarmed;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() ? it->second.hits : 0;
+}
+
+Status FaultInjector::Check(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& s = points_[point];
+  ++s.hits;
+  bool fire = false;
+  switch (s.mode) {
+    case PointState::Mode::kDisarmed:
+      break;
+    case PointState::Mode::kNth:
+      fire = s.hits == s.armed_at_hit + s.nth;
+      break;
+    case PointState::Mode::kAlways:
+      fire = true;
+      break;
+    case PointState::Mode::kRandom: {
+      SplitMix64 rng(s.rng_state);
+      uint64_t draw = rng.Next();
+      s.rng_state = draw;  // advance the per-point stream deterministically
+      // Top 53 bits -> uniform double in [0, 1).
+      double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+      fire = u < s.probability;
+      break;
+    }
+  }
+  if (!fire) return Status::Ok();
+  return Status(s.code, std::string("injected fault at '") + point + "'");
+}
+
+}  // namespace olapidx

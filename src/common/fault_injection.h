@@ -1,0 +1,108 @@
+// Deterministic, seedable fault-point registry for resilience testing.
+//
+// Production code marks recoverable failure sites with
+//
+//     OLAPIDX_FAULT_POINT("pool.enqueue");
+//
+// inside a Status- or StatusOr-returning function. Tests arm a point —
+// fail the nth hit, every hit, or a seeded pseudo-random subset — and the
+// site returns the injected Status instead of proceeding, proving that the
+// error propagates to the public entry point as a Status rather than an
+// abort. Randomized plans use SplitMix64, so a (probability, seed) pair
+// reproduces the exact same firing pattern on every run.
+//
+// The registry compiles out when OLAPIDX_FAULT_INJECTION is not defined
+// (CMake option of the same name, ON by default for development and CI,
+// OFF for release deployments): the macro expands to nothing and the
+// library carries zero overhead.
+//
+// Fault-point catalog (kept in sync with DESIGN.md):
+//   pool.enqueue        ThreadPool::TryParallelFor, before dispatch
+//   pool.chunk          per chunk, before the chunk body runs
+//   serialize.design.parse     ParseDesign entry
+//   serialize.sizes.parse      ParseViewSizes entry
+//   serialize.checkpoint.parse ParseCheckpoint entry
+//   csv.load            LoadCsvFacts entry
+//   engine.materialize  MaterializePhysicalDesign entry
+//   executor.execute    Executor::TryExecute entry
+
+#ifndef OLAPIDX_COMMON_FAULT_INJECTION_H_
+#define OLAPIDX_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace olapidx {
+
+class FaultInjector {
+ public:
+  // Process-wide registry (fault points are compile-time constants spread
+  // across translation units; tests arm and Reset() around each case).
+  static FaultInjector& Global();
+
+  // Fail exactly the nth hit (1-based) of `point` from now on; earlier and
+  // later hits pass.
+  void ArmNth(const std::string& point, uint64_t nth,
+              StatusCode code = StatusCode::kUnavailable);
+
+  // Fail every hit of `point`.
+  void ArmAlways(const std::string& point,
+                 StatusCode code = StatusCode::kUnavailable);
+
+  // Fail each hit independently with `probability`, driven by a SplitMix64
+  // stream seeded with `seed` — bit-reproducible across runs and machines.
+  void ArmRandom(const std::string& point, double probability, uint64_t seed,
+                 StatusCode code = StatusCode::kUnavailable);
+
+  void Disarm(const std::string& point);
+
+  // Disarms every point and zeroes all hit counters.
+  void Reset();
+
+  // Hits observed at `point` since the last Reset() (counted whether or
+  // not a plan is armed — useful for discovering which sites a scenario
+  // crosses).
+  uint64_t HitCount(const std::string& point) const;
+
+  // Called by OLAPIDX_FAULT_POINT. Thread-safe. Returns OK unless the
+  // armed plan decides this hit fails.
+  Status Check(const char* point);
+
+ private:
+  struct PointState {
+    uint64_t hits = 0;
+    enum class Mode { kDisarmed, kNth, kAlways, kRandom } mode =
+        Mode::kDisarmed;
+    uint64_t nth = 0;          // kNth: 1-based hit to fail, relative to arm
+    uint64_t armed_at_hit = 0; // hits recorded when the plan was armed
+    double probability = 0.0;  // kRandom
+    uint64_t rng_state = 0;    // kRandom: SplitMix64 state
+    StatusCode code = StatusCode::kUnavailable;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+}  // namespace olapidx
+
+#if defined(OLAPIDX_FAULT_INJECTION)
+#define OLAPIDX_FAULT_POINT(point)                                   \
+  do {                                                               \
+    ::olapidx::Status _olapidx_fault =                               \
+        ::olapidx::FaultInjector::Global().Check(point);             \
+    if (!_olapidx_fault.ok()) return _olapidx_fault;                 \
+  } while (false)
+#else
+#define OLAPIDX_FAULT_POINT(point) \
+  do {                             \
+  } while (false)
+#endif
+
+#endif  // OLAPIDX_COMMON_FAULT_INJECTION_H_

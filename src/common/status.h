@@ -1,0 +1,176 @@
+// Recoverable-error propagation for boundary-reachable failure paths.
+//
+// The library does not use exceptions (see DESIGN.md). Programming errors
+// and violated internal invariants still abort via OLAPIDX_CHECK; anything
+// an *external input* can trigger — malformed design/sizes/CSV text, an
+// impossible advisor configuration, an injected fault, a deadline — travels
+// as a Status (or StatusOr<T> for value-returning entry points) so that a
+// long-running advisor service can reject the request and keep serving.
+//
+// Context chaining: callers closer to the boundary prepend what they were
+// doing, producing messages like
+//     "applying design 'prod.design': line 7: unknown dimension 'q'"
+// via Status::WithContext / OLAPIDX_RETURN_IF_ERROR_CTX.
+
+#ifndef OLAPIDX_COMMON_STATUS_H_
+#define OLAPIDX_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,    // malformed external input or configuration
+  kNotFound,           // a named entity does not exist
+  kAlreadyExists,      // duplicate where uniqueness is required
+  kFailedPrecondition, // operation ordering violated (e.g. index before view)
+  kResourceExhausted,  // a caller-imposed budget (stages, space) ran out
+  kDeadlineExceeded,   // wall-clock deadline expired (anytime stop)
+  kCancelled,          // cooperative cancellation requested (anytime stop)
+  kUnavailable,        // transient environment failure (injected faults)
+  kDataLoss,           // persisted artifact is corrupt beyond parsing
+  kInternal,           // invariant violation surfaced instead of aborting
+  kUnimplemented,      // requested combination is not supported
+};
+
+// "OK", "INVALID_ARGUMENT", ... (stable, used in rendered messages).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    OLAPIDX_DCHECK(code != StatusCode::kOk || message_.empty());
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True for the codes that mean "stopped early on purpose, partial result
+  // is valid" rather than "the input was bad": deadline, cancellation, and
+  // exhausted caller budgets. The anytime contract of the selection
+  // algorithms keys off this.
+  bool IsInterruption() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+
+  // "OK" or "INVALID_ARGUMENT: line 3: unknown dimension 'q'".
+  std::string ToString() const;
+
+  // Returns a copy with `context + ": "` prepended to the message (no-op
+  // on OK). Chain outward: innermost detail stays rightmost.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or the Status explaining why there is none. Access to the value
+// of a failed StatusOr is a programming error and aborts (OLAPIDX_CHECK).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from Status (must be non-OK) and from T — so `return status;`
+  // and `return value;` both work, as does OLAPIDX_FAULT_POINT.
+  StatusOr(Status status) : status_(std::move(status)) {
+    OLAPIDX_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    OLAPIDX_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    OLAPIDX_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    OLAPIDX_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace olapidx
+
+// Early-return plumbing for Status-returning functions (works in functions
+// returning Status or StatusOr<T>).
+#define OLAPIDX_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::olapidx::Status _olapidx_status = (expr);      \
+    if (!_olapidx_status.ok()) return _olapidx_status; \
+  } while (false)
+
+// Same, prepending `context` to the propagated message.
+#define OLAPIDX_RETURN_IF_ERROR_CTX(expr, context)                    \
+  do {                                                                \
+    ::olapidx::Status _olapidx_status = (expr);                       \
+    if (!_olapidx_status.ok())                                        \
+      return _olapidx_status.WithContext(context);                    \
+  } while (false)
+
+#endif  // OLAPIDX_COMMON_STATUS_H_

@@ -1,11 +1,15 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "common/fault_injection.h"
 
 namespace olapidx {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  job_status_.resize(num_threads);
   workers_.reserve(num_threads - 1);
   for (size_t w = 1; w < num_threads; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -30,44 +34,86 @@ std::pair<size_t, size_t> ThreadPool::ChunkBounds(size_t n, size_t chunks,
   return {begin, end};
 }
 
-void ThreadPool::ParallelFor(size_t n, const ChunkFn& fn) {
-  if (n == 0) return;
+void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
+  if (job_failed_.load(std::memory_order_acquire)) return;  // skip
+  Status status;
+  if (fault_points) {
+#if defined(OLAPIDX_FAULT_INJECTION)
+    status = FaultInjector::Global().Check("pool.chunk");
+#endif
+  }
+  if (status.ok()) {
+    auto [begin, end] = ChunkBounds(n, num_threads(), chunk);
+    if (begin < end) status = (*job_)(begin, end, chunk);
+  }
+  if (!status.ok()) {
+    job_status_[chunk] = std::move(status);
+    job_failed_.store(true, std::memory_order_release);
+  }
+}
+
+Status ThreadPool::Run(size_t n, const StatusChunkFn& fn,
+                       bool fault_points) {
+  if (n == 0) return Status::Ok();
   size_t threads = num_threads();
+  std::fill(job_status_.begin(), job_status_.end(), Status::Ok());
+  job_failed_.store(false, std::memory_order_relaxed);
+  job_ = &fn;
+  job_n_ = n;
+  job_fault_points_ = fault_points;
   if (threads == 1 || n == 1) {
-    fn(0, n, 0);
-    return;
+    // Serial: a single chunk on the calling thread, same dispatch path.
+    RunChunk(n, 0, fault_points);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ = workers_.size();
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    RunChunk(n, 0, fault_points);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    job_n_ = n;
-    pending_ = workers_.size();
-    ++epoch_;
-  }
-  work_cv_.notify_all();
-  auto [begin, end] = ChunkBounds(n, threads, 0);
-  if (begin < end) fn(begin, end, 0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
+  // Deterministic reduction: the lowest-numbered failed chunk wins.
+  for (Status& s : job_status_) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::Ok();
+}
+
+void ThreadPool::ParallelFor(size_t n, const ChunkFn& fn) {
+  StatusChunkFn wrapped = [&fn](size_t begin, size_t end,
+                                size_t chunk) -> Status {
+    fn(begin, end, chunk);
+    return Status::Ok();
+  };
+  Status status = Run(n, wrapped, /*fault_points=*/false);
+  // Infallible chunks with fault points off: nothing can fail.
+  OLAPIDX_CHECK(status.ok());
+}
+
+Status ThreadPool::TryParallelFor(size_t n, const StatusChunkFn& fn) {
+  OLAPIDX_FAULT_POINT("pool.enqueue");
+  return Run(n, fn, /*fault_points=*/true);
 }
 
 void ThreadPool::WorkerLoop(size_t worker) {
   uint64_t seen = 0;
   for (;;) {
-    const ChunkFn* fn = nullptr;
     size_t n = 0;
+    bool fault_points = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
                     [&] { return shutdown_ || (epoch_ != seen && job_); });
       if (shutdown_) return;
       seen = epoch_;
-      fn = job_;
       n = job_n_;
+      fault_points = job_fault_points_;
     }
-    auto [begin, end] = ChunkBounds(n, num_threads(), worker);
-    if (begin < end) (*fn)(begin, end, worker);
+    RunChunk(n, worker, fault_points);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;

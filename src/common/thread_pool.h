@@ -9,10 +9,19 @@
 // the caller's job: accumulate into per-chunk slots and reduce the slots
 // in chunk order after ParallelFor returns (see r_greedy.cc for the
 // canonical pattern).
+//
+// Failure semantics (TryParallelFor): a chunk signals failure by returning
+// a non-OK Status. The pool never deadlocks or tears down the process on a
+// failed chunk — every chunk's completion is accounted for, the pool stays
+// reusable, and the destructor joins cleanly afterwards. Once any chunk
+// has failed, chunks that have not started yet are skipped (their Status
+// stays OK); the call returns the non-OK Status of the lowest-numbered
+// chunk that ran, so a single armed fault yields a reproducible error.
 
 #ifndef OLAPIDX_COMMON_THREAD_POOL_H_
 #define OLAPIDX_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -21,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace olapidx {
 
 class ThreadPool {
@@ -28,6 +39,11 @@ class ThreadPool {
   // fn(begin, end, chunk): process indexes [begin, end); `chunk` is the
   // chunk's ordinal in [0, num_threads()), usable as a scratch-slot index.
   using ChunkFn = std::function<void(size_t begin, size_t end, size_t chunk)>;
+  // Same contract, but the chunk may fail. A non-OK return makes the whole
+  // TryParallelFor fail (see the failure semantics above); it must leave
+  // the caller's data in a state that is safe to discard.
+  using StatusChunkFn =
+      std::function<Status(size_t begin, size_t end, size_t chunk)>;
 
   // Spawns num_threads - 1 workers; the calling thread acts as the final
   // worker inside ParallelFor. num_threads == 0 is treated as 1 (serial).
@@ -42,8 +58,14 @@ class ThreadPool {
   // Runs fn over [0, n) split into num_threads() contiguous chunks (the
   // first n % num_threads() chunks get one extra element). Blocks until
   // every chunk finishes; the caller thread executes chunk 0. Not
-  // reentrant: fn must not call ParallelFor on the same pool.
+  // reentrant: fn must not call ParallelFor on the same pool. Infallible
+  // chunks only — no fault points fire on this path.
   void ParallelFor(size_t n, const ChunkFn& fn);
+
+  // Fallible variant: returns the first (lowest-chunk) failure, OK when
+  // every chunk succeeded. Crosses the "pool.enqueue" fault point before
+  // dispatch and "pool.chunk" before each chunk body.
+  Status TryParallelFor(size_t n, const StatusChunkFn& fn);
 
   // Process-wide pool, sized from the OLAPIDX_THREADS environment
   // variable when set (and positive), else std::thread::hardware_concurrency.
@@ -54,16 +76,28 @@ class ThreadPool {
                                                size_t c);
 
  private:
+  // Shared engine behind both ParallelFor variants. `fault_points` guards
+  // the "pool.chunk" site so the infallible path can never trip an armed
+  // fault it has no way to report.
+  Status Run(size_t n, const StatusChunkFn& fn, bool fault_points);
+  // One chunk's dispatch: fault point (when enabled), skip-after-failure,
+  // body, status slot, failure flag.
+  void RunChunk(size_t n, size_t chunk, bool fault_points);
   void WorkerLoop(size_t worker);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const ChunkFn* job_ = nullptr;  // non-null while a ParallelFor is active
+  const StatusChunkFn* job_ = nullptr;  // non-null while a job is active
   size_t job_n_ = 0;
+  bool job_fault_points_ = false;
   uint64_t epoch_ = 0;     // bumped per ParallelFor to wake workers
   size_t pending_ = 0;     // workers still running the current job
   bool shutdown_ = false;
+  // Per-chunk outcome of the active job; chunk c writes only slot c.
+  std::vector<Status> job_status_;
+  // Set by the first failing chunk; later chunks check it and skip.
+  std::atomic<bool> job_failed_{false};
   std::vector<std::thread> workers_;
 };
 

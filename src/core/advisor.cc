@@ -1,8 +1,67 @@
 #include "core/advisor.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 namespace olapidx {
+
+namespace {
+
+// Resolves a checkpoint's cube-level picks (attribute sets, keys) to this
+// graph's StructureRefs. Fails on any pick that does not exist in the
+// graph — e.g. a checkpoint taken with a different schema or index family.
+Status ResolveCheckpoint(const SelectionCheckpoint& checkpoint,
+                         const CubeGraph& cube_graph, ResumePicks* out) {
+  out->picks.clear();
+  out->pick_benefits = checkpoint.pick_benefits;
+  out->stages = checkpoint.stages;
+  for (size_t i = 0; i < checkpoint.picks.size(); ++i) {
+    const RecommendedStructure& s = checkpoint.picks[i];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("checkpoint pick " +
+                                     std::to_string(i + 1) + ": " + message);
+    };
+    uint32_t view = 0;
+    bool view_found = false;
+    for (uint32_t v = 0;
+         v < static_cast<uint32_t>(cube_graph.view_attrs.size()); ++v) {
+      if (cube_graph.view_attrs[v] == s.view) {
+        view = v;
+        view_found = true;
+        break;
+      }
+    }
+    if (!view_found) return fail("view not in the cube lattice");
+    if (s.is_view()) {
+      out->picks.push_back(StructureRef{view, StructureRef::kNoIndex});
+      continue;
+    }
+    const std::vector<IndexKey>& keys = cube_graph.index_keys[view];
+    int32_t index = -1;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (keys[k] == s.index) {
+        index = static_cast<int32_t>(k);
+        break;
+      }
+    }
+    if (index < 0) {
+      return fail("index key not in the view's index family");
+    }
+    out->picks.push_back(StructureRef{view, index});
+  }
+  return Status::Ok();
+}
+
+Recommendation RejectedRecommendation(Status status) {
+  Recommendation rec;
+  rec.raw = SelectionResult::Rejected(std::move(status));
+  rec.status = rec.raw.status;
+  rec.completed = false;
+  return rec;
+}
+
+}  // namespace
 
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
@@ -30,19 +89,67 @@ Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
       cube_graph_(BuildCubeGraph(schema, sizes, workload, options)) {}
 
 Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
+  const bool greedy = config.algorithm == Algorithm::kOneGreedy ||
+                      config.algorithm == Algorithm::kRGreedy ||
+                      config.algorithm == Algorithm::kInnerLevel;
+  if (!greedy && !config.control.unlimited()) {
+    return RejectedRecommendation(Status::Unimplemented(
+        std::string(AlgorithmName(config.algorithm)) +
+        " has no anytime contract; deadlines/cancellation require a greedy "
+        "algorithm"));
+  }
+  if (!greedy && config.resume != nullptr) {
+    return RejectedRecommendation(Status::InvalidArgument(
+        std::string(AlgorithmName(config.algorithm)) +
+        " cannot resume from a checkpoint"));
+  }
+
+  ResumePicks resume;
+  const ResumePicks* resume_ptr = nullptr;
+  if (config.resume != nullptr) {
+    const SelectionCheckpoint& cp = *config.resume;
+    if (cp.algorithm != AlgorithmName(config.algorithm)) {
+      return RejectedRecommendation(Status::InvalidArgument(
+          "checkpoint was taken by '" + cp.algorithm + "', not '" +
+          AlgorithmName(config.algorithm) +
+          "'; resuming would not reproduce the original pick sequence"));
+    }
+    if (cp.space_budget != config.space_budget) {
+      return RejectedRecommendation(Status::InvalidArgument(
+          "checkpoint budget " + std::to_string(cp.space_budget) +
+          " does not match configured budget " +
+          std::to_string(config.space_budget)));
+    }
+    Status resolved = ResolveCheckpoint(cp, cube_graph_, &resume);
+    if (!resolved.ok()) return RejectedRecommendation(std::move(resolved));
+    resume_ptr = &resume;
+  }
+
   SelectionResult result;
   switch (config.algorithm) {
-    case Algorithm::kOneGreedy:
-      result = OneGreedy(cube_graph_.graph, config.space_budget);
+    case Algorithm::kOneGreedy: {
+      RGreedyOptions options;
+      options.r = 1;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
+      result = RGreedy(cube_graph_.graph, config.space_budget, options);
       break;
-    case Algorithm::kRGreedy:
-      result = RGreedy(cube_graph_.graph, config.space_budget,
-                       config.r_greedy);
+    }
+    case Algorithm::kRGreedy: {
+      RGreedyOptions options = config.r_greedy;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
+      result = RGreedy(cube_graph_.graph, config.space_budget, options);
       break;
-    case Algorithm::kInnerLevel:
+    }
+    case Algorithm::kInnerLevel: {
+      InnerGreedyOptions options = config.inner_greedy;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
       result = InnerLevelGreedy(cube_graph_.graph, config.space_budget,
-                                config.inner_greedy);
+                                options);
       break;
+    }
     case Algorithm::kTwoStep:
       result = TwoStep(cube_graph_.graph, config.space_budget,
                        config.two_step);
@@ -55,9 +162,16 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
                                      config.optimal);
       break;
   }
+  if (!result.status.ok() && !result.status.IsInterruption()) {
+    // Rejected input (bad checkpoint, non-finalized graph, injected
+    // fault): nothing to report beyond the status.
+    return RejectedRecommendation(std::move(result.status));
+  }
 
   Recommendation rec;
   rec.raw = result;
+  rec.status = result.status;
+  rec.completed = result.completed;
   rec.space_used = result.space_used;
   rec.initial_average_cost =
       result.total_frequency > 0.0
@@ -103,6 +217,17 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
     rec.plans.push_back(std::move(plan));
   }
   return rec;
+}
+
+SelectionCheckpoint Recommendation::ToCheckpoint(
+    const AdvisorConfig& config) const {
+  SelectionCheckpoint checkpoint;
+  checkpoint.algorithm = AlgorithmName(config.algorithm);
+  checkpoint.space_budget = config.space_budget;
+  checkpoint.stages = raw.stats.stages;
+  checkpoint.picks = structures;
+  checkpoint.pick_benefits = raw.pick_benefits;
+  return checkpoint;
 }
 
 }  // namespace olapidx

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/cube_graph.h"
 #include "core/inner_greedy.h"
 #include "core/optimal.h"
@@ -31,6 +33,8 @@ enum class Algorithm {
 
 const char* AlgorithmName(Algorithm algorithm);
 
+struct SelectionCheckpoint;
+
 struct AdvisorConfig {
   Algorithm algorithm = Algorithm::kInnerLevel;
   double space_budget = 0.0;
@@ -42,6 +46,19 @@ struct AdvisorConfig {
   TwoStepOptions two_step;
   // kOptimal only.
   OptimalOptions optimal;
+
+  // Interruption inputs for the greedy algorithms (kOneGreedy, kRGreedy,
+  // kInnerLevel): deadline, cancel token, stage budget. An interrupted
+  // run returns completed == false with the anytime best-so-far design.
+  // Rejected with Unimplemented for the other algorithms (they have no
+  // anytime contract), unless the control is unlimited.
+  RunControl control = {};
+
+  // Warm start from a checkpoint of an interrupted run (greedy algorithms
+  // only). The checkpoint's algorithm tag and budget must match this
+  // config; picks are resolved against the cube graph. Not owned; must
+  // outlive the Recommend call.
+  const SelectionCheckpoint* resume = nullptr;
 };
 
 // One recommended structure, in pick order.
@@ -55,6 +72,19 @@ struct RecommendedStructure {
   bool is_view() const { return index.empty(); }
 };
 
+// The pick prefix of an interrupted greedy run, in cube terms (attribute
+// sets and keys, not graph ids) so it survives re-building the graph in a
+// later process. The on-disk form is "olapidx-checkpoint v1"
+// (core/serialize.h); `algorithm` and `space_budget` let the resuming run
+// verify it is continuing the same selection problem.
+struct SelectionCheckpoint {
+  std::string algorithm;              // AlgorithmName() of the original run
+  double space_budget = 0.0;
+  uint64_t stages = 0;                // greedy stages the prefix represents
+  std::vector<RecommendedStructure> picks;  // in original pick order
+  std::vector<double> pick_benefits;        // parallel to picks (the a_i)
+};
+
 // The chosen access path for one workload query.
 struct QueryPlan {
   SliceQuery query;
@@ -66,6 +96,12 @@ struct QueryPlan {
 };
 
 struct Recommendation {
+  // Run outcome, mirroring raw.status: OK = complete; an interruption
+  // code = anytime partial design (still fully usable); any other code =
+  // the config or checkpoint was rejected and the recommendation is
+  // empty.
+  Status status;
+  bool completed = true;
   std::vector<RecommendedStructure> structures;
   std::vector<QueryPlan> plans;
   double space_used = 0.0;
@@ -74,6 +110,10 @@ struct Recommendation {
   double average_query_cost = 0.0;
   // The underlying algorithm output (picks as graph ids, τ, work counters).
   SelectionResult raw;
+
+  // Packages this (typically interrupted) recommendation as a resumable
+  // checkpoint, stamped with the producing config's algorithm and budget.
+  SelectionCheckpoint ToCheckpoint(const AdvisorConfig& config) const;
 };
 
 class Advisor {

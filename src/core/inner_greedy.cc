@@ -1,8 +1,10 @@
 #include "core/inner_greedy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/selection_state.h"
@@ -182,14 +184,25 @@ void EvaluateView(const SelectionState& state, uint32_t v,
 SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
                                  double space_budget,
                                  const InnerGreedyOptions& options) {
-  OLAPIDX_CHECK(graph.finalized());
-  OLAPIDX_CHECK(space_budget >= 0.0);
+  // Boundary-reachable misuse is rejected, not aborted on.
+  if (!graph.finalized()) {
+    return SelectionResult::Rejected(
+        Status::FailedPrecondition("query-view graph is not finalized"));
+  }
+  if (!(space_budget >= 0.0)) {  // rejects negatives and NaN
+    return SelectionResult::Rejected(Status::InvalidArgument(
+        "space budget must be non-negative and finite"));
+  }
 
   SelectionState state(&graph);
   SelectionResult result;
   result.initial_cost = state.TotalCost();
   for (uint32_t q = 0; q < graph.num_queries(); ++q) {
     result.total_frequency += graph.query_frequency(q);
+  }
+  if (options.resume != nullptr) {
+    Status replayed = ReplayPicks(*options.resume, &state, &result);
+    if (!replayed.ok()) return SelectionResult::Rejected(replayed);
   }
 
   std::unique_ptr<ThreadPool> private_pool;
@@ -206,8 +219,21 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
   dirty.reserve(num_views);
   std::vector<uint64_t> chunk_evals(chunks);
   const auto run_start = SteadyClock::now();
+  // Stages executed by *this call*; replayed checkpoint stages don't
+  // count against the budget.
+  size_t steps_this_call = 0;
 
   while (state.SpaceUsed() < space_budget) {
+    if (steps_this_call >= options.control.max_steps) {
+      result.status = Status::ResourceExhausted("stage budget reached");
+      result.completed = false;
+      break;
+    }
+    if (options.control.StopRequested()) {
+      result.status = options.control.StopStatus();
+      result.completed = false;
+      break;
+    }
     const auto stage_start = SteadyClock::now();
 
     // Pass 1: clean slots are exact; the best clean ratio becomes the
@@ -241,15 +267,36 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
     result.stats.cache_misses += dirty.size();
 
     std::fill(chunk_evals.begin(), chunk_evals.end(), 0);
-    pool.ParallelFor(dirty.size(),
-                     [&](size_t begin, size_t end, size_t chunk) {
-                       for (size_t i = begin; i < end; ++i) {
-                         EvaluateView(state, dirty[i], space_budget,
-                                      &slots[dirty[i]],
-                                      &chunk_evals[chunk]);
-                       }
-                     });
+    // Evaluation crosses the pool's fault points and polls the stop
+    // inputs between per-view evaluations; an interrupted view keeps its
+    // stale version and is re-evaluated on resume.
+    std::atomic<bool> stop_requested{false};
+    Status evaluated = pool.TryParallelFor(
+        dirty.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (stop_requested.load(std::memory_order_relaxed)) break;
+            if (options.control.StopRequested()) {
+              stop_requested.store(true, std::memory_order_relaxed);
+              break;
+            }
+            EvaluateView(state, dirty[i], space_budget, &slots[dirty[i]],
+                         &chunk_evals[chunk]);
+          }
+          return Status::Ok();
+        });
     for (uint64_t e : chunk_evals) result.candidates_evaluated += e;
+    if (!evaluated.ok()) {
+      result.status = evaluated.WithContext("bundle growth");
+      result.completed = false;
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;
+    }
+    if (stop_requested.load(std::memory_order_relaxed)) {
+      result.status = options.control.StopStatus();
+      result.completed = false;
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;
+    }
 
     // Deterministic reduction over all views: ascending view id with
     // strictly-greater ratio implements the documented candidate order.
@@ -285,6 +332,7 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
       result.pick_benefits.push_back(per_structure);
     }
     ++result.stats.stages;
+    ++steps_this_call;
     result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
   }
 

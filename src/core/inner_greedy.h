@@ -22,6 +22,7 @@
 
 #include <cstddef>
 
+#include "common/deadline.h"
 #include "core/selection_result.h"
 
 namespace olapidx {
@@ -34,6 +35,18 @@ struct InnerGreedyOptions {
   // invalidation via SelectionState::ViewVersion); exact, picks are
   // bit-identical with the flag off.
   bool memoize = true;
+
+  // Interruption inputs (deadline, cancel token, stage budget), polled at
+  // stage boundaries and between per-view evaluations. On interruption
+  // the result is the anytime best-so-far prefix: completed == false,
+  // status an interruption code, picks equal to the uninterrupted run's
+  // first stats.stages stages (determinism contract).
+  RunControl control = {};
+
+  // Warm start: replay this pick prefix before the first stage (see
+  // RGreedyOptions::resume for the bit-exactness contract). Not owned;
+  // must outlive the call.
+  const ResumePicks* resume = nullptr;
 };
 
 SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,

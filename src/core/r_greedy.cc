@@ -1,7 +1,9 @@
 #include "core/r_greedy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -185,6 +187,10 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
   for (uint32_t q = 0; q < graph.num_queries(); ++q) {
     result.total_frequency += graph.query_frequency(q);
   }
+  if (options.resume != nullptr) {
+    Status replayed = ReplayPicks(*options.resume, &state, &result);
+    if (!replayed.ok()) return SelectionResult::Rejected(replayed);
+  }
 
   std::unique_ptr<ThreadPool> private_pool;
   if (options.num_threads != 0) {
@@ -200,8 +206,21 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
   dirty.reserve(num_views);
   std::vector<ChunkCounters> counters(chunks);
   const auto run_start = SteadyClock::now();
+  // Stages executed by *this call*; replayed checkpoint stages don't count
+  // against the budget (so resume with the same max_steps makes progress).
+  size_t steps_this_call = 0;
 
   while (state.SpaceUsed() < space_budget) {
+    if (steps_this_call >= options.control.max_steps) {
+      result.status = Status::ResourceExhausted("stage budget reached");
+      result.completed = false;
+      break;
+    }
+    if (options.control.StopRequested()) {
+      result.status = options.control.StopStatus();
+      result.completed = false;
+      break;
+    }
     const auto stage_start = SteadyClock::now();
 
     // Pass 1: clean slots are exact; the best clean ratio becomes the
@@ -238,16 +257,39 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
     result.stats.cache_misses += dirty.size();
 
     std::fill(counters.begin(), counters.end(), ChunkCounters{});
-    pool.ParallelFor(dirty.size(),
-                     [&](size_t begin, size_t end, size_t chunk) {
-                       for (size_t i = begin; i < end; ++i) {
-                         EvaluateView(state, dirty[i], options,
-                                      &slots[dirty[i]], &counters[chunk]);
-                       }
-                     });
+    // Evaluation crosses the pool's fault points and polls the stop inputs
+    // between per-view evaluations. A view interrupted mid-evaluation keeps
+    // kNeverEvaluated / its stale version, so a later resume re-evaluates
+    // it — interruption never corrupts the memoization invariant.
+    std::atomic<bool> stop_requested{false};
+    Status evaluated = pool.TryParallelFor(
+        dirty.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (stop_requested.load(std::memory_order_relaxed)) break;
+            if (options.control.StopRequested()) {
+              stop_requested.store(true, std::memory_order_relaxed);
+              break;
+            }
+            EvaluateView(state, dirty[i], options, &slots[dirty[i]],
+                         &counters[chunk]);
+          }
+          return Status::Ok();
+        });
     for (const ChunkCounters& c : counters) {
       result.candidates_evaluated += c.evals;
       result.candidates_truncated += c.truncated;
+    }
+    if (!evaluated.ok()) {
+      result.status = evaluated.WithContext("candidate evaluation");
+      result.completed = false;
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;
+    }
+    if (stop_requested.load(std::memory_order_relaxed)) {
+      result.status = options.control.StopStatus();
+      result.completed = false;
+      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      break;
     }
 
     // Deterministic reduction over all views (cached and recomputed
@@ -288,6 +330,7 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
       result.pick_benefits.push_back(per_structure);
     }
     ++result.stats.stages;
+    ++steps_this_call;
     result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
   }
 
@@ -301,12 +344,17 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
 // CELF-style lazy 1-greedy: a max-heap of candidates keyed by their last
 // computed benefit-per-space; submodularity makes stale keys upper bounds.
 SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
-                              double space_budget) {
+                              double space_budget,
+                              const RGreedyOptions& options) {
   SelectionState state(&graph);
   SelectionResult result;
   result.initial_cost = state.TotalCost();
   for (uint32_t q = 0; q < graph.num_queries(); ++q) {
     result.total_frequency += graph.query_frequency(q);
+  }
+  if (options.resume != nullptr) {
+    Status replayed = ReplayPicks(*options.resume, &state, &result);
+    if (!replayed.ok()) return SelectionResult::Rejected(replayed);
   }
   const auto run_start = SteadyClock::now();
 
@@ -333,11 +381,31 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
     heap.push(Entry{b / graph.structure_space(ref), b, ref});
   };
 
+  // Seed the heap from the (possibly replayed) state: unselected views as
+  // view candidates, selected views through their unselected indexes —
+  // exactly the frontier an uninterrupted run would have open here.
   for (uint32_t v = 0; v < graph.num_views(); ++v) {
-    push_fresh(StructureRef{v, StructureRef::kNoIndex});
+    if (!state.ViewSelected(v)) {
+      push_fresh(StructureRef{v, StructureRef::kNoIndex});
+      continue;
+    }
+    for (int32_t k = 0; k < graph.num_indexes(v); ++k) {
+      if (!state.IndexSelected(v, k)) push_fresh(StructureRef{v, k});
+    }
   }
 
+  size_t steps_this_call = 0;
   while (state.SpaceUsed() < space_budget && !heap.empty()) {
+    if (steps_this_call >= options.control.max_steps) {
+      result.status = Status::ResourceExhausted("stage budget reached");
+      result.completed = false;
+      break;
+    }
+    if (options.control.StopRequested()) {
+      result.status = options.control.StopStatus();
+      result.completed = false;
+      break;
+    }
     Entry top = heap.top();
     heap.pop();
     if (state.Selected(top.ref)) continue;
@@ -354,6 +422,7 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
     result.picks.push_back(top.ref);
     result.pick_benefits.push_back(b);
     ++result.stats.stages;
+    ++steps_this_call;
     if (top.ref.is_view()) {
       for (int32_t k = 0; k < graph.num_indexes(top.ref.view); ++k) {
         push_fresh(StructureRef{top.ref.view, k});
@@ -375,11 +444,23 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
 
 SelectionResult RGreedy(const QueryViewGraph& graph, double space_budget,
                         const RGreedyOptions& options) {
-  OLAPIDX_CHECK(graph.finalized());
-  OLAPIDX_CHECK(options.r >= 1);
-  OLAPIDX_CHECK(space_budget >= 0.0);
+  // Boundary-reachable misuse (CLI flags, checkpoint files) is rejected,
+  // not aborted on; OLAPIDX_CHECK below here guards internal invariants
+  // only.
+  if (!graph.finalized()) {
+    return SelectionResult::Rejected(
+        Status::FailedPrecondition("query-view graph is not finalized"));
+  }
+  if (options.r < 1) {
+    return SelectionResult::Rejected(Status::InvalidArgument(
+        "r must be >= 1, got " + std::to_string(options.r)));
+  }
+  if (!(space_budget >= 0.0)) {  // rejects negatives and NaN
+    return SelectionResult::Rejected(Status::InvalidArgument(
+        "space budget must be non-negative and finite"));
+  }
   if (options.r == 1 && options.lazy_one_greedy) {
-    return LazyOneGreedy(graph, space_budget);
+    return LazyOneGreedy(graph, space_budget, options);
   }
   return EagerRGreedy(graph, space_budget, options);
 }

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "core/selection_result.h"
 
 namespace olapidx {
@@ -57,6 +58,22 @@ struct RGreedyOptions {
   // stages after the first from O(m) candidate evaluations into
   // O(affected). Exact: picks are bit-identical with the flag off.
   bool memoize = true;
+
+  // Interruption inputs (deadline, cancel token, stage budget). Polled at
+  // every stage boundary and between per-view evaluations, so an expiry
+  // mid-stage discards only that stage's partial evaluation. The returned
+  // result is the anytime best-so-far prefix: completed == false, status
+  // an interruption code, picks a valid monotone design equal to the
+  // uninterrupted run's first stats.stages stages (determinism contract).
+  RunControl control = {};
+
+  // Warm start: replay this pick prefix (typically parsed from an
+  // "olapidx-checkpoint v1" artifact) before the first stage. With the
+  // same graph, budget, and options, checkpoint picks + continuation picks
+  // reproduce the uninterrupted pick sequence bit-exactly. Not owned; must
+  // outlive the call. Rejected with InvalidArgument if inconsistent with
+  // the graph.
+  const ResumePicks* resume = nullptr;
 
   // r = 1 only: use CELF-style lazy evaluation (Leskovec et al., 2007).
   // Because single-structure benefits are monotone non-increasing as the

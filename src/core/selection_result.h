@@ -6,8 +6,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query_view_graph.h"
 
 namespace olapidx {
@@ -45,7 +47,30 @@ struct EvaluationStats {
   std::string ToString() const;
 };
 
+// A pick prefix to warm-start a selection run from — the in-memory form of
+// an "olapidx-checkpoint v1" artifact (core/serialize.h). The greedy
+// algorithms replay the picks into their SelectionState and continue;
+// because each stage is a deterministic function of the state, the
+// combined pick sequence is bit-identical to an uninterrupted run with the
+// same graph, budget, and options.
+struct ResumePicks {
+  std::vector<StructureRef> picks;     // in original pick order
+  std::vector<double> pick_benefits;   // parallel to picks (the a_i)
+  // Greedy stages the prefix represents (one stage may pick several
+  // structures); seeds EvaluationStats::stages on resume.
+  uint64_t stages = 0;
+};
+
 struct SelectionResult {
+  // Run outcome. OK = ran to completion. An interruption code
+  // (status.IsInterruption(): deadline, cancellation, stage budget) =
+  // stopped early and `picks` is the valid best-so-far prefix (anytime
+  // contract). Any other code = the input was rejected or a fault was
+  // injected; treat the result as empty.
+  Status status;
+  // Convenience mirror: true iff status.ok(). When false, stats.stages is
+  // the stage the run stopped at.
+  bool completed = true;
   std::vector<StructureRef> picks;  // in selection order
   // Incremental benefit of each pick at the time it was made (the a_i of
   // Theorem 5.1); one entry per pick.
@@ -68,6 +93,16 @@ struct SelectionResult {
   // True iff the result is provably optimal for its budget (set only by the
   // branch-and-bound solver when it runs to completion).
   bool proven_optimal = false;
+
+  // An empty result carrying a rejection status (malformed input, injected
+  // fault): the uniform "total function" failure value of the selection
+  // entry points.
+  static SelectionResult Rejected(Status status) {
+    SelectionResult result;
+    result.status = std::move(status);
+    result.completed = false;
+    return result;
+  }
 
   // B(M, ∅), the absolute benefit of the selection (net of maintenance).
   double Benefit() const {

@@ -132,4 +132,37 @@ void SelectionState::ApplyStructure(StructureRef s) {
   Apply(c);
 }
 
+Status ReplayPicks(const ResumePicks& resume, SelectionState* state,
+                   SelectionResult* result) {
+  OLAPIDX_CHECK(state != nullptr && result != nullptr);
+  const QueryViewGraph& graph = state->graph();
+  if (resume.picks.size() != resume.pick_benefits.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(resume.picks.size()) +
+        " picks but " + std::to_string(resume.pick_benefits.size()) +
+        " benefits");
+  }
+  for (size_t i = 0; i < resume.picks.size(); ++i) {
+    const StructureRef& ref = resume.picks[i];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("checkpoint pick " +
+                                     std::to_string(i + 1) + ": " + message);
+    };
+    if (ref.view >= graph.num_views()) return fail("view id out of range");
+    if (!ref.is_view() &&
+        (ref.index < 0 || ref.index >= graph.num_indexes(ref.view))) {
+      return fail("index position out of range");
+    }
+    if (state->Selected(ref)) return fail("structure picked twice");
+    if (!ref.is_view() && !state->ViewSelected(ref.view)) {
+      return fail("index pick precedes its view");
+    }
+    state->ApplyStructure(ref);
+  }
+  result->picks = resume.picks;
+  result->pick_benefits = resume.pick_benefits;
+  result->stats.stages = resume.stages;
+  return Status::Ok();
+}
+
 }  // namespace olapidx

@@ -12,7 +12,8 @@
 
 #include <vector>
 
-#include "core/query_view_graph.h"
+#include "common/status.h"
+#include "core/selection_result.h"
 
 namespace olapidx {
 
@@ -111,6 +112,14 @@ class SelectionState {
   double space_used_ = 0.0;
   double maintenance_ = 0.0;
 };
+
+// Replays a checkpointed pick prefix into `state` and seeds `result` with
+// the replayed picks/benefits/stage count. Validates against the graph —
+// ids in range, no duplicates, every index pick preceded by its view,
+// parallel benefit array — and returns InvalidArgument (leaving the run
+// rejected) instead of aborting on a corrupt or mismatched checkpoint.
+Status ReplayPicks(const ResumePicks& resume, SelectionState* state,
+                   SelectionResult* result);
 
 }  // namespace olapidx
 

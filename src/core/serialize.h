@@ -10,10 +10,31 @@
 //     view none
 //
 // `view A` materializes the subcube with group-by attrs A ("none" = apex);
-// `index V : K` builds the index with ordered key K on subcube V.
+// `index V : K` builds the index with ordered key K on subcube V. Every
+// `index` line must follow the `view` line of its view (an index cannot be
+// built on an unmaterialized subcube) and duplicate structures are
+// rejected.
 //
 // Sizes format ("olapidx-sizes v1"): one `size <attrs> <rows>` line per
-// subcube; all 2^n subcubes must be present.
+// subcube; all 2^n subcubes must be present, each exactly once.
+//
+// Checkpoint format ("olapidx-checkpoint v1"): the resumable pick prefix
+// of an interrupted greedy selection run —
+//
+//     olapidx-checkpoint v1
+//     algorithm inner-level greedy
+//     budget 250000
+//     stages 3
+//     pick 1234.5 view p,s
+//     pick 617.25 index p,s : s,p
+//
+// `algorithm` is the AlgorithmName() of the producing run, `budget` its
+// space budget (%.17g, bit-exact round-trip), `stages` the number of
+// greedy stages the prefix represents, and each `pick` line carries the
+// structure's recorded incremental benefit (the a_i).
+//
+// All parsers are total functions: malformed input yields a line-tagged
+// error Status, never a crash.
 
 #ifndef OLAPIDX_CORE_SERIALIZE_H_
 #define OLAPIDX_CORE_SERIALIZE_H_
@@ -21,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/advisor.h"
 #include "cost/view_sizes.h"
 
@@ -32,19 +54,31 @@ std::string SerializeDesign(
     const std::vector<RecommendedStructure>& structures,
     const CubeSchema& schema);
 
-// Parses into (view, index) items; names are validated against `schema`.
-// Returns false with a line-tagged message in `error` on malformed input.
-bool ParseDesign(const std::string& text, const CubeSchema& schema,
-                 std::vector<RecommendedStructure>* structures,
-                 std::string* error);
+// Parses into (view, index) items; names are validated against `schema`,
+// duplicate structures and indexes on unmaterialized views are rejected.
+StatusOr<std::vector<RecommendedStructure>> ParseDesign(
+    const std::string& text, const CubeSchema& schema);
 
 // ---- View sizes ----
 
 std::string SerializeViewSizes(const ViewSizes& sizes,
                                const CubeSchema& schema);
 
-bool ParseViewSizes(const std::string& text, const CubeSchema& schema,
-                    ViewSizes* sizes, std::string* error);
+// Parses a complete size table: every subcube exactly once, rows >= 1.
+StatusOr<ViewSizes> ParseViewSizes(const std::string& text,
+                                   const CubeSchema& schema);
+
+// ---- Selection checkpoints ----
+
+std::string SerializeCheckpoint(const SelectionCheckpoint& checkpoint,
+                                const CubeSchema& schema);
+
+// Parses a checkpoint; structural design rules (duplicates, index before
+// its view) are enforced the same way as ParseDesign. Whether the picks
+// exist in the cube graph is checked later, when the resuming run resolves
+// them (Advisor::Recommend).
+StatusOr<SelectionCheckpoint> ParseCheckpoint(const std::string& text,
+                                              const CubeSchema& schema);
 
 }  // namespace olapidx
 

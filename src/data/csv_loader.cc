@@ -1,9 +1,13 @@
 #include "data/csv_loader.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
 
 namespace olapidx {
 
@@ -33,15 +37,16 @@ std::vector<std::string> SplitCsv(const std::string& line) {
 
 }  // namespace
 
-std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
-                                      std::string* error) {
-  OLAPIDX_CHECK(error != nullptr);
+StatusOr<CsvCube> LoadCsvFacts(const std::string& text) {
+  OLAPIDX_FAULT_POINT("csv.load");
+  // std::getline splits on '\n' and Trim strips the '\r' of CRLF files;
+  // the final row is parsed whether or not the file ends in a newline.
   std::istringstream in(text);
   std::string line;
   int line_no = 0;
   auto fail = [&](const std::string& message) {
-    *error = "line " + std::to_string(line_no) + ": " + message;
-    return nullptr;
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   message);
   };
 
   // Header.
@@ -78,8 +83,16 @@ std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
     if (Trim(line).empty()) continue;
     std::vector<std::string> fields = SplitCsv(line);
     if (fields.size() != header.size()) {
-      return fail("expected " + std::to_string(header.size()) +
-                  " fields, got " + std::to_string(fields.size()));
+      std::string message = "expected " + std::to_string(header.size()) +
+                            " fields, got " + std::to_string(fields.size());
+      // The most common cause of extra fields is a quoted value with an
+      // embedded comma; the format has no quoting, so say so.
+      if (fields.size() > header.size() &&
+          line.find('"') != std::string::npos) {
+        message +=
+            " (quoting is not supported; fields must not contain commas)";
+      }
+      return fail(message);
     }
     for (size_t d = 0; d < n_dims; ++d) {
       if (fields[d].empty()) {
@@ -89,9 +102,16 @@ std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
     }
     const std::string& m = fields[n_dims];
     char* end = nullptr;
+    errno = 0;
     double measure = std::strtod(m.c_str(), &end);
-    if (end == nullptr || *end != '\0' || !std::isfinite(measure)) {
+    if (end == nullptr || *end != '\0') {
       return fail("bad measure '" + m + "'");
+    }
+    if (errno == ERANGE && (measure == HUGE_VAL || measure == -HUGE_VAL)) {
+      return fail("measure '" + m + "' overflows a double");
+    }
+    if (!std::isfinite(measure)) {
+      return fail("bad measure '" + m + "' (must be finite)");
     }
     measures.push_back(measure);
   }
@@ -110,9 +130,8 @@ std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
     for (size_t d = 0; d < n_dims; ++d) row[d] = coded[d][r];
     fact.Append(row, measures[r]);
   }
-  error->clear();
-  return std::make_unique<CsvCube>(
-      CsvCube{std::move(schema), std::move(fact), std::move(dictionaries)});
+  return CsvCube{std::move(schema), std::move(fact),
+                 std::move(dictionaries)};
 }
 
 std::string WriteCsvFacts(const FactTable& fact,

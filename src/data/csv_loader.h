@@ -10,10 +10,10 @@
 #ifndef OLAPIDX_DATA_CSV_LOADER_H_
 #define OLAPIDX_DATA_CSV_LOADER_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/dictionary.h"
 #include "engine/fact_table.h"
 
@@ -25,10 +25,12 @@ struct CsvCube {
   std::vector<Dictionary> dictionaries;  // per dimension, schema order
 };
 
-// Parses `text`. Returns nullptr with a line-tagged message in `error` on
-// malformed input (missing header, non-numeric measure, ragged rows, ...).
-std::unique_ptr<CsvCube> LoadCsvFacts(const std::string& text,
-                                      std::string* error);
+// Parses `text`. Tolerates CRLF line endings and a final row without a
+// trailing newline. Returns a line-tagged InvalidArgument on malformed
+// input — missing header, ragged rows, non-numeric / infinite /
+// out-of-range measures — with a quoting hint when a ragged row looks
+// like an attempt at quoted embedded commas.
+StatusOr<CsvCube> LoadCsvFacts(const std::string& text);
 
 // The inverse: renders a fact table (with its dictionaries) back into the
 // same CSV format, `measure_name` as the last column. Round-trips with

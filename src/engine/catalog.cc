@@ -56,13 +56,27 @@ size_t Catalog::MaterializeView(AttributeSet attrs) {
   return e.view->num_rows();
 }
 
-void Catalog::BuildIndex(AttributeSet view_attrs, const IndexKey& key) {
+Status Catalog::BuildIndex(AttributeSet view_attrs, const IndexKey& key) {
   Entry* e = Find(view_attrs);
-  OLAPIDX_CHECK(e != nullptr);  // The view must be materialized first.
+  const std::vector<std::string>& names = schema().names();
+  if (e == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot build an index on unmaterialized view '" +
+        view_attrs.ToString(names) + "'");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("empty index key");
+  }
+  if (!key.AsSet().IsSubsetOf(view_attrs)) {
+    return Status::InvalidArgument("index key '" + key.ToString(names) +
+                                   "' uses attributes outside view '" +
+                                   view_attrs.ToString(names) + "'");
+  }
   for (const ViewIndex& existing : e->indexes) {
-    if (existing.key() == key) return;
+    if (existing.key() == key) return Status::Ok();
   }
   e->indexes.emplace_back(*e->view, key);
+  return Status::Ok();
 }
 
 const std::vector<ViewIndex>& Catalog::indexes(AttributeSet attrs) const {

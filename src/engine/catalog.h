@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/fact_table.h"
 #include "engine/materialized_view.h"
 #include "engine/view_index.h"
@@ -34,8 +35,12 @@ class Catalog {
   // already materialized. Returns the view's row count.
   size_t MaterializeView(AttributeSet attrs);
 
-  // Builds an index on a materialized view. No-op for an exact duplicate.
-  void BuildIndex(AttributeSet view_attrs, const IndexKey& key);
+  // Builds an index on a materialized view. No-op (OK) for an exact
+  // duplicate. Fails with FailedPrecondition when the view is not
+  // materialized and InvalidArgument when the key uses attributes outside
+  // the view — both reachable from user-authored design files, so they
+  // are rejected rather than aborted on.
+  Status BuildIndex(AttributeSet view_attrs, const IndexKey& key);
 
   const std::vector<ViewIndex>& indexes(AttributeSet attrs) const;
 

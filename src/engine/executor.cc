@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "cost/analytical_model.h"
 #include "engine/key_codec.h"
 
@@ -173,6 +174,23 @@ GroupedResult Executor::Execute(
     stats->estimated_cost = plan.estimated_cost;
   }
   return acc.Finish();
+}
+
+Status Executor::TryExecute(const SliceQuery& query,
+                            const std::vector<uint32_t>& selection_values,
+                            GroupedResult* out,
+                            ExecutionStats* stats) const {
+  OLAPIDX_CHECK(out != nullptr);
+  OLAPIDX_FAULT_POINT("executor.execute");
+  size_t expected = query.selection().ToVector().size();
+  if (selection_values.size() != expected) {
+    return Status::InvalidArgument(
+        "query selects " + std::to_string(expected) +
+        " attribute(s) but " + std::to_string(selection_values.size()) +
+        " selection value(s) were supplied");
+  }
+  *out = Execute(query, selection_values, stats);
+  return Status::Ok();
 }
 
 std::vector<Executor::PlanChoice> Executor::Explain(

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/catalog.h"
 #include "workload/slice_query.h"
 
@@ -51,6 +52,15 @@ class Executor {
   GroupedResult Execute(const SliceQuery& query,
                         const std::vector<uint32_t>& selection_values,
                         ExecutionStats* stats = nullptr) const;
+
+  // Status-returning variant for service boundaries: rejects a
+  // selection-value count that does not match the query (instead of
+  // aborting) and crosses the "executor.execute" fault point. On success
+  // stores the result in *out.
+  Status TryExecute(const SliceQuery& query,
+                    const std::vector<uint32_t>& selection_values,
+                    GroupedResult* out,
+                    ExecutionStats* stats = nullptr) const;
 
   // Reference implementation that always scans the raw fact table; used by
   // tests to validate Execute's answers.

@@ -1,12 +1,35 @@
 #include "engine/physical_design.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/fault_injection.h"
 
 namespace olapidx {
 
-PhysicalDesignStats MaterializePhysicalDesign(
+StatusOr<PhysicalDesignStats> MaterializePhysicalDesign(
     Catalog& catalog, const std::vector<PhysicalDesignItem>& items) {
+  OLAPIDX_FAULT_POINT("engine.materialize");
   PhysicalDesignStats stats;
+
+  // Validate every item up front so a rejected design leaves the catalog
+  // untouched.
+  const uint32_t num_subcubes =
+      uint32_t{1} << catalog.schema().num_dimensions();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const PhysicalDesignItem& item = items[i];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("design item " + std::to_string(i + 1) +
+                                     ": " + message);
+    };
+    if (item.view.mask() >= num_subcubes) {
+      return fail("view attributes outside the schema");
+    }
+    if (!item.index.empty() &&
+        !item.index.AsSet().IsSubsetOf(item.view)) {
+      return fail("index key uses attributes outside its view");
+    }
+  }
 
   // Gather every view needed (index items imply their view) and build
   // coarsest-first: more attributes first, so children can roll up.
@@ -39,7 +62,8 @@ PhysicalDesignStats MaterializePhysicalDesign(
   for (const PhysicalDesignItem& item : items) {
     if (item.index.empty()) continue;
     size_t before = catalog.indexes(item.view).size();
-    catalog.BuildIndex(item.view, item.index);
+    OLAPIDX_RETURN_IF_ERROR_CTX(catalog.BuildIndex(item.view, item.index),
+                                "applying design");
     if (catalog.indexes(item.view).size() > before) ++stats.indexes_built;
   }
   stats.total_rows = catalog.TotalSpaceRows();

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "engine/catalog.h"
 
 namespace olapidx {
@@ -26,8 +27,11 @@ struct PhysicalDesignStats {
   double total_rows = 0.0;  // space in the paper's units after applying
 };
 
-// Applies the design. Idempotent per item. Returns build statistics.
-PhysicalDesignStats MaterializePhysicalDesign(
+// Applies the design. Idempotent per item. Every item is validated
+// against the catalog's schema *before* anything is materialized (a
+// rejected design leaves the catalog unchanged); a bad item or an
+// injected fault yields an item-tagged error instead of aborting.
+StatusOr<PhysicalDesignStats> MaterializePhysicalDesign(
     Catalog& catalog, const std::vector<PhysicalDesignItem>& items);
 
 }  // namespace olapidx

@@ -51,14 +51,28 @@ TEST_F(CatalogTest, RollupUsesSmallestAncestor) {
 }
 
 TEST_F(CatalogTest, BuildIndexRequiresView) {
-  EXPECT_DEATH(catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0})),
-               "CHECK");
+  Status missing = catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0}));
+  EXPECT_EQ(missing.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(missing.message().find("unmaterialized"), std::string::npos)
+      << missing.ToString();
   catalog_.MaterializeView(AttributeSet::Of({0}));
-  catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0}));
+  EXPECT_TRUE(catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0})).ok());
   EXPECT_EQ(catalog_.indexes(AttributeSet::Of({0})).size(), 1u);
   // Duplicate index build is a no-op.
-  catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0}));
+  EXPECT_TRUE(catalog_.BuildIndex(AttributeSet::Of({0}), IndexKey({0})).ok());
   EXPECT_EQ(catalog_.indexes(AttributeSet::Of({0})).size(), 1u);
+}
+
+TEST_F(CatalogTest, BuildIndexRejectsBadKeys) {
+  catalog_.MaterializeView(AttributeSet::Of({0, 1}));
+  EXPECT_EQ(catalog_.BuildIndex(AttributeSet::Of({0, 1}), IndexKey())
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Key mentions attribute 2, which is outside view {0,1}.
+  EXPECT_EQ(catalog_.BuildIndex(AttributeSet::Of({0, 1}), IndexKey({2, 0}))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(catalog_.indexes(AttributeSet::Of({0, 1})).empty());
 }
 
 TEST_F(CatalogTest, SpaceAccountingMatchesPaperModel) {

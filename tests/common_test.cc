@@ -1,10 +1,16 @@
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
 #include "common/format.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace olapidx {
 namespace {
@@ -114,6 +120,152 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterDeathTest, RowArityMismatch) {
   TablePrinter t({"a", "b"});
   EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK");
+}
+
+TEST(StatusTest, OkAndErrorBasics) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("bad field");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: bad field");
+}
+
+TEST(StatusTest, WithContextChainsOutward) {
+  Status inner = Status::NotFound("dimension 'q'");
+  Status outer = inner.WithContext("line 3").WithContext("parsing design");
+  EXPECT_EQ(outer.message(), "parsing design: line 3: dimension 'q'");
+  EXPECT_EQ(outer.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, InterruptionCodes) {
+  EXPECT_TRUE(Status::DeadlineExceeded("d").IsInterruption());
+  EXPECT_TRUE(Status::Cancelled("c").IsInterruption());
+  EXPECT_TRUE(Status::ResourceExhausted("r").IsInterruption());
+  EXPECT_FALSE(Status::InvalidArgument("i").IsInterruption());
+  EXPECT_FALSE(Status::Unavailable("u").IsInterruption());
+  EXPECT_FALSE(Status::Ok().IsInterruption());
+}
+
+TEST(StatusOrTest, ValueAndStatusAccess) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+  StatusOr<int> bad = Status::DataLoss("corrupt");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusOrDeathTest, ValueOfErrorAborts) {
+  StatusOr<int> bad = Status::Internal("boom");
+  EXPECT_DEATH((void)bad.value(), "CHECK");
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_micros(), INT64_MAX);
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(Deadline::AfterMicros(1).remaining_micros(), 1);
+  EXPECT_GT(Deadline::AfterMillis(60'000).remaining_micros(), 0);
+}
+
+TEST(RunControlTest, DefaultIsUnlimited) {
+  RunControl control;
+  EXPECT_TRUE(control.unlimited());
+  EXPECT_FALSE(control.StopRequested());
+}
+
+TEST(RunControlTest, StopSourcesAndPrecedence) {
+  CancelToken token;
+  RunControl control;
+  control.cancel = &token;
+  EXPECT_FALSE(control.unlimited());  // a token alone ends "unlimited"
+  EXPECT_FALSE(control.StopRequested());
+  token.Cancel();
+  EXPECT_TRUE(control.StopRequested());
+  EXPECT_EQ(control.StopStatus().code(), StatusCode::kCancelled);
+  // With both the token fired and the deadline expired, cancellation wins.
+  control.deadline = Deadline::AfterMillis(0);
+  EXPECT_EQ(control.StopStatus().code(), StatusCode::kCancelled);
+  // Deadline alone reports DeadlineExceeded.
+  RunControl timed;
+  timed.deadline = Deadline::AfterMillis(0);
+  EXPECT_TRUE(timed.StopRequested());
+  EXPECT_EQ(timed.StopStatus().code(), StatusCode::kDeadlineExceeded);
+  // max_steps is the algorithm's business, not StopRequested()'s.
+  RunControl stepped;
+  stepped.max_steps = 3;
+  EXPECT_FALSE(stepped.unlimited());
+  EXPECT_FALSE(stepped.StopRequested());
+}
+
+TEST(ThreadPoolTest, TryParallelForPropagatesTheFailingChunk) {
+  ThreadPool pool(4);
+  // Exactly one chunk fails: its Status must come back verbatim (chunks
+  // skipped after the failure stay OK and must not mask it).
+  Status s = pool.TryParallelFor(100, [](size_t, size_t, size_t chunk) {
+    if (chunk == 2) return Status::Unavailable("chunk 2");
+    return Status::Ok();
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "chunk 2");
+}
+
+TEST(ThreadPoolTest, TryParallelForReportsLowestChunkThatRan) {
+  ThreadPool pool(4);
+  // Every chunk fails with its own tag; whichever subset actually ran, the
+  // reported Status is the lowest-numbered chunk among them.
+  Status s = pool.TryParallelFor(100, [](size_t, size_t, size_t chunk) {
+    return Status::Unavailable("chunk " + std::to_string(chunk));
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message().rfind("chunk ", 0), 0u) << s.ToString();
+}
+
+TEST(ThreadPoolTest, TryParallelForOkWhenAllChunksSucceed) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  Status s = pool.TryParallelFor(
+      1000, [&](size_t begin, size_t end, size_t) {
+        total += static_cast<int>(end - begin);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, PoolSurvivesRepeatedFailures) {
+  // A failing job must not poison the pool or wedge its destructor.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    Status s = pool.TryParallelFor(64, [&](size_t, size_t, size_t chunk) {
+      if (chunk % 2 == static_cast<size_t>(round % 2)) {
+        return Status::Internal("injected");
+      }
+      return Status::Ok();
+    });
+    EXPECT_FALSE(s.ok());
+  }
+  std::atomic<int> total{0};
+  EXPECT_TRUE(pool.TryParallelFor(10, [&](size_t begin, size_t end,
+                                          size_t) {
+                    total += static_cast<int>(end - begin);
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(total.load(), 10);
+  // Destructor joins cleanly at scope exit (deadlock would hang the test).
 }
 
 }  // namespace

@@ -15,9 +15,8 @@ const char* kSampleCsv =
     "widget,widgets-r-us,globex,2\n";
 
 TEST(CsvLoaderTest, ParsesSample) {
-  std::string error;
-  std::unique_ptr<CsvCube> cube = LoadCsvFacts(kSampleCsv, &error);
-  ASSERT_NE(cube, nullptr) << error;
+  StatusOr<CsvCube> cube = LoadCsvFacts(kSampleCsv);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
   EXPECT_EQ(cube->schema.num_dimensions(), 3);
   EXPECT_EQ(cube->schema.dimension(0).name, "part");
   EXPECT_EQ(cube->schema.dimension(0).cardinality, 2u);  // widget, sprocket
@@ -36,9 +35,8 @@ TEST(CsvLoaderTest, ParsesSample) {
 }
 
 TEST(CsvLoaderTest, LoadedCubeAnswersQueries) {
-  std::string error;
-  std::unique_ptr<CsvCube> cube = LoadCsvFacts(kSampleCsv, &error);
-  ASSERT_NE(cube, nullptr) << error;
+  StatusOr<CsvCube> cube = LoadCsvFacts(kSampleCsv);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
   Catalog catalog(&cube->fact);
   catalog.MaterializeView(AttributeSet::Of({0}));
   Executor executor(&catalog);
@@ -58,34 +56,64 @@ TEST(CsvLoaderTest, LoadedCubeAnswersQueries) {
 }
 
 TEST(CsvLoaderTest, SkipsBlankLines) {
-  std::string error;
-  std::unique_ptr<CsvCube> cube = LoadCsvFacts(
-      "\n\na,m\nx,1\n\ny,2\n", &error);
-  ASSERT_NE(cube, nullptr) << error;
+  StatusOr<CsvCube> cube = LoadCsvFacts("\n\na,m\nx,1\n\ny,2\n");
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
   EXPECT_EQ(cube->fact.num_rows(), 2u);
 }
 
+TEST(CsvLoaderTest, HandlesCrlfLineEndings) {
+  StatusOr<CsvCube> cube = LoadCsvFacts("a,b,m\r\nx,u,1\r\ny,v,2\r\n");
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_EQ(cube->schema.dimension(0).name, "a");
+  EXPECT_EQ(cube->fact.num_rows(), 2u);
+  EXPECT_EQ(cube->dictionaries[1].Lookup("v"), 1u);  // no trailing '\r'
+  EXPECT_EQ(cube->fact.measure(1), 2.0);
+}
+
+TEST(CsvLoaderTest, HandlesFinalRowWithoutNewline) {
+  StatusOr<CsvCube> cube = LoadCsvFacts("a,m\nx,1\ny,2.5");
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  ASSERT_EQ(cube->fact.num_rows(), 2u);
+  EXPECT_EQ(cube->fact.measure(1), 2.5);
+}
+
 TEST(CsvLoaderTest, RejectsMalformedInput) {
-  std::string error;
-  EXPECT_EQ(LoadCsvFacts("", &error), nullptr);
-  EXPECT_EQ(LoadCsvFacts("onlymeasure\n1\n", &error), nullptr);
-  EXPECT_EQ(LoadCsvFacts("a,m\nx\n", &error), nullptr);  // ragged row
-  EXPECT_NE(error.find("line 2"), std::string::npos);
-  EXPECT_EQ(LoadCsvFacts("a,m\nx,notanumber\n", &error), nullptr);
-  EXPECT_EQ(LoadCsvFacts("a,m\nx,inf\n", &error), nullptr);
-  EXPECT_EQ(LoadCsvFacts("a,m\n,1\n", &error), nullptr);  // empty dim
-  EXPECT_EQ(LoadCsvFacts("a,a,m\nx,y,1\n", &error), nullptr);  // dup col
-  EXPECT_EQ(LoadCsvFacts("a,m\n", &error), nullptr);  // no data
+  EXPECT_FALSE(LoadCsvFacts("").ok());
+  EXPECT_FALSE(LoadCsvFacts("onlymeasure\n1\n").ok());
+  Status ragged = LoadCsvFacts("a,m\nx\n").status();  // ragged row
+  EXPECT_EQ(ragged.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ragged.message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(LoadCsvFacts("a,m\nx,notanumber\n").ok());
+  EXPECT_FALSE(LoadCsvFacts("a,m\nx,inf\n").ok());
+  EXPECT_FALSE(LoadCsvFacts("a,m\nx,nan\n").ok());
+  EXPECT_FALSE(LoadCsvFacts("a,m\n,1\n").ok());  // empty dim
+  EXPECT_FALSE(LoadCsvFacts("a,a,m\nx,y,1\n").ok());  // dup col
+  EXPECT_FALSE(LoadCsvFacts("a,m\n").ok());  // no data
+}
+
+TEST(CsvLoaderTest, RejectsOverflowingMeasure) {
+  Status status = LoadCsvFacts("a,m\nx,1e999\n").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("overflow"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CsvLoaderTest, HintsAtUnsupportedQuoting) {
+  Status status =
+      LoadCsvFacts("a,m\n\"x, the letter\",1\n").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("quoting is not supported"),
+            std::string::npos)
+      << status.ToString();
 }
 
 TEST(CsvLoaderTest, RoundTrip) {
-  std::string error;
-  std::unique_ptr<CsvCube> cube = LoadCsvFacts(kSampleCsv, &error);
-  ASSERT_NE(cube, nullptr) << error;
+  StatusOr<CsvCube> cube = LoadCsvFacts(kSampleCsv);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
   std::string rendered =
       WriteCsvFacts(cube->fact, cube->dictionaries, "sales");
-  std::unique_ptr<CsvCube> again = LoadCsvFacts(rendered, &error);
-  ASSERT_NE(again, nullptr) << error;
+  StatusOr<CsvCube> again = LoadCsvFacts(rendered);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
   ASSERT_EQ(again->fact.num_rows(), cube->fact.num_rows());
   for (size_t r = 0; r < cube->fact.num_rows(); ++r) {
     // Codes are assigned in first-appearance order, which the writer

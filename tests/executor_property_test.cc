@@ -45,7 +45,7 @@ TEST_P(ExecutorPropertyTest, AgreesWithNaiveEverywhere) {
       }
     }
   }
-  MaterializePhysicalDesign(catalog, items);
+  ASSERT_TRUE(MaterializePhysicalDesign(catalog, items).ok());
 
   Executor executor(&catalog);
   Workload all = AllSliceQueries(lattice);

@@ -1,0 +1,199 @@
+// Unit tests for the fault-point registry, plus propagation tests proving
+// that an armed fault surfaces at every public entry point as a Status —
+// never as an abort — and leaves the component reusable afterwards.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/serialize.h"
+#include "data/csv_loader.h"
+#include "data/fact_generator.h"
+#include "engine/executor.h"
+#include "engine/physical_design.h"
+
+namespace olapidx {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedPointAlwaysPasses) {
+  FaultInjector& fi = FaultInjector::Global();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fi.Check("test.point").ok());
+  }
+  EXPECT_EQ(fi.HitCount("test.point"), 5u);
+  EXPECT_EQ(fi.HitCount("never.crossed"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmNthFailsExactlyThatHit) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmNth("test.point", 3);
+  EXPECT_TRUE(fi.Check("test.point").ok());
+  EXPECT_TRUE(fi.Check("test.point").ok());
+  Status third = fi.Check("test.point");
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fi.Check("test.point").ok());  // later hits pass again
+}
+
+TEST_F(FaultInjectionTest, ArmNthCountsFromArmTime) {
+  FaultInjector& fi = FaultInjector::Global();
+  // Burn two hits before arming; "1st hit" means 1st after the arm.
+  EXPECT_TRUE(fi.Check("test.point").ok());
+  EXPECT_TRUE(fi.Check("test.point").ok());
+  fi.ArmNth("test.point", 1, StatusCode::kInternal);
+  EXPECT_EQ(fi.Check("test.point").code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, ArmAlwaysAndDisarm) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmAlways("test.point");
+  EXPECT_FALSE(fi.Check("test.point").ok());
+  EXPECT_FALSE(fi.Check("test.point").ok());
+  fi.Disarm("test.point");
+  EXPECT_TRUE(fi.Check("test.point").ok());
+}
+
+TEST_F(FaultInjectionTest, ArmRandomIsDeterministicPerSeed) {
+  FaultInjector& fi = FaultInjector::Global();
+  auto pattern = [&](uint64_t seed) {
+    fi.Reset();
+    fi.ArmRandom("test.point", 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!fi.Check("test.point").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> a = pattern(42);
+  std::vector<bool> b = pattern(42);
+  EXPECT_EQ(a, b);  // bit-reproducible
+  // And not degenerate: both outcomes occur at p = 0.5 over 200 draws.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+  EXPECT_NE(pattern(43), a);  // a different seed gives a different pattern
+}
+
+TEST_F(FaultInjectionTest, ArmRandomExtremeProbabilities) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmRandom("test.point", 0.0, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(fi.Check("test.point").ok());
+  fi.ArmRandom("test.point", 1.0, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(fi.Check("test.point").ok());
+}
+
+TEST_F(FaultInjectionTest, ResetClearsPlansAndCounters) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmAlways("test.point");
+  EXPECT_FALSE(fi.Check("test.point").ok());
+  fi.Reset();
+  EXPECT_TRUE(fi.Check("test.point").ok());
+  EXPECT_EQ(fi.HitCount("test.point"), 1u);  // only the post-Reset hit
+}
+
+// ---- Propagation through the public entry points. These require the
+// OLAPIDX_FAULT_POINT macro to be live (CMake option OLAPIDX_FAULT_INJECTION,
+// ON by default). ----
+#if defined(OLAPIDX_FAULT_INJECTION)
+
+TEST_F(FaultInjectionTest, CsvLoaderSurfacesInjectedFault) {
+  FaultInjector::Global().ArmAlways("csv.load");
+  StatusOr<CsvCube> cube = LoadCsvFacts("a,m\nx,1\n");  // valid input
+  ASSERT_FALSE(cube.ok());
+  EXPECT_EQ(cube.status().code(), StatusCode::kUnavailable);
+  FaultInjector::Global().Disarm("csv.load");
+  EXPECT_TRUE(LoadCsvFacts("a,m\nx,1\n").ok());  // recovers
+}
+
+TEST_F(FaultInjectionTest, ParsersSurfaceInjectedFaults) {
+  CubeSchema schema({Dimension{"a", 2}, Dimension{"b", 2}});
+  FaultInjector::Global().ArmAlways("serialize.design.parse");
+  EXPECT_EQ(ParseDesign("olapidx-design v1\nview a\n", schema)
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  FaultInjector::Global().ArmAlways("serialize.sizes.parse");
+  EXPECT_EQ(ParseViewSizes("olapidx-sizes v1\n", schema).status().code(),
+            StatusCode::kUnavailable);
+  FaultInjector::Global().ArmAlways("serialize.checkpoint.parse");
+  EXPECT_EQ(ParseCheckpoint("olapidx-checkpoint v1\n", schema)
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(FaultInjectionTest, MaterializeSurfacesInjectedFault) {
+  CubeSchema schema({Dimension{"a", 4}, Dimension{"b", 3}});
+  FactTable fact = GenerateUniformFacts(schema, 100, /*seed=*/11);
+  Catalog catalog(&fact);
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({0}), IndexKey()}};
+  FaultInjector::Global().ArmAlways("engine.materialize");
+  StatusOr<PhysicalDesignStats> stats =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(catalog.materialized_views().empty());  // no side effects
+  FaultInjector::Global().Disarm("engine.materialize");
+  EXPECT_TRUE(MaterializePhysicalDesign(catalog, items).ok());
+}
+
+TEST_F(FaultInjectionTest, ExecutorSurfacesInjectedFault) {
+  CubeSchema schema({Dimension{"a", 4}, Dimension{"b", 3}});
+  FactTable fact = GenerateUniformFacts(schema, 100, /*seed=*/12);
+  Catalog catalog(&fact);
+  Executor executor(&catalog);
+  SliceQuery query(AttributeSet::Of({0}), AttributeSet());
+  GroupedResult out;
+  FaultInjector::Global().ArmAlways("executor.execute");
+  EXPECT_EQ(executor.TryExecute(query, {}, &out).code(),
+            StatusCode::kUnavailable);
+  FaultInjector::Global().Disarm("executor.execute");
+  ASSERT_TRUE(executor.TryExecute(query, {}, &out).ok());
+  EXPECT_GT(out.num_rows(), 0u);
+}
+
+TEST_F(FaultInjectionTest, ThreadPoolSurvivesChunkFault) {
+  ThreadPool pool(4);
+  FaultInjector::Global().ArmNth("pool.chunk", 1);
+  Status failed = pool.TryParallelFor(100, [](size_t, size_t, size_t) {
+    return Status::Ok();
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  // The pool must stay fully usable: no deadlock, no poisoned state.
+  std::vector<int> touched(pool.num_threads(), 0);
+  Status ok = pool.TryParallelFor(
+      100, [&](size_t begin, size_t end, size_t chunk) {
+        touched[chunk] += static_cast<int>(end - begin);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(ok.ok());
+  int total = 0;
+  for (int t : touched) total += t;
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(FaultInjectionTest, ThreadPoolSurfacesEnqueueFault) {
+  ThreadPool pool(2);
+  FaultInjector::Global().ArmAlways("pool.enqueue");
+  bool ran = false;
+  Status failed =
+      pool.TryParallelFor(10, [&](size_t, size_t, size_t) {
+        ran = true;
+        return Status::Ok();
+      });
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ran);  // rejected before dispatch
+}
+
+#endif  // OLAPIDX_FAULT_INJECTION
+
+}  // namespace
+}  // namespace olapidx

@@ -22,11 +22,13 @@ TEST(PhysicalDesignTest, MaterializesCoarsestFirst) {
       {AttributeSet::Of({0, 1}), IndexKey()},
       {AttributeSet::Of({0, 1, 2}), IndexKey()},
   };
-  PhysicalDesignStats stats = MaterializePhysicalDesign(catalog, items);
-  EXPECT_EQ(stats.views_materialized, 3u);
-  EXPECT_EQ(stats.views_rolled_up, 2u);  // {0,1} from base, {0} from {0,1}
-  EXPECT_EQ(stats.indexes_built, 0u);
-  EXPECT_EQ(stats.total_rows, catalog.TotalSpaceRows());
+  StatusOr<PhysicalDesignStats> stats =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->views_materialized, 3u);
+  EXPECT_EQ(stats->views_rolled_up, 2u);  // {0,1} from base, {0} from {0,1}
+  EXPECT_EQ(stats->indexes_built, 0u);
+  EXPECT_EQ(stats->total_rows, catalog.TotalSpaceRows());
 }
 
 TEST(PhysicalDesignTest, IndexItemsImplyTheirView) {
@@ -35,10 +37,12 @@ TEST(PhysicalDesignTest, IndexItemsImplyTheirView) {
   std::vector<PhysicalDesignItem> items = {
       {AttributeSet::Of({0, 1}), IndexKey({1, 0})},
   };
-  PhysicalDesignStats stats = MaterializePhysicalDesign(catalog, items);
+  StatusOr<PhysicalDesignStats> stats =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_TRUE(catalog.HasView(AttributeSet::Of({0, 1})));
-  EXPECT_EQ(stats.views_materialized, 1u);
-  EXPECT_EQ(stats.indexes_built, 1u);
+  EXPECT_EQ(stats->views_materialized, 1u);
+  EXPECT_EQ(stats->indexes_built, 1u);
   EXPECT_EQ(catalog.indexes(AttributeSet::Of({0, 1})).size(), 1u);
 }
 
@@ -50,13 +54,17 @@ TEST(PhysicalDesignTest, Idempotent) {
       {AttributeSet::Of({1}), IndexKey({1})},
       {AttributeSet::Of({1}), IndexKey({1})},  // duplicate index
   };
-  PhysicalDesignStats first = MaterializePhysicalDesign(catalog, items);
-  EXPECT_EQ(first.views_materialized, 1u);
-  EXPECT_EQ(first.indexes_built, 1u);
-  PhysicalDesignStats second = MaterializePhysicalDesign(catalog, items);
-  EXPECT_EQ(second.views_materialized, 0u);
-  EXPECT_EQ(second.indexes_built, 0u);
-  EXPECT_EQ(second.total_rows, first.total_rows);
+  StatusOr<PhysicalDesignStats> first =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->views_materialized, 1u);
+  EXPECT_EQ(first->indexes_built, 1u);
+  StatusOr<PhysicalDesignStats> second =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->views_materialized, 0u);
+  EXPECT_EQ(second->indexes_built, 0u);
+  EXPECT_EQ(second->total_rows, first->total_rows);
 }
 
 TEST(PhysicalDesignTest, RollupProducesSameContentsAsDirect) {
@@ -67,7 +75,7 @@ TEST(PhysicalDesignTest, RollupProducesSameContentsAsDirect) {
       {AttributeSet::Of({1, 2}), IndexKey()},
       {AttributeSet::Of({0, 1, 2}), IndexKey()},
   };
-  MaterializePhysicalDesign(planned, items);
+  ASSERT_TRUE(MaterializePhysicalDesign(planned, items).ok());
   MaterializedView direct =
       MaterializedView::FromFactTable(fact, AttributeSet::Of({2}));
   const MaterializedView& rolled = planned.view(AttributeSet::Of({2}));
@@ -76,6 +84,25 @@ TEST(PhysicalDesignTest, RollupProducesSameContentsAsDirect) {
     EXPECT_EQ(rolled.RowKey(r), direct.RowKey(r));
     EXPECT_NEAR(rolled.sum(r), direct.sum(r), 1e-9);
   }
+}
+
+TEST(PhysicalDesignTest, RejectsInvalidItemsWithoutSideEffects) {
+  FactTable fact = GenerateUniformFacts(SmallSchema(), 200, /*seed=*/8);
+  Catalog catalog(&fact);
+  std::vector<PhysicalDesignItem> items = {
+      {AttributeSet::Of({0}), IndexKey()},
+      // Index key {1} is outside view {0}: the whole design is rejected
+      // up front, so even the valid first item must not be applied.
+      {AttributeSet::Of({0}), IndexKey({1})},
+  };
+  StatusOr<PhysicalDesignStats> stats =
+      MaterializePhysicalDesign(catalog, items);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stats.status().message().find("design item 2"),
+            std::string::npos)
+      << stats.status().ToString();
+  EXPECT_TRUE(catalog.materialized_views().empty());
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "core/r_greedy.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "data/example_graphs.h"
@@ -210,9 +212,18 @@ TEST(LazyOneGreedyTest, EvaluatesFewerCandidatesOnLargeInstances) {
   EXPECT_GT(memoized.stats.cache_hits, 0u);
 }
 
-TEST(RGreedyDeathTest, InvalidR) {
+TEST(RGreedyTest, InvalidConfigsAreRejectedNotFatal) {
   QueryViewGraph g = SimpleGraph();
-  EXPECT_DEATH(RGreedy(g, 1.0, RGreedyOptions{.r = 0}), "CHECK");
+  SelectionResult bad_r = RGreedy(g, 1.0, RGreedyOptions{.r = 0});
+  EXPECT_FALSE(bad_r.completed);
+  EXPECT_EQ(bad_r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(bad_r.picks.empty());
+  SelectionResult bad_budget =
+      RGreedy(g, -1.0, RGreedyOptions{.r = 1});
+  EXPECT_EQ(bad_budget.status.code(), StatusCode::kInvalidArgument);
+  SelectionResult nan_budget =
+      RGreedy(g, std::nan(""), RGreedyOptions{.r = 1});
+  EXPECT_EQ(nan_budget.status.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -10,7 +10,6 @@ namespace {
 class SerializeTest : public ::testing::Test {
  protected:
   CubeSchema schema_ = TpcdSchema();
-  std::string error_;
 };
 
 TEST_F(SerializeTest, DesignRoundTrip) {
@@ -26,12 +25,13 @@ TEST_F(SerializeTest, DesignRoundTrip) {
   ASSERT_FALSE(rec.structures.empty());
 
   std::string text = SerializeDesign(rec.structures, schema_);
-  std::vector<RecommendedStructure> parsed;
-  ASSERT_TRUE(ParseDesign(text, schema_, &parsed, &error_)) << error_;
-  ASSERT_EQ(parsed.size(), rec.structures.size());
-  for (size_t i = 0; i < parsed.size(); ++i) {
-    EXPECT_EQ(parsed[i].view, rec.structures[i].view);
-    EXPECT_TRUE(parsed[i].index == rec.structures[i].index);
+  StatusOr<std::vector<RecommendedStructure>> parsed =
+      ParseDesign(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), rec.structures.size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].view, rec.structures[i].view);
+    EXPECT_TRUE((*parsed)[i].index == rec.structures[i].index);
   }
 }
 
@@ -42,35 +42,64 @@ TEST_F(SerializeTest, DesignParsesHandWrittenFile) {
       "view p,s\n"
       "index p,s : s,p\n"
       "view none\n";
-  std::vector<RecommendedStructure> parsed;
-  ASSERT_TRUE(ParseDesign(text, schema_, &parsed, &error_)) << error_;
-  ASSERT_EQ(parsed.size(), 3u);
-  EXPECT_EQ(parsed[0].view, AttributeSet::Of({0, 1}));
-  EXPECT_TRUE(parsed[0].is_view());
-  EXPECT_TRUE(parsed[1].index == IndexKey({1, 0}));  // s,p ordering
-  EXPECT_TRUE(parsed[2].view.empty());
+  StatusOr<std::vector<RecommendedStructure>> parsed =
+      ParseDesign(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0].view, AttributeSet::Of({0, 1}));
+  EXPECT_TRUE((*parsed)[0].is_view());
+  EXPECT_TRUE((*parsed)[1].index == IndexKey({1, 0}));  // s,p ordering
+  EXPECT_TRUE((*parsed)[2].view.empty());
 }
 
 TEST_F(SerializeTest, DesignRejectsBadInput) {
-  std::vector<RecommendedStructure> parsed;
-  EXPECT_FALSE(ParseDesign("view p\n", schema_, &parsed, &error_));
-  EXPECT_NE(error_.find("header"), std::string::npos);
-  EXPECT_FALSE(ParseDesign("olapidx-design v1\nview q\n", schema_, &parsed,
-                           &error_));
-  EXPECT_FALSE(ParseDesign("olapidx-design v1\nindex p : s\n", schema_,
-                           &parsed, &error_));
-  EXPECT_NE(error_.find("outside its view"), std::string::npos);
-  EXPECT_FALSE(ParseDesign("olapidx-design v1\nfrobnicate\n", schema_,
-                           &parsed, &error_));
+  Status s = ParseDesign("view p\n", schema_).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("header"), std::string::npos);
+  EXPECT_FALSE(ParseDesign("olapidx-design v1\nview q\n", schema_).ok());
+  s = ParseDesign("olapidx-design v1\nview p\nindex p : s\n", schema_)
+          .status();
+  EXPECT_NE(s.message().find("outside its view"), std::string::npos);
+  EXPECT_FALSE(ParseDesign("olapidx-design v1\nfrobnicate\n", schema_)
+                   .ok());
+}
+
+TEST_F(SerializeTest, DesignRejectsDuplicateStructures) {
+  Status s = ParseDesign("olapidx-design v1\nview p\nview p\n", schema_)
+                 .status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("duplicate view"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+  s = ParseDesign(
+          "olapidx-design v1\nview p,s\nindex p,s : s,p\n"
+          "index p,s : s,p\n",
+          schema_)
+          .status();
+  EXPECT_NE(s.message().find("duplicate index"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SerializeTest, DesignRejectsIndexOnUnmaterializedView) {
+  Status s =
+      ParseDesign("olapidx-design v1\nindex p,s : s,p\n", schema_).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("unmaterialized view"), std::string::npos)
+      << s.ToString();
+  // The view line must *precede* the index line.
+  s = ParseDesign("olapidx-design v1\nindex p,s : s,p\nview p,s\n",
+                  schema_)
+          .status();
+  EXPECT_NE(s.message().find("unmaterialized view"), std::string::npos);
 }
 
 TEST_F(SerializeTest, SizesRoundTrip) {
   ViewSizes original = TpcdPaperSizes();
   std::string text = SerializeViewSizes(original, schema_);
-  ViewSizes parsed;
-  ASSERT_TRUE(ParseViewSizes(text, schema_, &parsed, &error_)) << error_;
+  StatusOr<ViewSizes> parsed = ParseViewSizes(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   for (uint32_t v = 0; v < original.num_views(); ++v) {
-    EXPECT_EQ(parsed[v], original[v]) << "view " << v;
+    EXPECT_EQ((*parsed)[v], original[v]) << "view " << v;
   }
 }
 
@@ -78,16 +107,81 @@ TEST_F(SerializeTest, SizesRejectIncomplete) {
   const char* text =
       "olapidx-sizes v1\n"
       "size p 200000\n";
-  ViewSizes parsed;
-  EXPECT_FALSE(ParseViewSizes(text, schema_, &parsed, &error_));
-  EXPECT_NE(error_.find("missing sizes"), std::string::npos);
+  Status s = ParseViewSizes(text, schema_).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("missing sizes"), std::string::npos);
 }
 
 TEST_F(SerializeTest, SizesRejectGarbage) {
-  ViewSizes parsed;
-  EXPECT_FALSE(ParseViewSizes("olapidx-sizes v1\nsize p many\n", schema_,
-                              &parsed, &error_));
-  EXPECT_FALSE(ParseViewSizes("nonsense\n", schema_, &parsed, &error_));
+  EXPECT_FALSE(ParseViewSizes("olapidx-sizes v1\nsize p many\n", schema_)
+                   .ok());
+  EXPECT_FALSE(ParseViewSizes("nonsense\n", schema_).ok());
+}
+
+TEST_F(SerializeTest, SizesRejectDuplicateSubcube) {
+  ViewSizes original = TpcdPaperSizes();
+  std::string text = SerializeViewSizes(original, schema_);
+  text += "size p 12345\n";  // second line for subcube {p}
+  Status s = ParseViewSizes(text, schema_).status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("duplicate size"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SerializeTest, CheckpointRoundTrip) {
+  SelectionCheckpoint checkpoint;
+  checkpoint.algorithm = "inner-level greedy";
+  checkpoint.space_budget = 123456.75;
+  checkpoint.stages = 2;
+  RecommendedStructure view;
+  view.view = AttributeSet::Of({0, 1});
+  RecommendedStructure index;
+  index.view = AttributeSet::Of({0, 1});
+  index.index = IndexKey({1, 0});
+  checkpoint.picks = {view, index};
+  checkpoint.pick_benefits = {5000.25, 1250.0625};
+
+  std::string text = SerializeCheckpoint(checkpoint, schema_);
+  StatusOr<SelectionCheckpoint> parsed = ParseCheckpoint(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->algorithm, checkpoint.algorithm);
+  EXPECT_EQ(parsed->space_budget, checkpoint.space_budget);  // bit-exact
+  EXPECT_EQ(parsed->stages, checkpoint.stages);
+  ASSERT_EQ(parsed->picks.size(), 2u);
+  EXPECT_EQ(parsed->picks[0].view, view.view);
+  EXPECT_TRUE(parsed->picks[0].is_view());
+  EXPECT_TRUE(parsed->picks[1].index == index.index);
+  EXPECT_EQ(parsed->pick_benefits, checkpoint.pick_benefits);  // bit-exact
+}
+
+TEST_F(SerializeTest, CheckpointRejectsMalformedInput) {
+  // Missing header.
+  EXPECT_FALSE(ParseCheckpoint("algorithm x\n", schema_).ok());
+  // Missing required fields.
+  Status s = ParseCheckpoint("olapidx-checkpoint v1\nbudget 5\nstages 0\n",
+                             schema_)
+                 .status();
+  EXPECT_NE(s.message().find("missing 'algorithm'"), std::string::npos)
+      << s.ToString();
+  // Bad pick benefit.
+  EXPECT_FALSE(
+      ParseCheckpoint("olapidx-checkpoint v1\nalgorithm a\nbudget 5\n"
+                      "stages 1\npick nope view p\n",
+                      schema_)
+          .ok());
+  // Index pick before its view pick.
+  s = ParseCheckpoint("olapidx-checkpoint v1\nalgorithm a\nbudget 5\n"
+                      "stages 1\npick 1 index p,s : s,p\n",
+                      schema_)
+          .status();
+  EXPECT_NE(s.message().find("unmaterialized view"), std::string::npos)
+      << s.ToString();
+  // More stages than picks.
+  EXPECT_FALSE(
+      ParseCheckpoint("olapidx-checkpoint v1\nalgorithm a\nbudget 5\n"
+                      "stages 3\npick 1 view p\n",
+                      schema_)
+          .ok());
 }
 
 }  // namespace
