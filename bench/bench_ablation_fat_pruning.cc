@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/cube_graph.h"
@@ -20,7 +21,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E9: fat-index pruning ablation (Section 4.2.2) ==\n\n");
   TablePrinter t({"dim", "structures fat", "structures all", "ratio",
                   "benefit fat", "benefit all", "evals fat", "evals all"});
@@ -50,6 +51,21 @@ void Run() {
               FormatRowCount(rf.Benefit()), FormatRowCount(ra.Benefit()),
               std::to_string(rf.candidates_evaluated),
               std::to_string(ra.candidates_evaluated)});
+    if (rep != nullptr) {
+      Json row = Json::Object();
+      row.Set("label", Json::Str("dim" + std::to_string(n)));
+      row.Set("structures_fat",
+              Json::Number(static_cast<double>(fat.graph.num_structures())));
+      row.Set("structures_all",
+              Json::Number(static_cast<double>(all.graph.num_structures())));
+      row.Set("benefit_fat", Json::Number(rf.Benefit()));
+      row.Set("benefit_all", Json::Number(ra.Benefit()));
+      row.Set("evals_fat",
+              Json::Number(static_cast<double>(rf.candidates_evaluated)));
+      row.Set("evals_all",
+              Json::Number(static_cast<double>(ra.candidates_evaluated)));
+      rep->AddRun(std::move(row));
+    }
   }
   t.Print();
   std::printf(
@@ -64,7 +80,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "ablation_fat_pruning");
+  olapidx::bench::BenchJsonReporter rep("ablation_fat_pruning");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "core/cube_graph.h"
 #include "core/inner_greedy.h"
@@ -26,6 +27,11 @@ struct AlgoOutcome {
   double ratio = 0.0;       // benefit / reference(space_used)
   bool ratio_exact = false; // reference was a proven optimum
   bool ran = false;
+  // Carried over from the SelectionResult for JSON reporting.
+  double tau = 0.0;
+  double wall_ms = 0.0;
+  uint64_t stages = 0;
+  uint64_t candidates = 0;
 };
 
 struct FamilyResult {
@@ -40,6 +46,10 @@ inline AlgoOutcome Finish(const QueryViewGraph& g, SelectionResult r,
   out.ran = true;
   out.benefit = r.Benefit();
   out.space_used = r.space_used;
+  out.tau = r.final_cost;
+  out.wall_ms = static_cast<double>(r.stats.total_wall_micros) / 1000.0;
+  out.stages = r.stats.stages;
+  out.candidates = r.candidates_evaluated;
   double reference = 0.0;
   bool exact = false;
   if (g.num_structures() <= max_exact_structures) {
@@ -90,6 +100,32 @@ inline FamilyResult RunFamily(const QueryViewGraph& g, double budget,
 inline std::string Ratio(const AlgoOutcome& a) {
   if (!a.ran) return "-";
   return FormatFixed(a.ratio, 3) + (a.ratio_exact ? "" : "*");
+}
+
+// One JSON row per algorithm that ran, labeled "<label>/<algo>". Used by
+// the Section 6 sweep benches so every table row lands in the report.
+inline void AddFamilyRows(BenchJsonReporter& rep, const std::string& label,
+                          const FamilyResult& f) {
+  auto add = [&](const char* algo, const AlgoOutcome& a) {
+    if (!a.ran) return;
+    Json row = Json::Object();
+    row.Set("label", Json::Str(label + "/" + algo));
+    row.Set("tau", Json::Number(a.tau));
+    row.Set("benefit", Json::Number(a.benefit));
+    row.Set("space", Json::Number(a.space_used));
+    row.Set("ratio", Json::Number(a.ratio));
+    row.Set("ratio_exact", Json::Bool(a.ratio_exact));
+    row.Set("stages", Json::Number(static_cast<double>(a.stages)));
+    row.Set("candidates_evaluated",
+            Json::Number(static_cast<double>(a.candidates)));
+    row.Set("wall_ms", Json::Number(a.wall_ms));
+    rep.AddRun(std::move(row));
+  };
+  add("one_greedy", f.one);
+  add("two_greedy", f.two);
+  add("three_greedy", f.three);
+  add("inner_level", f.inner);
+  add("two_step", f.two_step);
 }
 
 }  // namespace olapidx::bench

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "cost/linear_cost_model.h"
@@ -16,7 +17,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E10: engine-measured cost vs linear cost model ==\n\n");
   TpcdScaledConfig config;
   config.rows = 60'000;
@@ -93,8 +94,18 @@ void Run() {
                                         ")");
     t.AddRow({q.ToString(schema.names()), plan, FormatRowCount(modeled),
               FormatRowCount(measured), FormatFixed(ratio, 3)});
+    if (rep != nullptr) {
+      Json row = Json::Object();
+      row.Set("label", Json::Str(q.ToString(schema.names())));
+      row.Set("plan", Json::Str(plan));
+      row.Set("model_rows", Json::Number(modeled));
+      row.Set("measured_rows", Json::Number(measured));
+      row.Set("ratio", Json::Number(ratio));
+      rep->AddRun(std::move(row));
+    }
   }
   t.Print();
+  if (rep != nullptr) rep->AddScalar("worst_ratio", worst_ratio);
   std::printf(
       "\nWorst-case model/measured discrepancy factor over slices with "
       "modeled cost >= 10 rows: %.2f.\nExact for scans; index paths use "
@@ -107,7 +118,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "engine_validation");
+  olapidx::bench::BenchJsonReporter rep("engine_validation");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/advisor.h"
@@ -25,7 +26,7 @@ Advisor MakeAdvisor() {
   return Advisor(schema, TpcdPaperSizes(), AllSliceQueries(lattice), opts);
 }
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   Advisor advisor = MakeAdvisor();
   ViewSizes sizes = TpcdPaperSizes();
 
@@ -46,7 +47,8 @@ void Run() {
       FormatRowCount(sizes.TotalViewSpace() + sizes.TotalFatIndexSpace())
           .c_str());
 
-  auto run = [&](Algorithm algo, const char* label, double budget) {
+  auto run = [&](Algorithm algo, const char* label, const char* json_label,
+                 double budget) {
     AdvisorConfig config;
     config.algorithm = algo;
     config.space_budget = budget;
@@ -59,16 +61,18 @@ void Run() {
                 FormatRowCount(rec.space_used).c_str());
     std::printf("    picks: %s\n",
                 rec.raw.PicksToString(advisor.cube_graph().graph).c_str());
+    if (rep != nullptr) rep->AddSelectionRun(json_label, rec.raw);
     return rec;
   };
 
   std::printf("Selections at S = 25M rows:\n");
   Recommendation two =
-      run(Algorithm::kTwoStep, "two-step (50/50, strict)", 25e6);
+      run(Algorithm::kTwoStep, "two-step (50/50, strict)", "two_step",
+          25e6);
   Recommendation one = run(Algorithm::kOneGreedy, "1-greedy (one step)",
-                           25e6);
-  run(Algorithm::kInnerLevel, "inner-level greedy", 25e6);
-  run(Algorithm::kHruViewsOnly, "HRU views-only", 25e6);
+                           "one_greedy", 25e6);
+  run(Algorithm::kInnerLevel, "inner-level greedy", "inner_level", 25e6);
+  run(Algorithm::kHruViewsOnly, "HRU views-only", "hru_views_only", 25e6);
 
   std::printf("\nPaper vs measured:\n");
   TablePrinter t({"metric", "paper", "measured"});
@@ -85,6 +89,12 @@ void Run() {
   t.AddRow({"index share of space", "~75%",
             FormatPercent(index_space / one.space_used)});
   t.Print();
+  if (rep != nullptr) {
+    rep->AddScalar("two_step_avg_cost", two.average_query_cost);
+    rep->AddScalar("one_greedy_avg_cost", one.average_query_cost);
+    rep->AddScalar("one_step_improvement", improvement);
+    rep->AddScalar("index_share_of_space", index_space / one.space_used);
+  }
 
   std::printf(
       "\nLaw of diminishing returns (1-greedy, growing budget):\n");
@@ -97,6 +107,12 @@ void Run() {
     curve.AddRow({FormatRowCount(budget),
                   FormatRowCount(rec.average_query_cost),
                   FormatRowCount(rec.space_used)});
+    if (rep != nullptr) {
+      rep->AddSelectionRun(
+          "one_greedy_budget_" +
+              std::to_string(static_cast<long long>(budget / 1e6)) + "M",
+          rec.raw);
+    }
   }
   curve.Print();
   std::printf(
@@ -107,7 +123,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "fig1_tpcd");
+  olapidx::bench::BenchJsonReporter rep("fig1_tpcd");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "bench_fig2_lib.h"
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/inner_greedy.h"
@@ -76,7 +78,18 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
+int main(int argc, char** argv) {
+  using olapidx::bench::BenchArgs;
+  using olapidx::bench::BenchJsonReporter;
+  BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "fig2_example");
   olapidx::Run();
+  if (args.json) {
+    // The JSON report reruns the selections via the shared lib so the
+    // golden-file test covers exactly what this binary writes.
+    BenchJsonReporter rep("fig2_example");
+    olapidx::bench::FillFig2Report(rep);
+    olapidx::bench::FinishBenchJson(rep, args);
+  }
   return 0;
 }

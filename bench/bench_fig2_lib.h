@@ -1,0 +1,62 @@
+// The deterministic E2 (Figure 2) report, shared by bench_fig2_example and
+// the golden-file test (tests/bench_json_test.cc). The bench's --json
+// output is produced ONLY by FillFig2Report, so the checked-in golden
+// genuinely guards what the binary emits: every selection here is a pure
+// function of the calibrated Figure-2 instance, making the scrubbed
+// document (BuildScrubbed) byte-stable across machines.
+
+#ifndef OLAPIDX_BENCH_BENCH_FIG2_LIB_H_
+#define OLAPIDX_BENCH_BENCH_FIG2_LIB_H_
+
+#include "bench_json.h"
+#include "core/inner_greedy.h"
+#include "core/optimal.h"
+#include "core/r_greedy.h"
+#include "data/example_graphs.h"
+
+namespace olapidx::bench {
+
+inline void FillFig2Report(BenchJsonReporter& rep) {
+  QueryViewGraph g = Figure2Instance();
+  SelectionResult one = RGreedy(g, kFigure2Budget, RGreedyOptions{.r = 1});
+  SelectionResult two = RGreedy(g, kFigure2Budget, RGreedyOptions{.r = 2});
+  SelectionResult three = RGreedy(g, kFigure2Budget, RGreedyOptions{.r = 3});
+  SelectionResult inner = InnerLevelGreedy(g, kFigure2Budget);
+  SelectionResult opt7 = BranchAndBoundOptimal(g, kFigure2Budget);
+  SelectionResult opt_inner = BranchAndBoundOptimal(g, inner.space_used);
+
+  rep.AddSelectionRun("one_greedy", one);
+  rep.AddSelectionRun("two_greedy", two);
+  rep.AddSelectionRun("three_greedy", three);
+  rep.AddSelectionRun("inner_level", inner);
+  rep.AddSelectionRun("optimal_s7", opt7);
+  rep.AddSelectionRun("optimal_s_inner", opt_inner);
+
+  rep.AddScalar("budget", kFigure2Budget);
+  rep.AddScalar("two_greedy_vs_optimal", two.Benefit() / opt7.Benefit());
+  rep.AddScalar("three_greedy_vs_optimal",
+                three.Benefit() / opt7.Benefit());
+  rep.AddScalar("inner_vs_optimal",
+                inner.Benefit() / opt_inner.Benefit());
+
+  // The trap family: 1-greedy's benefit ratio sinks toward 0 as the trap
+  // benefit grows (its guarantee is 0), while 2-greedy stays put.
+  for (double tb : {10.0, 100.0, 1000.0, 100000.0}) {
+    QueryViewGraph tg = OneGreedyTrapInstance(tb, 1.0);
+    SelectionResult g1 = RGreedy(tg, 2.0, RGreedyOptions{.r = 1});
+    SelectionResult g2 = RGreedy(tg, 2.0, RGreedyOptions{.r = 2});
+    SelectionResult go = BranchAndBoundOptimal(tg, 2.0);
+    Json row = Json::Object();
+    row.Set("label", Json::Str("trap_" + std::to_string(
+                                             static_cast<long long>(tb))));
+    row.Set("one_greedy_benefit", Json::Number(g1.Benefit()));
+    row.Set("two_greedy_benefit", Json::Number(g2.Benefit()));
+    row.Set("optimal_benefit", Json::Number(go.Benefit()));
+    row.Set("one_greedy_ratio", Json::Number(g1.Benefit() / go.Benefit()));
+    rep.AddRun(std::move(row));
+  }
+}
+
+}  // namespace olapidx::bench
+
+#endif  // OLAPIDX_BENCH_BENCH_FIG2_LIB_H_

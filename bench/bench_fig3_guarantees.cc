@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/guarantees.h"
@@ -18,7 +19,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E3: performance guarantees vs r (Figure 3) ==\n\n");
   TablePrinter t({"r", "guarantee 1-e^-((r-1)/r)", "paper", "delta vs r-1"});
   const char* paper[] = {"0", "0.39", "0.49", "0.53", "", "", "", ""};
@@ -28,6 +29,9 @@ void Run() {
     t.AddRow({std::to_string(r), FormatFixed(gv, 4),
               r <= 4 ? paper[r - 1] : "-",
               r == 1 ? "-" : FormatFixed(gv - prev, 4)});
+    if (rep != nullptr) {
+      rep->AddScalar("guarantee_r" + std::to_string(r), gv);
+    }
     prev = gv;
   }
   t.Print();
@@ -54,18 +58,36 @@ void Run() {
   for (double tb : {5.0, 50.0, 500.0, 5000.0}) {
     QueryViewGraph g = OneGreedyTrapInstance(tb, 1.0);
     double opt = BranchAndBoundOptimal(g, 2.0).Benefit();
-    m.AddRow({FormatFixed(tb, 0),
-              FormatFixed(RGreedy(g, 2.0, {.r = 1}).Benefit() / opt, 4),
-              FormatFixed(RGreedy(g, 2.0, {.r = 2}).Benefit() / opt, 4),
-              FormatFixed(InnerLevelGreedy(g, 2.0).Benefit() / opt, 4)});
+    double r1 = RGreedy(g, 2.0, {.r = 1}).Benefit() / opt;
+    double r2 = RGreedy(g, 2.0, {.r = 2}).Benefit() / opt;
+    double ri = InnerLevelGreedy(g, 2.0).Benefit() / opt;
+    m.AddRow({FormatFixed(tb, 0), FormatFixed(r1, 4), FormatFixed(r2, 4),
+              FormatFixed(ri, 4)});
+    if (rep != nullptr) {
+      Json row = Json::Object();
+      row.Set("label", Json::Str("trap_" + std::to_string(
+                                               static_cast<long long>(tb))));
+      row.Set("one_greedy_ratio", Json::Number(r1));
+      row.Set("two_greedy_ratio", Json::Number(r2));
+      row.Set("inner_ratio", Json::Number(ri));
+      rep->AddRun(std::move(row));
+    }
   }
   m.Print();
+  if (rep != nullptr) {
+    rep->AddScalar("inner_level_guarantee", InnerLevelGuarantee());
+    rep->AddScalar("limit_guarantee", RGreedyGuarantee(1'000'000));
+  }
 }
 
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "fig3_guarantees");
+  olapidx::bench::BenchJsonReporter rep("fig3_guarantees");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/inner_greedy.h"
@@ -48,7 +49,7 @@ double TotalSpace(const QueryViewGraph& g) {
   return total;
 }
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E12 (extension): selection on hierarchical lattices ==\n\n");
   TablePrinter t({"levels/dim", "views", "structures", "queries",
                   "1-greedy", "2-greedy", "inner", "two-step",
@@ -61,9 +62,26 @@ void Run() {
         schema, 3e6, UniformHWorkload(schema), options);
     double budget = 0.03 * TotalSpace(cube.graph);
 
-    auto ratio = [&](SelectionResult r) {
+    auto ratio_value = [&](const SelectionResult& r) {
       double ub = UpperBoundBenefit(cube.graph, r.space_used);
-      return FormatFixed(r.Benefit() / ub, 3) + "*";
+      return r.Benefit() / ub;
+    };
+    auto ratio = [&](const SelectionResult& r) {
+      std::string text = FormatFixed(ratio_value(r), 3) + "*";
+      return text;
+    };
+    auto report = [&](const char* algo, const SelectionResult& r) {
+      if (rep != nullptr) {
+        Json row = Json::Object();
+        row.Set("label",
+                Json::Str("levels" + std::to_string(levels) + "/" + algo));
+        row.Set("tau", Json::Number(r.final_cost));
+        row.Set("benefit", Json::Number(r.Benefit()));
+        row.Set("space", Json::Number(r.space_used));
+        row.Set("ratio_vs_bound", Json::Number(ratio_value(r)));
+        rep->AddRun(std::move(row));
+      }
+      return r;
     };
     SelectionResult inner = InnerLevelGreedy(cube.graph, budget);
     int mid = 0;
@@ -81,12 +99,16 @@ void Run() {
               std::to_string(cube.graph.num_views()),
               std::to_string(cube.graph.num_structures()),
               std::to_string(cube.graph.num_queries()),
-              ratio(RGreedy(cube.graph, budget, {.r = 1})),
-              ratio(RGreedy(cube.graph, budget, {.r = 2})),
-              ratio(inner),
-              ratio(TwoStep(cube.graph, budget,
-                            TwoStepOptions{.index_fraction = 0.5,
-                                           .strict_fit = true})),
+              ratio(report("one_greedy",
+                           RGreedy(cube.graph, budget, {.r = 1}))),
+              ratio(report("two_greedy",
+                           RGreedy(cube.graph, budget, {.r = 2}))),
+              ratio(report("inner_level", inner)),
+              ratio(report(
+                  "two_step",
+                  TwoStep(cube.graph, budget,
+                          TwoStepOptions{.index_fraction = 0.5,
+                                         .strict_fit = true}))),
               std::to_string(mid)});
   }
   t.Print();
@@ -115,6 +137,14 @@ void Run() {
     m.AddRow({FormatFixed(rate, 1), std::to_string(r.picks.size()),
               FormatRowCount(r.space_used), FormatRowCount(r.Benefit()),
               FormatRowCount(avg)});
+    if (rep != nullptr) {
+      Json row = Json::Object();
+      row.Set("label", Json::Str("maintenance_" + FormatFixed(rate, 0)));
+      row.Set("picks", Json::Number(static_cast<double>(r.picks.size())));
+      row.Set("space", Json::Number(r.space_used));
+      row.Set("net_benefit", Json::Number(r.Benefit()));
+      rep->AddRun(std::move(row));
+    }
   }
   m.Print();
 }
@@ -122,7 +152,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "hierarchy");
+  olapidx::bench::BenchJsonReporter rep("hierarchy");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

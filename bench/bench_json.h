@@ -1,0 +1,256 @@
+// Machine-readable bench output: the "olapidx-bench" v1 JSON schema, a
+// reporter every bench binary shares, and the --json flag parser.
+//
+// Every bench_* binary accepts
+//     --json            write BENCH_<name>.json in the working directory
+//     --json=FILE       write FILE
+//     --json FILE       same, space-separated
+// and emits a schema-versioned document:
+//
+//   {
+//     "schema": "olapidx-bench",
+//     "version": 1,
+//     "bench": "<name>",
+//     "runs": [ {"label": ..., "tau": ..., "space": ..., "stages": ...,
+//                "wall_ms": ..., ...}, ... ],
+//     "scalars": { "<headline metric>": <number>, ... },
+//     "metrics": { <registry delta over the bench, metrics.h JSON form> }
+//   }
+//
+// The reporter is header-only so the golden-file test (bench_json_test)
+// can build documents without linking a bench binary — the ASan CI preset
+// compiles tests with benchmarks off. Determinism: Build() output depends
+// only on the rows added (plus wall-clock and registry fields, which
+// BuildScrubbed() zeroes for golden comparisons).
+
+#ifndef OLAPIDX_BENCH_BENCH_JSON_H_
+#define OLAPIDX_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/selection_result.h"
+
+namespace olapidx::bench {
+
+inline constexpr const char* kBenchJsonSchema = "olapidx-bench";
+inline constexpr int kBenchJsonVersion = 1;
+
+class BenchJsonReporter {
+ public:
+  explicit BenchJsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)),
+        registry_before_(MetricsRegistry::Global().Snapshot()) {}
+
+  const std::string& name() const { return name_; }
+
+  // A fully custom row; must be an object with at least a "label" string.
+  void AddRun(Json run) { runs_.push_back(std::move(run)); }
+
+  // The standard row for one selection-algorithm run.
+  void AddSelectionRun(const std::string& label, const SelectionResult& r) {
+    Json run = Json::Object();
+    run.Set("label", Json::Str(label));
+    run.Set("tau", Json::Number(r.final_cost));
+    run.Set("avg_query_cost", Json::Number(r.AverageQueryCost()));
+    run.Set("benefit", Json::Number(r.Benefit()));
+    run.Set("space", Json::Number(r.space_used));
+    run.Set("stages", Json::Number(static_cast<double>(r.stats.stages)));
+    run.Set("picks", Json::Number(static_cast<double>(r.picks.size())));
+    run.Set("wall_ms",
+            Json::Number(static_cast<double>(r.stats.total_wall_micros) /
+                         1000.0));
+    run.Set("candidates_evaluated",
+            Json::Number(static_cast<double>(r.candidates_evaluated)));
+    run.Set("cache_hits",
+            Json::Number(static_cast<double>(r.stats.cache_hits)));
+    run.Set("cache_misses",
+            Json::Number(static_cast<double>(r.stats.cache_misses)));
+    run.Set("bound_prunes",
+            Json::Number(static_cast<double>(r.stats.bound_prunes)));
+    run.Set("threads",
+            Json::Number(static_cast<double>(r.stats.threads_used)));
+    run.Set("completed", Json::Bool(r.completed));
+    AddRun(std::move(run));
+  }
+
+  // Headline numbers outside any one run (e.g. "one_step_improvement").
+  void AddScalar(const std::string& name, double value) {
+    scalars_.emplace_back(name, value);
+  }
+
+  // The full document, including the volatile fields (wall clocks, the
+  // metrics-registry delta since the reporter was constructed).
+  Json Build() const {
+    Json doc = BuildCommon();
+    MetricsSnapshot delta = SnapshotDelta(
+        registry_before_, MetricsRegistry::Global().Snapshot());
+    StatusOr<Json> metrics = Json::Parse(delta.ToJson());
+    doc.Set("metrics",
+            metrics.ok() ? std::move(metrics.value()) : Json::Object());
+    return doc;
+  }
+
+  // The document with every volatile field removed or zeroed — a pure
+  // function of the benchmark's deterministic outputs, suitable for
+  // byte-exact golden comparison: wall_ms → 0, threads → 0, and no
+  // "metrics" member.
+  Json BuildScrubbed() const {
+    Json doc = BuildCommon();
+    Json scrubbed_runs = Json::Array();
+    for (const Json& run : doc.Find("runs")->elements()) {
+      Json r = run;
+      if (r.is_object()) {
+        if (r.Find("wall_ms") != nullptr) r.Set("wall_ms", Json::Number(0));
+        if (r.Find("threads") != nullptr) r.Set("threads", Json::Number(0));
+      }
+      scrubbed_runs.Push(std::move(r));
+    }
+    doc.Set("runs", std::move(scrubbed_runs));
+    return doc;
+  }
+
+  Status WriteFile(const std::string& path) const {
+    std::string text = Build().Dump(2);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("cannot open '" + path + "' for writing");
+    }
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    int closed = std::fclose(f);
+    if (written != text.size() || closed != 0) {
+      return Status::Internal("short write to '" + path + "'");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Json BuildCommon() const {
+    Json doc = Json::Object();
+    doc.Set("schema", Json::Str(kBenchJsonSchema));
+    doc.Set("version", Json::Number(kBenchJsonVersion));
+    doc.Set("bench", Json::Str(name_));
+    Json runs = Json::Array();
+    for (const Json& run : runs_) runs.Push(run);
+    doc.Set("runs", std::move(runs));
+    Json scalars = Json::Object();
+    for (const auto& [name, value] : scalars_) {
+      scalars.Set(name, Json::Number(value));
+    }
+    doc.Set("scalars", std::move(scalars));
+    return doc;
+  }
+
+  std::string name_;
+  MetricsSnapshot registry_before_;
+  std::vector<Json> runs_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+// Schema check used by the bench-smoke CI job and the golden test: does
+// `doc` look like a valid "olapidx-bench" v1 document?
+inline Status ValidateBenchJson(const Json& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("not a JSON object");
+  const Json* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString() != kBenchJsonSchema) {
+    return Status::InvalidArgument("missing or wrong \"schema\"");
+  }
+  const Json* version = doc.Find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsDouble() != kBenchJsonVersion) {
+    return Status::InvalidArgument("missing or unsupported \"version\"");
+  }
+  const Json* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->AsString().empty()) {
+    return Status::InvalidArgument("missing \"bench\" name");
+  }
+  const Json* runs = doc.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Status::InvalidArgument("missing \"runs\" array");
+  }
+  for (size_t i = 0; i < runs->size(); ++i) {
+    const Json& run = runs->at(i);
+    auto fail = [&](const std::string& what) {
+      return Status::InvalidArgument("runs[" + std::to_string(i) + "]: " +
+                                     what);
+    };
+    if (!run.is_object()) return fail("not an object");
+    const Json* label = run.Find("label");
+    if (label == nullptr || !label->is_string()) {
+      return fail("missing \"label\"");
+    }
+    for (const auto& [key, value] : run.members()) {
+      if (key == "label") continue;
+      if (!value.is_number() && !value.is_bool() && !value.is_string()) {
+        return fail("member \"" + key + "\" is not a scalar");
+      }
+    }
+  }
+  const Json* scalars = doc.Find("scalars");
+  if (scalars != nullptr && !scalars->is_object()) {
+    return Status::InvalidArgument("\"scalars\" is not an object");
+  }
+  const Json* metrics = doc.Find("metrics");
+  if (metrics != nullptr && !metrics->is_object()) {
+    return Status::InvalidArgument("\"metrics\" is not an object");
+  }
+  return Status::Ok();
+}
+
+// --json flag parsing shared by every bench main(). Unknown arguments
+// print usage and exit(2); benches accept nothing else (except
+// bench_perf_scaling, which forwards the rest to google-benchmark).
+struct BenchArgs {
+  bool json = false;
+  std::string json_path;  // set iff json
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const std::string& bench_name) {
+  BenchArgs out;
+  const std::string default_path = "BENCH_" + bench_name + ".json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      out.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        out.json_path = argv[++i];
+      } else {
+        out.json_path = default_path;
+      }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.json = true;
+      out.json_path = arg.substr(7);
+      if (out.json_path.empty()) out.json_path = default_path;
+    } else {
+      std::fprintf(stderr, "usage: bench_%s [--json[=FILE]]\n",
+                   bench_name.c_str());
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+// Writes the report and prints a one-line confirmation (or the error).
+inline void FinishBenchJson(const BenchJsonReporter& reporter,
+                            const BenchArgs& args) {
+  if (!args.json) return;
+  Status written = reporter.WriteFile(args.json_path);
+  if (written.ok()) {
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  } else {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace olapidx::bench
+
+#endif  // OLAPIDX_BENCH_BENCH_JSON_H_

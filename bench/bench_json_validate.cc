@@ -1,0 +1,57 @@
+// Validates BENCH_*.json artifacts against the "olapidx-bench" v1 schema:
+//     bench_json_validate FILE...
+// Exits 0 iff every file parses as JSON and passes ValidateBenchJson, and
+// prints a one-line verdict per file. The CI bench-smoke job runs this
+// over every artifact the bench binaries wrote.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_json.h"
+
+namespace olapidx::bench {
+namespace {
+
+bool ValidateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<Json> parsed = Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  Status valid = ValidateBenchJson(parsed.value());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return false;
+  }
+  const Json& doc = parsed.value();
+  std::printf("%s: ok (bench %s, %zu run(s))\n", path.c_str(),
+              doc.Find("bench")->AsString().c_str(),
+              doc.Find("runs")->size());
+  return true;
+}
+
+}  // namespace
+}  // namespace olapidx::bench
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_validate FILE...\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    all_ok = olapidx::bench::ValidateFile(argv[i]) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_json.h"
 #include "core/cube_graph.h"
 #include "core/inner_greedy.h"
 #include "core/optimal.h"
@@ -223,7 +226,73 @@ void BM_GroupByMaterialize(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupByMaterialize)->Arg(20'000)->Arg(60'000);
 
+// Deterministic selection sweep for --json mode: one full selection per
+// (algorithm, dimension) cell with wall time from the algorithm's own
+// EvaluationStats — no repetition statistics, but stable row content and
+// schema. Used by the CI bench-smoke job and by the metrics-overhead
+// measurement (compare wall_ms of two builds of this sweep).
+void RunJsonSweep(bench::BenchJsonReporter& rep) {
+  for (int n = 3; n <= 5; ++n) {
+    ScalingSetup setup = MakeSetup(n);
+    std::string dim = "dim" + std::to_string(n);
+    for (int r = 1; r <= 2; ++r) {
+      rep.AddSelectionRun(
+          dim + "/rgreedy_r" + std::to_string(r),
+          RGreedy(setup.cg.graph, setup.budget,
+                  RGreedyOptions{.r = r, .max_subsets_per_view = 100'000}));
+    }
+    rep.AddSelectionRun(
+        dim + "/lazy_one_greedy",
+        RGreedy(setup.cg.graph, setup.budget,
+                RGreedyOptions{.r = 1, .lazy_one_greedy = true}));
+    rep.AddSelectionRun(dim + "/inner_level",
+                        InnerLevelGreedy(setup.cg.graph, setup.budget));
+    rep.AddSelectionRun(
+        dim + "/two_step",
+        TwoStep(setup.cg.graph, setup.budget, TwoStepOptions{}));
+  }
+}
+
 }  // namespace
 }  // namespace olapidx
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() rejects unrecognized flags, so --json is peeled off
+// here: with it, the deterministic JSON sweep runs instead of the
+// google-benchmark harness (whose own flags still work without --json).
+int main(int argc, char** argv) {
+  using olapidx::bench::BenchArgs;
+  using olapidx::bench::BenchJsonReporter;
+  BenchArgs json_args;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_args.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_args.json_path = argv[++i];
+      } else {
+        json_args.json_path = "BENCH_perf_scaling.json";
+      }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_args.json = true;
+      json_args.json_path = arg.substr(7);
+      if (json_args.json_path.empty()) {
+        json_args.json_path = "BENCH_perf_scaling.json";
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (json_args.json) {
+    BenchJsonReporter rep("perf_scaling");
+    olapidx::RunJsonSweep(rep);
+    olapidx::bench::FinishBenchJson(rep, json_args);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,7 +26,7 @@ bench::FamilyResult RunCube(const SyntheticCube& cube) {
   return bench::RunFamily(cg.graph, 0.04 * total, /*run_three=*/true);
 }
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E5: optimality ratio vs dimension cardinality "
               "(Section 6, dim 4, sparsity 0.02) ==\n\n");
   TablePrinter t({"cardinalities", "base rows", "1-greedy", "2-greedy",
@@ -36,6 +36,7 @@ void Run() {
     t.AddRow({label, FormatRowCount(cube.raw_rows), bench::Ratio(f.one),
               bench::Ratio(f.two), bench::Ratio(f.three),
               bench::Ratio(f.inner), bench::Ratio(f.two_step)});
+    if (rep != nullptr) bench::AddFamilyRows(*rep, label, f);
   };
   for (uint64_t card : {10u, 30u, 100u, 300u, 1000u}) {
     add("uniform " + std::to_string(card),
@@ -60,7 +61,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "sec6_cardinality");
+  olapidx::bench::BenchJsonReporter rep("sec6_cardinality");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

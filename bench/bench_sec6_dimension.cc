@@ -18,7 +18,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E4: optimality ratio vs cube dimension (Section 6) ==\n");
   std::printf("Uniform cardinality 100, sparsity 0.05, all 3^n slice "
               "queries, budget swept as a fraction of the total\n"
@@ -49,6 +49,12 @@ void Run() {
                 bench::Ratio(f.one), bench::Ratio(f.two),
                 bench::Ratio(f.three) + (n >= 6 ? "^" : ""),
                 bench::Ratio(f.inner), bench::Ratio(f.two_step)});
+      if (rep != nullptr) {
+        bench::AddFamilyRows(*rep,
+                             "dim" + std::to_string(n) + "_budget" +
+                                 FormatPercent(frac, 0),
+                             f);
+      }
     }
   }
   t.Print();
@@ -65,7 +71,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "sec6_dimension");
+  olapidx::bench::BenchJsonReporter rep("sec6_dimension");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -16,7 +16,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E7: optimality ratio vs query-frequency skew "
               "(Section 6, dim 4, cardinality 100, sparsity 0.02) ==\n\n");
   SyntheticCube cube = UniformSyntheticCube(4, 100, 0.02);
@@ -35,6 +35,7 @@ void Run() {
     t.AddRow({label, bench::Ratio(f.one), bench::Ratio(f.two),
               bench::Ratio(f.three), bench::Ratio(f.inner),
               bench::Ratio(f.two_step)});
+    if (rep != nullptr) bench::AddFamilyRows(*rep, label, f);
   };
   add("uniform", AllSliceQueries(lattice));
   for (double skew : {0.5, 1.0, 2.0}) {
@@ -74,12 +75,20 @@ void Run() {
               "%s  (%.1f%% worse)\n",
               FormatRowCount(cross.TotalCost()).c_str(),
               100.0 * (cross.TotalCost() / native.TotalCost() - 1.0));
+  if (rep != nullptr) {
+    rep->AddScalar("hot_tau_native", native.TotalCost());
+    rep->AddScalar("hot_tau_cross", cross.TotalCost());
+  }
 }
 
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "sec6_frequencies");
+  olapidx::bench::BenchJsonReporter rep("sec6_frequencies");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

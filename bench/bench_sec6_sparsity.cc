@@ -15,7 +15,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   std::printf("== E6: optimality ratio vs cube sparsity "
               "(Section 6, dim 4, cardinality 50) ==\n\n");
   TablePrinter t({"sparsity", "base rows", "base/full-domain", "1-greedy",
@@ -50,6 +50,11 @@ void Run() {
               bench::Ratio(f.one), bench::Ratio(f.two),
               bench::Ratio(f.three), bench::Ratio(f.inner),
               bench::Ratio(f.two_step), FormatPercent(share)});
+    if (rep != nullptr) {
+      std::string label = "sparsity_" + FormatFixed(sparsity, 3);
+      bench::AddFamilyRows(*rep, label, f);
+      rep->AddScalar(label + "/index_share_inner", share);
+    }
   }
   t.Print();
   std::printf("\n(* = vs certified upper bound.) Shape check: greedy "
@@ -62,7 +67,11 @@ void Run() {
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "sec6_sparsity");
+  olapidx::bench::BenchJsonReporter rep("sec6_sparsity");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

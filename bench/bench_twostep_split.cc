@@ -5,7 +5,9 @@
 // semantics and compares with the integrated one-step algorithms.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "common/format.h"
 #include "common/table_printer.h"
 #include "core/advisor.h"
@@ -14,7 +16,7 @@
 namespace olapidx {
 namespace {
 
-void Run() {
+void Run(bench::BenchJsonReporter* rep) {
   CubeSchema schema = TpcdSchema();
   CubeLattice lattice(schema);
   CubeGraphOptions opts;
@@ -36,6 +38,11 @@ void Run() {
       Recommendation rec = advisor.Recommend(config);
       cells[i++] = FormatRowCount(rec.average_query_cost);
       cells[i++] = FormatRowCount(rec.space_used);
+      if (rep != nullptr) {
+        rep->AddSelectionRun("split_" + FormatPercent(f, 0) +
+                                 (strict ? "_strict" : "_loose"),
+                             rec.raw);
+      }
     }
     t.AddRow({FormatPercent(f, 0), cells[0], cells[1], cells[2],
               cells[3]});
@@ -60,12 +67,22 @@ void Run() {
   std::printf(
       "No fixed split matches it across instances — the fraction depends "
       "on subcube/index sizes (Section 2).\n");
+  if (rep != nullptr) {
+    rep->AddSelectionRun("one_greedy", one_rec.raw);
+    rep->AddScalar("one_greedy_avg_cost", one_rec.average_query_cost);
+    rep->AddScalar("one_greedy_index_share",
+                   index_space / one_rec.space_used);
+  }
 }
 
 }  // namespace
 }  // namespace olapidx
 
-int main() {
-  olapidx::Run();
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "twostep_split");
+  olapidx::bench::BenchJsonReporter rep("twostep_split");
+  olapidx::Run(args.json ? &rep : nullptr);
+  olapidx::bench::FinishBenchJson(rep, args);
   return 0;
 }

@@ -10,6 +10,7 @@
 //               [--dump-sizes sizes.txt]
 //               [--deadline-ms 500] [--max-stages N]
 //               [--checkpoint ckpt.txt] [--resume ckpt.txt]
+//               [--metrics-json metrics.json] [--trace-json trace.json]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
 //
 // Dimension sizes come from --sizes (olapidx-sizes v1 file), from the
@@ -22,6 +23,11 @@
 //
 // Anytime runs: --deadline-ms (wall clock) and --max-stages (deterministic
 // stage budget) interrupt the greedy algorithms mid-run; the best-so-far
+// Observability: --metrics-json FILE writes the run's metrics-registry
+// delta (common/metrics.h JSON form; "{}"-like empty document when the
+// build has OLAPIDX_METRICS=OFF), and --trace-json FILE enables the span
+// tracer for the run and writes the captured spans (common/trace.h).
+//
 // design is printed, and with --checkpoint FILE the pick prefix is saved
 // in the olapidx-checkpoint v1 format. A later run with --resume FILE (and
 // the same inputs, algorithm, and budget) continues where it stopped,
@@ -37,6 +43,8 @@
 #include <utility>
 
 #include "common/format.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/advisor.h"
 #include "core/serialize.h"
 #include "cost/analytical_model.h"
@@ -59,8 +67,17 @@ using namespace olapidx;
       "       [--index-fraction F] [--maintenance RATE] "
       "[--raw-penalty P] [--threads N] [--out FILE]\n"
       "       [--deadline-ms MS] [--max-stages N] [--checkpoint FILE] "
-      "[--resume FILE]\n");
+      "[--resume FILE]\n"
+      "       [--metrics-json FILE] [--trace-json FILE]\n");
   std::exit(2);
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << text) || !out.flush()) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    std::exit(2);
+  }
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -79,6 +96,7 @@ std::string ReadFileOrDie(const std::string& path) {
 int main(int argc, char** argv) {
   std::string dims_arg, sizes_path, workload_path, out_path, csv_path;
   std::string dump_sizes_path, checkpoint_path, resume_path;
+  std::string metrics_json_path, trace_json_path;
   std::string algorithm = "inner";
   double rows = 0.0, budget = 0.0, index_fraction = 0.5;
   double maintenance = 0.0, raw_penalty = 2.0;
@@ -88,7 +106,18 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    // Accept the "--flag=value" spelling too (used by scripted callers).
+    std::string inline_value;
+    size_t eq = flag.find('=');
+    if (flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      if (inline_value.empty()) {
+        Usage(("missing value for " + flag).c_str());
+      }
+    }
     auto next = [&]() -> std::string {
+      if (!inline_value.empty()) return inline_value;
       if (i + 1 >= argc) Usage(("missing value for " + flag).c_str());
       return argv[++i];
     };
@@ -129,6 +158,10 @@ int main(int argc, char** argv) {
       checkpoint_path = next();
     } else if (flag == "--resume") {
       resume_path = next();
+    } else if (flag == "--metrics-json") {
+      metrics_json_path = next();
+    } else if (flag == "--trace-json") {
+      trace_json_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -256,6 +289,9 @@ int main(int argc, char** argv) {
   CubeGraphOptions gopts;
   gopts.raw_scan_penalty = raw_penalty;
   gopts.maintenance_per_row = maintenance;
+  // The tracer is off by default (its only cost is then one relaxed
+  // atomic load per span site); --trace-json opts this run in.
+  if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
   Advisor advisor(schema, sizes, workload, gopts);
   Recommendation rec = advisor.Recommend(config);
 
@@ -334,6 +370,16 @@ int main(int argc, char** argv) {
     out << SerializeViewSizes(sizes, schema);
     std::printf("wrote %s (reusable via --sizes)\n",
                 dump_sizes_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    // The per-run delta captured on the SelectionResult, not the global
+    // registry: repeated runs in one process would otherwise accumulate.
+    WriteFileOrDie(metrics_json_path, rec.raw.metrics.ToJson() + "\n");
+    std::printf("wrote %s\n", metrics_json_path.c_str());
+  }
+  if (!trace_json_path.empty()) {
+    WriteFileOrDie(trace_json_path, Tracer::Global().ToJson() + "\n");
+    std::printf("wrote %s\n", trace_json_path.c_str());
   }
   return 0;
 }

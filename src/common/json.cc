@@ -1,0 +1,517 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace olapidx {
+
+namespace {
+
+// Largest double for which every smaller-magnitude integral double maps to
+// a distinct int64 (2^53).
+constexpr double kMaxExactInteger = 9007199254740992.0;
+
+std::string FormatNumber(double v) {
+  OLAPIDX_CHECK(std::isfinite(v));
+  if (v == std::floor(v) && std::fabs(v) < kMaxExactInteger) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest precision that survives a strtod round trip (15 digits is
+  // usually enough; 17 always is).
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// ---- Parser ----
+
+constexpr int kMaxParseDepth = 200;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<Json> Run() {
+    Json value;
+    OLAPIDX_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        OLAPIDX_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", Json::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", Json::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", Json::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* literal, Json value, Json* out) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected '") + literal + "'");
+      }
+      ++pos_;
+    }
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      OLAPIDX_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      Json value;
+      OLAPIDX_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      Json value;
+      OLAPIDX_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Push(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          OLAPIDX_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: expect a low surrogate next.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t low = 0;
+              OLAPIDX_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("unpaired high surrogate");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+      value = (value << 4) | digit;
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    // Validate against the JSON number grammar before handing the token
+    // to strtod (which would happily accept hex, inf, and nan).
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    size_t int_len = pos_ - int_start;
+    if (int_len == 0) {
+      pos_ = start;
+      return Error("invalid value");
+    }
+    if (int_len > 1 && text_[int_start] == '0') {
+      pos_ = start;
+      return Error("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) return Error("missing fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return Error("missing exponent digits");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return Error("number out of range");
+    *out = Json::Number(value);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  OLAPIDX_CHECK(std::isfinite(v));
+  // Integers beyond 2^53 silently lose precision; refuse them.
+  OLAPIDX_CHECK(std::fabs(v) <= kMaxExactInteger);
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  OLAPIDX_CHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  OLAPIDX_CHECK(is_number());
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  OLAPIDX_CHECK(is_string());
+  return string_;
+}
+
+void Json::Push(Json value) {
+  OLAPIDX_CHECK(is_array());
+  elements_.push_back(std::move(value));
+}
+
+size_t Json::size() const {
+  if (is_array()) return elements_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  OLAPIDX_CHECK(is_array());
+  OLAPIDX_CHECK(i < elements_.size());
+  return elements_[i];
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  OLAPIDX_CHECK(is_object());
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  OLAPIDX_CHECK(is_object());
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  OLAPIDX_CHECK(is_object());
+  return members_;
+}
+
+const std::vector<Json>& Json::elements() const {
+  OLAPIDX_CHECK(is_array());
+  return elements_;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline_indent = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      *out += FormatNumber(number_);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray:
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_indent(depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out->push_back(']');
+      break;
+    case Type::kObject:
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_indent(depth + 1);
+        AppendEscaped(members_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out->push_back('}');
+      break;
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+StatusOr<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace olapidx

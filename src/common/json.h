@@ -1,0 +1,93 @@
+// Minimal deterministic JSON: a tree value type, a byte-stable writer, and
+// a strict recursive-descent parser.
+//
+// Written for the machine-readable artifacts (BENCH_*.json, the metrics
+// and trace exports), not as a general-purpose library, so it makes three
+// deliberate guarantees the golden-file tests rely on:
+//
+//   1. Objects preserve insertion order (and the parser preserves source
+//      order), so Dump(Parse(Dump(x))) == Dump(x) byte-for-byte.
+//   2. Numbers print as integers when they are integral and exactly
+//      representable, otherwise with the shortest decimal form that
+//      round-trips through strtod — never in a locale- or
+//      platform-dependent format.
+//   3. Dump is a pure function of the tree: no pointers, no hashes, no
+//      iteration-order dependence.
+//
+// Numbers are stored as double (like JavaScript); integers beyond 2^53
+// are rejected by CHECK in Json::Number. NaN/Inf are not representable in
+// JSON and likewise rejected.
+
+#ifndef OLAPIDX_COMMON_JSON_H_
+#define OLAPIDX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace olapidx {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);  // CHECKs isfinite and integral-exactness
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Value access; CHECKs the type.
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Array access. Push CHECKs is_array.
+  void Push(Json value);
+  size_t size() const;            // array: elements; object: members
+  const Json& at(size_t i) const; // array element i
+
+  // Object access. Set appends a new member or overwrites an existing one
+  // in place (keeping its position); returns *this for chaining. Find
+  // returns nullptr when the key is absent (first occurrence wins).
+  Json& Set(const std::string& key, Json value);
+  const Json* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  const std::vector<Json>& elements() const;
+
+  // Serialization. indent > 0 pretty-prints with that many spaces per
+  // level and a trailing newline; indent == 0 is compact single-line.
+  std::string Dump(int indent = 2) const;
+
+  // Strict parse: exactly one JSON value plus trailing whitespace.
+  // Errors carry the byte offset.
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_JSON_H_

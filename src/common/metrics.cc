@@ -1,0 +1,226 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+
+#include "common/json.h"
+
+namespace olapidx {
+
+// ---------------------------------------------------------------------------
+// Snapshot methods — compiled in both build modes.
+// ---------------------------------------------------------------------------
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  Json counters_obj = Json::Object();
+  for (const auto& [name, value] : counters) {
+    counters_obj.Set(name, Json::Number(static_cast<double>(value)));
+  }
+  Json gauges_obj = Json::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_obj.Set(name, Json::Number(static_cast<double>(value)));
+  }
+  Json histograms_obj = Json::Object();
+  for (const auto& [name, h] : histograms) {
+    Json entry = Json::Object();
+    entry.Set("count", Json::Number(static_cast<double>(h.count)));
+    entry.Set("sum", Json::Number(static_cast<double>(h.sum)));
+    Json buckets = Json::Array();
+    for (uint64_t b : h.buckets) {
+      buckets.Push(Json::Number(static_cast<double>(b)));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms_obj.Set(name, std::move(entry));
+  }
+  Json doc = Json::Object();
+  doc.Set("counters", std::move(counters_obj));
+  doc.Set("gauges", std::move(gauges_obj));
+  doc.Set("histograms", std::move(histograms_obj));
+  return doc.Dump(0);
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  // Counters: after − before (both sorted by name; merge walk).
+  size_t i = 0;
+  for (const auto& [name, value] : after.counters) {
+    while (i < before.counters.size() && before.counters[i].first < name) {
+      ++i;
+    }
+    uint64_t prior =
+        (i < before.counters.size() && before.counters[i].first == name)
+            ? before.counters[i].second
+            : 0;
+    if (value > prior) delta.counters.emplace_back(name, value - prior);
+  }
+  // Gauges are instantaneous: keep `after`'s values.
+  delta.gauges = after.gauges;
+  // Histograms: count/sum and buckets subtract element-wise.
+  i = 0;
+  for (const auto& [name, h] : after.histograms) {
+    while (i < before.histograms.size() &&
+           before.histograms[i].first < name) {
+      ++i;
+    }
+    const HistogramSnapshot* prior =
+        (i < before.histograms.size() && before.histograms[i].first == name)
+            ? &before.histograms[i].second
+            : nullptr;
+    if (prior == nullptr) {
+      if (h.count > 0) delta.histograms.emplace_back(name, h);
+      continue;
+    }
+    if (h.count <= prior->count) continue;  // quiescent (or reset: drop)
+    HistogramSnapshot d;
+    d.count = h.count - prior->count;
+    d.sum = h.sum >= prior->sum ? h.sum - prior->sum : 0;
+    d.buckets.resize(h.buckets.size(), 0);
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      uint64_t p = b < prior->buckets.size() ? prior->buckets[b] : 0;
+      d.buckets[b] = h.buckets[b] >= p ? h.buckets[b] - p : 0;
+    }
+    while (!d.buckets.empty() && d.buckets.back() == 0) d.buckets.pop_back();
+    delta.histograms.emplace_back(name, std::move(d));
+  }
+  return delta;
+}
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+
+// ---------------------------------------------------------------------------
+// Real registry.
+// ---------------------------------------------------------------------------
+
+namespace metrics_internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_ordinal{0};
+  thread_local size_t shard =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kHistogramBuckets, 0);
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  while (!out.buckets.empty() && out.buckets.back() == 0) {
+    out.buckets.pop_back();
+  }
+  return out;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Sorted maps of unique_ptrs: stable addresses, Snapshot iterates in
+  // name order for free.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked deliberately: instrumentation sites hold references across
+  // static destruction.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::unique_ptr<Counter>& slot = im.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::unique_ptr<Gauge>& slot = im.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::unique_ptr<Histogram>& slot = im.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : im.counters) {
+    uint64_t v = counter->Value();
+    if (v != 0) out.counters.emplace_back(name, v);
+  }
+  for (const auto& [name, gauge] : im.gauges) {
+    int64_t v = gauge->Value();
+    if (v != 0) out.gauges.emplace_back(name, v);
+  }
+  for (const auto& [name, histogram] : im.histograms) {
+    HistogramSnapshot h = histogram->Snapshot();
+    if (h.count != 0) out.histograms.emplace_back(name, std::move(h));
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  // Re-created in place (the maps own them); references handed out by
+  // Get* would dangle, so rebuild the objects' state instead: swap each
+  // for a fresh instance is unsafe — zero them by reconstruction.
+  for (auto& [name, counter] : im.counters) {
+    Counter* fresh = new (counter.get()) Counter();
+    (void)fresh;
+  }
+  for (auto& [name, gauge] : im.gauges) {
+    Gauge* fresh = new (gauge.get()) Gauge();
+    (void)fresh;
+  }
+  for (auto& [name, histogram] : im.histograms) {
+    Histogram* fresh = new (histogram.get()) Histogram();
+    (void)fresh;
+  }
+}
+
+#endif  // OLAPIDX_METRICS_ENABLED
+
+}  // namespace olapidx

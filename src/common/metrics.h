@@ -1,0 +1,292 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// with fixed log-2 buckets, designed so that instrumentation can live on
+// hot paths.
+//
+// Hot-path cost model. Counters and histograms are *lock-sharded*: each
+// holds kMetricShards cache-line-aligned atomic cells, a thread picks its
+// shard once (a thread-local ordinal) and updates it with a relaxed
+// fetch_add, so concurrent writers on different threads touch different
+// cache lines. Reads (Value / Snapshot) sum the shards — slightly stale
+// under concurrency, exact once writers are quiescent. Registration
+// (MetricsRegistry::Get*) takes a mutex and returns a stable reference;
+// instrumentation sites cache it in a function-local static via the
+// OLAPIDX_METRIC_* macros below, so steady state is one guarded static
+// read plus one relaxed atomic add per event.
+//
+// Build modes. With the CMake option OLAPIDX_METRICS=ON (the default) the
+// real registry is compiled; with OLAPIDX_METRICS=OFF every class below
+// becomes an empty constexpr-constructible stub, the macros declare inert
+// objects, and calls compile to nothing — zero overhead, same API, no
+// #ifdefs at call sites.
+//
+// Snapshots. MetricsSnapshot is plain data (available in both modes): the
+// non-zero metrics sorted by name. SnapshotDelta(before, after) attributes
+// activity to a region of interest — SelectionResult::metrics carries one
+// such delta per selection run. Deltas are process-wide: selections
+// running concurrently in other threads bleed into each other's deltas
+// (the repository's entry points run selections serially).
+
+#ifndef OLAPIDX_COMMON_METRICS_H_
+#define OLAPIDX_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#endif
+
+namespace olapidx {
+
+// ---------------------------------------------------------------------------
+// Snapshot types — plain data, identical in both build modes.
+// ---------------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  // buckets[i] counts observations v with bit_width(v) == i: bucket 0
+  // holds v == 0, bucket i >= 1 holds 2^(i-1) <= v < 2^i. Trailing zero
+  // buckets are trimmed, so buckets.size() <= 65.
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+struct MetricsSnapshot {
+  // Each list is sorted by name; zero counters, zero gauges, and empty
+  // histograms are dropped.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  // 0 / nullptr when the name is absent.
+  uint64_t CounterValue(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  // Deterministic single-line JSON:
+  //   {"counters":{...},"gauges":{...},"histograms":{"h":{"count":..,
+  //    "sum":..,"buckets":[..]}}}
+  std::string ToJson() const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+// Counters and histograms: after − before (monotone, so never negative
+// unless the registry was Reset in between — negative differences are
+// dropped). Gauges are instantaneous, so the delta keeps `after`'s values.
+// Zero/empty entries are dropped, so the delta of a quiescent region is
+// Empty().
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+
+// ---------------------------------------------------------------------------
+// Real implementation (OLAPIDX_METRICS=ON).
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kMetricShards = 8;
+// bit_width of a uint64_t is in [0, 64].
+inline constexpr size_t kHistogramBuckets = 65;
+
+namespace metrics_internal {
+// This thread's shard: a small per-thread ordinal modulo kMetricShards.
+size_t ThisThreadShard();
+}  // namespace metrics_internal
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[metrics_internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value) {
+    size_t bucket =
+        value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+    Shard& s = shards_[metrics_internal::ThisThreadShard()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Registers on first use; returns the same stable reference thereafter.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // The current non-zero metrics, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  // Test support: zeroes every registered metric (names stay registered).
+  // Not safe against concurrent writers.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#else  // !OLAPIDX_METRICS_ENABLED
+
+// ---------------------------------------------------------------------------
+// No-op stubs (OLAPIDX_METRICS=OFF): same API, constexpr-constructible,
+// every call compiles away.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  constexpr Counter() = default;
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  constexpr Gauge() = default;
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  constexpr Histogram() = default;
+  void Observe(uint64_t) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(const std::string&) { return counter_; }
+  Gauge& GetGauge(const std::string&) { return gauge_; }
+  Histogram& GetHistogram(const std::string&) { return histogram_; }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // OLAPIDX_METRICS_ENABLED
+
+// Captures a registry snapshot at construction; Delta() is the activity
+// since then. Used by the selection entry points to fill
+// SelectionResult::metrics. Free (empty) when metrics are compiled out.
+class MetricsRunScope {
+ public:
+#if defined(OLAPIDX_METRICS_ENABLED)
+  MetricsRunScope() : before_(MetricsRegistry::Global().Snapshot()) {}
+  MetricsSnapshot Delta() const {
+    return SnapshotDelta(before_, MetricsRegistry::Global().Snapshot());
+  }
+
+ private:
+  MetricsSnapshot before_;
+#else
+  MetricsRunScope() = default;
+  MetricsSnapshot Delta() const { return {}; }
+#endif
+};
+
+}  // namespace olapidx
+
+// Instrumentation-site macros: declare a function-local handle `var` and
+// use it with var.Add(..) / var.Set(..) / var.Observe(..). With metrics
+// compiled out the handle is an inert constexpr-initialized stub (no
+// static-init guard, no code).
+#if defined(OLAPIDX_METRICS_ENABLED)
+#define OLAPIDX_METRIC_COUNTER(var, name)   \
+  static ::olapidx::Counter& var =          \
+      ::olapidx::MetricsRegistry::Global().GetCounter(name)
+#define OLAPIDX_METRIC_GAUGE(var, name)     \
+  static ::olapidx::Gauge& var =            \
+      ::olapidx::MetricsRegistry::Global().GetGauge(name)
+#define OLAPIDX_METRIC_HISTOGRAM(var, name) \
+  static ::olapidx::Histogram& var =        \
+      ::olapidx::MetricsRegistry::Global().GetHistogram(name)
+#else
+#define OLAPIDX_METRIC_COUNTER(var, name) \
+  static constinit ::olapidx::Counter var
+#define OLAPIDX_METRIC_GAUGE(var, name) \
+  static constinit ::olapidx::Gauge var
+#define OLAPIDX_METRIC_HISTOGRAM(var, name) \
+  static constinit ::olapidx::Histogram var
+#endif
+
+#endif  // OLAPIDX_COMMON_METRICS_H_

@@ -1,9 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 
 namespace olapidx {
 
@@ -35,7 +37,15 @@ std::pair<size_t, size_t> ThreadPool::ChunkBounds(size_t n, size_t chunks,
 }
 
 void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
-  if (job_failed_.load(std::memory_order_acquire)) return;  // skip
+  // This pool has no work stealing by design (fixed contiguous chunking
+  // keeps the parallel reduction deterministic), so there is no steal
+  // counter to export — chunks_executed / chunks_skipped / chunk_failures
+  // and the per-chunk latency histogram are the full story.
+  if (job_failed_.load(std::memory_order_acquire)) {
+    OLAPIDX_METRIC_COUNTER(skipped, "pool.chunks_skipped");
+    skipped.Add(1);
+    return;
+  }
   Status status;
   if (fault_points) {
 #if defined(OLAPIDX_FAULT_INJECTION)
@@ -44,9 +54,21 @@ void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
   }
   if (status.ok()) {
     auto [begin, end] = ChunkBounds(n, num_threads(), chunk);
-    if (begin < end) status = (*job_)(begin, end, chunk);
+    if (begin < end) {
+      OLAPIDX_METRIC_COUNTER(executed, "pool.chunks_executed");
+      OLAPIDX_METRIC_HISTOGRAM(latency, "pool.chunk_micros");
+      executed.Add(1);
+      const auto start = std::chrono::steady_clock::now();
+      status = (*job_)(begin, end, chunk);
+      latency.Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
   }
   if (!status.ok()) {
+    OLAPIDX_METRIC_COUNTER(failures, "pool.chunk_failures");
+    failures.Add(1);
     job_status_[chunk] = std::move(status);
     job_failed_.store(true, std::memory_order_release);
   }
@@ -55,6 +77,15 @@ void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
 Status ThreadPool::Run(size_t n, const StatusChunkFn& fn,
                        bool fault_points) {
   if (n == 0) return Status::Ok();
+  OLAPIDX_METRIC_COUNTER(jobs, "pool.jobs");
+  OLAPIDX_METRIC_GAUGE(active, "pool.active_jobs");
+  jobs.Add(1);
+  active.Add(1);
+  // Balances the Add(1) above on every exit path of this function.
+  struct ActiveJobGuard {
+    Gauge& gauge;
+    ~ActiveJobGuard() { gauge.Add(-1); }
+  } active_guard{active};
   size_t threads = num_threads();
   std::fill(job_status_.begin(), job_status_.end(), Status::Ok());
   job_failed_.store(false, std::memory_order_relaxed);

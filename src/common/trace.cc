@@ -1,0 +1,111 @@
+#include "common/trace.h"
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <mutex>
+
+#include "common/json.h"
+
+namespace olapidx {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+uint64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+namespace {
+
+uint32_t ThisThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::array<SpanRecord, kTraceCapacity> ring;
+  uint64_t recorded = 0;  // total ever; ring slot = index % capacity
+};
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(const char* name, uint64_t start_micros,
+                    uint64_t duration_micros) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.ring[im.recorded % kTraceCapacity] =
+      SpanRecord{name, start_micros, duration_micros, ThisThreadOrdinal()};
+  ++im.recorded;
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<SpanRecord> out;
+  uint64_t retained = std::min<uint64_t>(im.recorded, kTraceCapacity);
+  out.reserve(static_cast<size_t>(retained));
+  for (uint64_t i = im.recorded - retained; i < im.recorded; ++i) {
+    out.push_back(im.ring[i % kTraceCapacity]);
+  }
+  return out;
+}
+
+uint64_t Tracer::recorded() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.recorded;
+}
+
+uint64_t Tracer::dropped() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.recorded > kTraceCapacity ? im.recorded - kTraceCapacity : 0;
+}
+
+void Tracer::Clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.recorded = 0;
+}
+
+std::string Tracer::ToJson() const {
+  Json spans = Json::Array();
+  for (const SpanRecord& s : Spans()) {
+    Json span = Json::Object();
+    span.Set("name", Json::Str(s.name));
+    span.Set("start_us", Json::Number(static_cast<double>(s.start_micros)));
+    span.Set("dur_us", Json::Number(static_cast<double>(s.duration_micros)));
+    span.Set("thread", Json::Number(static_cast<double>(s.thread)));
+    spans.Push(std::move(span));
+  }
+  Json doc = Json::Object();
+  doc.Set("schema", Json::Str("olapidx-trace"));
+  doc.Set("version", Json::Number(1));
+  doc.Set("dropped", Json::Number(static_cast<double>(dropped())));
+  doc.Set("spans", std::move(spans));
+  return doc.Dump(0);
+}
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_METRICS_ENABLED

@@ -1,0 +1,144 @@
+// Scoped-span tracing: a low-overhead record of where wall time went.
+//
+// A span is (name, start, duration, thread), timed on the monotonic
+// steady clock relative to a process-local epoch, and recorded into a
+// global fixed-capacity ring buffer (oldest spans are overwritten once
+// the ring wraps; `dropped()` reports how many). Spans are recorded at
+// stage/query granularity — dozens to thousands per run, not per row —
+// so the ring is guarded by a plain mutex; the cost that matters is the
+// *disabled* path: tracing is off by default, and a disabled
+// OLAPIDX_TRACE_SPAN costs one relaxed atomic load and no clock reads.
+//
+// Span names must be string literals (the ring stores the pointer).
+//
+// With the CMake option OLAPIDX_METRICS=OFF this entire facility compiles
+// to nothing, same as the metrics registry (one switch for the whole
+// observability layer).
+
+#ifndef OLAPIDX_COMMON_TRACE_H_
+#define OLAPIDX_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+#include <atomic>
+#endif
+
+namespace olapidx {
+
+struct SpanRecord {
+  const char* name = nullptr;   // static string literal
+  uint64_t start_micros = 0;    // since the process trace epoch (monotonic)
+  uint64_t duration_micros = 0;
+  uint32_t thread = 0;          // small per-thread ordinal
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+#if defined(OLAPIDX_METRICS_ENABLED)
+
+inline constexpr size_t kTraceCapacity = 16384;
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Tracing starts disabled; advisor_cli --trace-json and the tests turn
+  // it on. The check is a relaxed atomic load.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(const char* name, uint64_t start_micros,
+              uint64_t duration_micros);
+
+  // The retained spans, oldest first.
+  std::vector<SpanRecord> Spans() const;
+  uint64_t recorded() const;  // total ever recorded
+  uint64_t dropped() const;   // overwritten by ring wrap-around
+  void Clear();
+
+  // {"schema":"olapidx-trace","version":1,"dropped":N,"spans":[...]}
+  std::string ToJson() const;
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+
+  static std::atomic<bool> enabled_;
+};
+
+// Monotonic microseconds since the process trace epoch.
+uint64_t TraceNowMicros();
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Tracer::Enabled()) {
+      name_ = name;
+      start_ = TraceNowMicros();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      Tracer::Global().Record(name_, start_, TraceNowMicros() - start_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+#else  // !OLAPIDX_METRICS_ENABLED
+
+class Tracer {
+ public:
+  static Tracer& Global() {
+    static Tracer tracer;
+    return tracer;
+  }
+  static bool Enabled() { return false; }
+  static void SetEnabled(bool) {}
+  void Record(const char*, uint64_t, uint64_t) {}
+  std::vector<SpanRecord> Spans() const { return {}; }
+  uint64_t recorded() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  void Clear() {}
+  std::string ToJson() const {
+    return "{\"schema\":\"olapidx-trace\",\"version\":1,\"dropped\":0,"
+           "\"spans\":[]}";
+  }
+};
+
+inline uint64_t TraceNowMicros() { return 0; }
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+};
+
+#endif  // OLAPIDX_METRICS_ENABLED
+
+}  // namespace olapidx
+
+// OLAPIDX_TRACE_SPAN("name"): a block-scoped span covering the rest of
+// the enclosing scope. Compiles to nothing under OLAPIDX_METRICS=OFF.
+#if defined(OLAPIDX_METRICS_ENABLED)
+#define OLAPIDX_TRACE_CONCAT_INNER(a, b) a##b
+#define OLAPIDX_TRACE_CONCAT(a, b) OLAPIDX_TRACE_CONCAT_INNER(a, b)
+#define OLAPIDX_TRACE_SPAN(name) \
+  ::olapidx::ScopedSpan OLAPIDX_TRACE_CONCAT(olapidx_span_, __LINE__)(name)
+#else
+#define OLAPIDX_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // OLAPIDX_COMMON_TRACE_H_

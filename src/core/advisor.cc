@@ -128,7 +128,10 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
   SelectionResult result;
   switch (config.algorithm) {
     case Algorithm::kOneGreedy: {
-      RGreedyOptions options;
+      // Same knobs as kRGreedy (threads, memoization, lazy CELF, subset
+      // cap) with r forced to 1; a default-constructed options object
+      // here used to silently drop config.r_greedy.num_threads & co.
+      RGreedyOptions options = config.r_greedy;
       options.r = 1;
       if (!config.control.unlimited()) options.control = config.control;
       if (resume_ptr != nullptr) options.resume = resume_ptr;

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/selection_metrics.h"
 #include "core/selection_state.h"
 
 namespace olapidx {
@@ -194,6 +196,10 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
         "space budget must be non-negative and finite"));
   }
 
+  OLAPIDX_TRACE_SPAN("inner_greedy.run");
+  // Per-run registry delta (see SelectionResult::metrics): captured fresh
+  // for every call so repeated runs never accumulate.
+  MetricsRunScope metrics_scope;
   SelectionState state(&graph);
   SelectionResult result;
   result.initial_cost = state.TotalCost();
@@ -235,6 +241,17 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
       break;
     }
     const auto stage_start = SteadyClock::now();
+    OLAPIDX_TRACE_SPAN("inner_greedy.stage");
+    // Candidate evaluations this stage; every loop exit that accounts a
+    // stage records wall time and candidate count together so the
+    // per-stage vectors stay parallel (RecordRun folds them into the
+    // registry histograms in one end-of-run batch).
+    uint64_t stage_evals = 0;
+    auto end_stage = [&] {
+      uint64_t micros = ElapsedMicros(stage_start);
+      result.stats.stage_wall_micros.push_back(micros);
+      result.stats.stage_candidates.push_back(stage_evals);
+    };
 
     // Pass 1: clean slots are exact; the best clean ratio becomes the
     // lazy-skip threshold for the dirty ones.
@@ -284,17 +301,18 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
           }
           return Status::Ok();
         });
-    for (uint64_t e : chunk_evals) result.candidates_evaluated += e;
+    for (uint64_t e : chunk_evals) stage_evals += e;
+    result.candidates_evaluated += stage_evals;
     if (!evaluated.ok()) {
       result.status = evaluated.WithContext("bundle growth");
       result.completed = false;
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;
     }
     if (stop_requested.load(std::memory_order_relaxed)) {
       result.status = options.control.StopStatus();
       result.completed = false;
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;
     }
 
@@ -311,7 +329,7 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
       }
     }
     if (winner == nullptr) {
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;
     }
 
@@ -333,13 +351,15 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
     }
     ++result.stats.stages;
     ++steps_this_call;
-    result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+    end_stage();
   }
 
   result.stats.total_wall_micros = ElapsedMicros(run_start);
   result.space_used = state.SpaceUsed();
   result.final_cost = state.TotalCost();
   result.total_maintenance = state.TotalMaintenance();
+  selection_metrics::RecordRun(result, steps_this_call);
+  result.metrics = metrics_scope.Delta();
   return result;
 }
 

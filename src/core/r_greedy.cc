@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/selection_metrics.h"
 #include "core/selection_state.h"
 
 namespace olapidx {
@@ -181,6 +183,7 @@ void EvaluateView(const SelectionState& state, uint32_t v,
 SelectionResult EagerRGreedy(const QueryViewGraph& graph,
                              double space_budget,
                              const RGreedyOptions& options) {
+  OLAPIDX_TRACE_SPAN("rgreedy.run");
   SelectionState state(&graph);
   SelectionResult result;
   result.initial_cost = state.TotalCost();
@@ -222,6 +225,17 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
       break;
     }
     const auto stage_start = SteadyClock::now();
+    OLAPIDX_TRACE_SPAN("rgreedy.stage");
+    // Candidate evaluations this stage; every loop exit that accounts a
+    // stage records wall time and candidate count together so the
+    // per-stage vectors stay parallel (RecordRun folds them into the
+    // registry histograms in one end-of-run batch).
+    uint64_t stage_evals = 0;
+    auto end_stage = [&] {
+      uint64_t micros = ElapsedMicros(stage_start);
+      result.stats.stage_wall_micros.push_back(micros);
+      result.stats.stage_candidates.push_back(stage_evals);
+    };
 
     // Pass 1: clean slots are exact; the best clean ratio becomes the
     // lazy-skip threshold for the dirty ones.
@@ -276,19 +290,20 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
           return Status::Ok();
         });
     for (const ChunkCounters& c : counters) {
-      result.candidates_evaluated += c.evals;
+      stage_evals += c.evals;
       result.candidates_truncated += c.truncated;
     }
+    result.candidates_evaluated += stage_evals;
     if (!evaluated.ok()) {
       result.status = evaluated.WithContext("candidate evaluation");
       result.completed = false;
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;
     }
     if (stop_requested.load(std::memory_order_relaxed)) {
       result.status = options.control.StopStatus();
       result.completed = false;
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;
     }
 
@@ -305,7 +320,7 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
       }
     }
     if (best == nullptr) {
-      result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+      end_stage();
       break;  // Nothing left with positive benefit.
     }
 
@@ -331,13 +346,14 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
     }
     ++result.stats.stages;
     ++steps_this_call;
-    result.stats.stage_wall_micros.push_back(ElapsedMicros(stage_start));
+    end_stage();
   }
 
   result.stats.total_wall_micros = ElapsedMicros(run_start);
   result.space_used = state.SpaceUsed();
   result.final_cost = state.TotalCost();
   result.total_maintenance = state.TotalMaintenance();
+  selection_metrics::RecordRun(result, steps_this_call);
   return result;
 }
 
@@ -346,6 +362,7 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
 SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
                               double space_budget,
                               const RGreedyOptions& options) {
+  OLAPIDX_TRACE_SPAN("rgreedy.lazy_run");
   SelectionState state(&graph);
   SelectionResult result;
   result.initial_cost = state.TotalCost();
@@ -437,6 +454,7 @@ SelectionResult LazyOneGreedy(const QueryViewGraph& graph,
   result.space_used = state.SpaceUsed();
   result.final_cost = state.TotalCost();
   result.total_maintenance = state.TotalMaintenance();
+  selection_metrics::RecordRun(result, steps_this_call);
   return result;
 }
 
@@ -459,10 +477,15 @@ SelectionResult RGreedy(const QueryViewGraph& graph, double space_budget,
     return SelectionResult::Rejected(Status::InvalidArgument(
         "space budget must be non-negative and finite"));
   }
-  if (options.r == 1 && options.lazy_one_greedy) {
-    return LazyOneGreedy(graph, space_budget, options);
-  }
-  return EagerRGreedy(graph, space_budget, options);
+  // Per-run registry delta, captured fresh for every call so repeated
+  // runs against the same options/state object never accumulate.
+  MetricsRunScope scope;
+  SelectionResult result =
+      options.r == 1 && options.lazy_one_greedy
+          ? LazyOneGreedy(graph, space_budget, options)
+          : EagerRGreedy(graph, space_budget, options);
+  result.metrics = scope.Delta();
+  return result;
 }
 
 }  // namespace olapidx

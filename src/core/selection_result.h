@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/query_view_graph.h"
 
@@ -32,6 +33,12 @@ struct EvaluationStats {
   // Wall-clock μs per stage, in stage order, and their total.
   std::vector<uint64_t> stage_wall_micros;
   uint64_t total_wall_micros = 0;
+  // Candidate evaluations per stage, parallel to stage_wall_micros; their
+  // sum equals candidates_evaluated for the eager algorithms (the lazy
+  // 1-greedy heap evaluates across stage boundaries and leaves this
+  // empty). Covers only stages executed by this call (resumed runs start
+  // fresh).
+  std::vector<uint64_t> stage_candidates;
   // Worker threads used for candidate evaluation (1 = serial).
   size_t threads_used = 1;
 
@@ -90,6 +97,12 @@ struct SelectionResult {
   uint64_t candidates_truncated = 0;
   // Work/caching/timing telemetry of the selection loop.
   EvaluationStats stats;
+  // Process-wide metrics registry delta attributed to this run — captured
+  // fresh per call (never accumulated across runs reusing an Advisor or
+  // options object), empty under OLAPIDX_METRICS=OFF. Concurrent
+  // selections in other threads bleed into each other's deltas; the
+  // repository's entry points run selections serially.
+  MetricsSnapshot metrics;
   // True iff the result is provably optimal for its budget (set only by the
   // branch-and-bound solver when it runs to completion).
   bool proven_optimal = false;

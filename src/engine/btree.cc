@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "common/metrics.h"
+
 namespace olapidx {
 
 BPlusTree::BPlusTree(int fanout) : fanout_(fanout) {
@@ -44,13 +46,19 @@ void BPlusTree::DeleteSubtree(Node* node) {
 const BPlusTree::Node* BPlusTree::FindLeaf(uint64_t key) const {
   const Node* node = root_;
   if (node == nullptr) return nullptr;
+  // Touches are accumulated locally and added once per descent, so the
+  // counter costs one atomic add per lookup rather than one per level.
+  uint64_t touched = 1;
   while (!node->is_leaf) {
     // First separator >= key: children to its left cannot contain `key`.
     size_t idx = static_cast<size_t>(
         std::lower_bound(node->keys.begin(), node->keys.end(), key) -
         node->keys.begin());
     node = node->children[idx];
+    ++touched;
   }
+  OLAPIDX_METRIC_COUNTER(touches, "btree.node_touches");
+  touches.Add(touched);
   return node;
 }
 
@@ -104,6 +112,8 @@ BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, uint64_t key,
 }
 
 void BPlusTree::Insert(uint64_t key, uint32_t value) {
+  OLAPIDX_METRIC_COUNTER(inserts, "btree.inserts");
+  inserts.Add(1);
   if (root_ == nullptr) {
     root_ = new Node(/*leaf=*/true);
     height_ = 1;
@@ -127,6 +137,8 @@ void BPlusTree::BulkLoad(
       sorted.begin(), sorted.end(),
       [](const auto& a, const auto& b) { return a.first < b.first; }));
   if (sorted.empty()) return;
+  OLAPIDX_METRIC_COUNTER(bulk_entries, "btree.bulk_load_entries");
+  bulk_entries.Add(sorted.size());
 
   // Build the leaf level.
   struct Entry {

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cost/analytical_model.h"
 #include "engine/key_codec.h"
 
@@ -78,6 +80,7 @@ Executor::Executor(const Catalog* catalog) : catalog_(catalog) {
 GroupedResult Executor::Execute(
     const SliceQuery& query, const std::vector<uint32_t>& selection_values,
     ExecutionStats* stats) const {
+  OLAPIDX_TRACE_SPAN("executor.execute");
   const CubeSchema& schema = catalog_->schema();
   std::vector<int> sel_attrs = query.selection().ToVector();
   OLAPIDX_CHECK(selection_values.size() == sel_attrs.size());
@@ -164,6 +167,28 @@ GroupedResult Executor::Execute(
             acc.Add(value_of, view.aggregate(r));
           });
     }
+  }
+
+  // One registry update per query (not per row): the row counts were
+  // accumulated locally above, and which counter they land in classifies
+  // the chosen access path (raw scan vs. view scan vs. index probe).
+  OLAPIDX_METRIC_COUNTER(queries, "executor.queries");
+  queries.Add(1);
+  if (plan.use_raw) {
+    OLAPIDX_METRIC_COUNTER(raw_plans, "executor.plans_raw");
+    OLAPIDX_METRIC_COUNTER(raw_rows, "executor.rows_raw_scanned");
+    raw_plans.Add(1);
+    raw_rows.Add(rows_processed);
+  } else if (plan.index == nullptr) {
+    OLAPIDX_METRIC_COUNTER(view_plans, "executor.plans_view_scan");
+    OLAPIDX_METRIC_COUNTER(view_rows, "executor.rows_view_scanned");
+    view_plans.Add(1);
+    view_rows.Add(rows_processed);
+  } else {
+    OLAPIDX_METRIC_COUNTER(index_plans, "executor.plans_index");
+    OLAPIDX_METRIC_COUNTER(index_rows, "executor.rows_index_probed");
+    index_plans.Add(1);
+    index_rows.Add(rows_processed);
   }
 
   if (stats != nullptr) {

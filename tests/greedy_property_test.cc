@@ -131,6 +131,35 @@ TEST_P(GreedyPropertyTest, LazyOneGreedyEquivalentToEager) {
   }
 }
 
+TEST_P(GreedyPropertyTest, StageCandidatesPartitionTotalWork) {
+  // The eager algorithms attribute every candidate evaluation to exactly
+  // one stage, so the per-stage counts must sum to the run total (and
+  // there is one count per executed stage). The lazy 1-greedy heap
+  // evaluates across stage boundaries and documents stage_candidates as
+  // empty instead.
+  double budget = 0.2 * total_space_;
+  for (int algo = 0; algo < 3; ++algo) {
+    SelectionResult r =
+        algo == 0   ? RGreedy(cube_->graph, budget, {.r = 1})
+        : algo == 1 ? RGreedy(cube_->graph, budget, {.r = 2})
+                    : InnerLevelGreedy(cube_->graph, budget);
+    ASSERT_TRUE(r.status.ok());
+    // stages counts picking stages; the terminating no-winner probe adds
+    // one more stage_candidates entry (its evaluations still count).
+    EXPECT_GE(r.stats.stage_candidates.size(), r.stats.stages)
+        << "algo " << algo;
+    EXPECT_LE(r.stats.stage_candidates.size(), r.stats.stages + 1)
+        << "algo " << algo;
+    uint64_t sum = 0;
+    for (uint64_t c : r.stats.stage_candidates) sum += c;
+    EXPECT_EQ(sum, r.candidates_evaluated) << "algo " << algo;
+  }
+  SelectionResult lazy = RGreedy(cube_->graph, budget,
+                                 RGreedyOptions{.r = 1,
+                                                .lazy_one_greedy = true});
+  EXPECT_TRUE(lazy.stats.stage_candidates.empty());
+}
+
 TEST_P(GreedyPropertyTest, ExhaustiveBudgetSelectsEverythingUseful) {
   // With an unlimited budget every algorithm reaches the perfect benefit
   // (all queries at their cheapest possible plan).
