@@ -1,0 +1,146 @@
+// Experiment E12 — query-view graph construction time. The Section 5.1
+// graph has 2^n views, Σ_k C(n,k)·k! fat indexes, and a slice workload of
+// up to 3^n queries; the seed builder walked every (query, view,
+// permutation) triple serially. This bench times that retained reference
+// against the fast builder (superset enumeration + prefix-class costing +
+// sharded parallel emission) across cube dimensions, and reports per-dim
+// speedups. The reference is capped at dimension 7 — the dim-8 triple loop
+// takes minutes, which is the point of the fast path.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/check.h"
+#include "core/cube_graph.h"
+#include "data/synthetic.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+constexpr int kMinDim = 4;
+constexpr int kDefaultMaxDim = 7;
+constexpr int kMaxReferenceDim = 7;
+
+struct Timed {
+  double ms = 0.0;
+  size_t structures = 0;
+  size_t queries = 0;
+};
+
+template <typename BuildFn>
+Timed BestOf(int reps, const BuildFn& build) {
+  Timed out;
+  out.ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    CubeGraph cg = build();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    out.ms = std::min(out.ms, ms);
+    out.structures = cg.graph.num_structures();
+    out.queries = cg.graph.num_queries();
+  }
+  return out;
+}
+
+void AddBuildRow(bench::BenchJsonReporter& rep, const std::string& label,
+                 int dim, const Timed& t) {
+  Json row = Json::Object();
+  row.Set("label", Json::Str(label));
+  row.Set("dim", Json::Number(dim));
+  row.Set("structures", Json::Number(static_cast<double>(t.structures)));
+  row.Set("queries", Json::Number(static_cast<double>(t.queries)));
+  row.Set("wall_ms", Json::Number(t.ms));
+  rep.AddRun(std::move(row));
+}
+
+void RunBench(bench::BenchJsonReporter& rep, int max_dim) {
+  std::printf("%-4s %10s %8s %12s %10s %10s %10s %8s %8s\n", "dim",
+              "structures", "queries", "reference_ms", "fast_t1_ms",
+              "fast_t2_ms", "fast_t8_ms", "x_t1", "x_t8");
+  for (int n = kMinDim; n <= max_dim; ++n) {
+    SyntheticCube cube = UniformSyntheticCube(n, 100, 0.05);
+    CubeLattice lattice(cube.schema);
+    Workload workload = AllSliceQueries(lattice);
+    const int reps = n <= 5 ? 5 : (n == 6 ? 3 : 1);
+    const std::string dim = "dim" + std::to_string(n);
+
+    Timed ref;
+    const bool run_reference = n <= kMaxReferenceDim;
+    if (run_reference) {
+      ref = BestOf(reps, [&] {
+        return BuildCubeGraphReference(cube.schema, cube.sizes, workload,
+                                       CubeGraphOptions{});
+      });
+      AddBuildRow(rep, dim + "/reference", n, ref);
+    }
+
+    Timed fast[3];
+    const size_t thread_counts[3] = {1, 2, 8};
+    for (int i = 0; i < 3; ++i) {
+      CubeGraphOptions options;
+      options.num_threads = thread_counts[i];
+      fast[i] = BestOf(reps, [&] {
+        StatusOr<CubeGraph> built =
+            TryBuildCubeGraph(cube.schema, cube.sizes, workload, options);
+        OLAPIDX_CHECK(built.ok());
+        return *std::move(built);
+      });
+      AddBuildRow(rep,
+                  dim + "/fast_t" + std::to_string(thread_counts[i]), n,
+                  fast[i]);
+    }
+
+    if (run_reference) {
+      for (int i = 0; i < 3; ++i) {
+        rep.AddScalar("speedup_" + dim + "_t" +
+                          std::to_string(thread_counts[i]),
+                      ref.ms / fast[i].ms);
+      }
+      std::printf("%-4d %10zu %8zu %12.2f %10.2f %10.2f %10.2f %7.2fx %7.2fx\n",
+                  n, fast[0].structures, fast[0].queries, ref.ms, fast[0].ms,
+                  fast[1].ms, fast[2].ms, ref.ms / fast[0].ms,
+                  ref.ms / fast[2].ms);
+    } else {
+      std::printf("%-4d %10zu %8zu %12s %10.2f %10.2f %10.2f %8s %8s\n", n,
+                  fast[0].structures, fast[0].queries, "-", fast[0].ms,
+                  fast[1].ms, fast[2].ms, "-", "-");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olapidx
+
+int main(int argc, char** argv) {
+  // Peel off --max-dim=N (ParseBenchArgs rejects anything but --json).
+  int max_dim = olapidx::kDefaultMaxDim;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--max-dim=", 0) == 0) {
+      max_dim = std::atoi(arg.c_str() + 10);
+      if (max_dim < olapidx::kMinDim || max_dim > 8) {
+        std::fprintf(stderr, "error: --max-dim must be in [%d, 8]\n",
+                     olapidx::kMinDim);
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  olapidx::bench::BenchArgs args =
+      olapidx::bench::ParseBenchArgs(argc, argv, "graph_build");
+  olapidx::bench::BenchJsonReporter rep("graph_build");
+  olapidx::RunBench(rep, max_dim);
+  olapidx::bench::FinishBenchJson(rep, args);
+  return 0;
+}

@@ -1,4 +1,4 @@
-// Experiment E12 (extension) — the paper's framework on hierarchical
+// Experiment E13 (extension) — the paper's framework on hierarchical
 // lattices. Section 3 notes the algorithms' correctness and guarantees do
 // not depend on the choice of views/queries/indexes; here the universe is
 // the [HRU96]-style hierarchy lattice (one level per dimension per view).
@@ -50,7 +50,7 @@ double TotalSpace(const QueryViewGraph& g) {
 }
 
 void Run(bench::BenchJsonReporter* rep) {
-  std::printf("== E12 (extension): selection on hierarchical lattices ==\n\n");
+  std::printf("== E13 (extension): selection on hierarchical lattices ==\n\n");
   TablePrinter t({"levels/dim", "views", "structures", "queries",
                   "1-greedy", "2-greedy", "inner", "two-step",
                   "mid-level picks"});

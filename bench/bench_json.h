@@ -53,8 +53,12 @@ class BenchJsonReporter {
   // A fully custom row; must be an object with at least a "label" string.
   void AddRun(Json run) { runs_.push_back(std::move(run)); }
 
-  // The standard row for one selection-algorithm run.
-  void AddSelectionRun(const std::string& label, const SelectionResult& r) {
+  // The standard row for one selection-algorithm run. `extra` appends
+  // additional numeric fields (e.g. "graph_build_ms" alongside the
+  // selection's own wall time) without changing the core schema.
+  void AddSelectionRun(
+      const std::string& label, const SelectionResult& r,
+      const std::vector<std::pair<std::string, double>>& extra = {}) {
     Json run = Json::Object();
     run.Set("label", Json::Str(label));
     run.Set("tau", Json::Number(r.final_cost));
@@ -77,6 +81,9 @@ class BenchJsonReporter {
     run.Set("threads",
             Json::Number(static_cast<double>(r.stats.threads_used)));
     run.Set("completed", Json::Bool(r.completed));
+    for (const auto& [name, value] : extra) {
+      run.Set(name, Json::Number(value));
+    }
     AddRun(std::move(run));
   }
 
@@ -99,16 +106,20 @@ class BenchJsonReporter {
 
   // The document with every volatile field removed or zeroed — a pure
   // function of the benchmark's deterministic outputs, suitable for
-  // byte-exact golden comparison: wall_ms → 0, threads → 0, and no
-  // "metrics" member.
+  // byte-exact golden comparison: every wall-clock field and the thread
+  // count → 0, and no "metrics" member.
   Json BuildScrubbed() const {
     Json doc = BuildCommon();
     Json scrubbed_runs = Json::Array();
     for (const Json& run : doc.Find("runs")->elements()) {
       Json r = run;
       if (r.is_object()) {
-        if (r.Find("wall_ms") != nullptr) r.Set("wall_ms", Json::Number(0));
-        if (r.Find("threads") != nullptr) r.Set("threads", Json::Number(0));
+        for (const char* volatile_field :
+             {"wall_ms", "threads", "graph_build_ms", "selection_ms"}) {
+          if (r.Find(volatile_field) != nullptr) {
+            r.Set(volatile_field, Json::Number(0));
+          }
+        }
       }
       scrubbed_runs.Push(std::move(r));
     }

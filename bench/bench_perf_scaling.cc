@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 
 #include "bench_json.h"
@@ -230,25 +231,38 @@ BENCHMARK(BM_GroupByMaterialize)->Arg(20'000)->Arg(60'000);
 // (algorithm, dimension) cell with wall time from the algorithm's own
 // EvaluationStats — no repetition statistics, but stable row content and
 // schema. Used by the CI bench-smoke job and by the metrics-overhead
-// measurement (compare wall_ms of two builds of this sweep).
+// measurement (compare wall_ms of two builds of this sweep). Each row
+// carries the dimension's one-time graph-construction cost separately
+// from the selection's own wall time ("graph_build_ms" vs
+// "selection_ms"), so construction and selection scaling can be read
+// apart from the same report.
 void RunJsonSweep(bench::BenchJsonReporter& rep) {
   for (int n = 3; n <= 5; ++n) {
+    auto build_start = std::chrono::steady_clock::now();
     ScalingSetup setup = MakeSetup(n);
+    double graph_build_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                build_start)
+                                .count();
     std::string dim = "dim" + std::to_string(n);
+    auto add = [&](const std::string& label, const SelectionResult& res) {
+      double selection_ms =
+          static_cast<double>(res.stats.total_wall_micros) / 1000.0;
+      rep.AddSelectionRun(label, res,
+                          {{"graph_build_ms", graph_build_ms},
+                           {"selection_ms", selection_ms}});
+    };
     for (int r = 1; r <= 2; ++r) {
-      rep.AddSelectionRun(
-          dim + "/rgreedy_r" + std::to_string(r),
+      add(dim + "/rgreedy_r" + std::to_string(r),
           RGreedy(setup.cg.graph, setup.budget,
                   RGreedyOptions{.r = r, .max_subsets_per_view = 100'000}));
     }
-    rep.AddSelectionRun(
-        dim + "/lazy_one_greedy",
+    add(dim + "/lazy_one_greedy",
         RGreedy(setup.cg.graph, setup.budget,
                 RGreedyOptions{.r = 1, .lazy_one_greedy = true}));
-    rep.AddSelectionRun(dim + "/inner_level",
-                        InnerLevelGreedy(setup.cg.graph, setup.budget));
-    rep.AddSelectionRun(
-        dim + "/two_step",
+    add(dim + "/inner_level",
+        InnerLevelGreedy(setup.cg.graph, setup.budget));
+    add(dim + "/two_step",
         TwoStep(setup.cg.graph, setup.budget, TwoStepOptions{}));
   }
 }

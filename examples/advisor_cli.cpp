@@ -289,10 +289,18 @@ int main(int argc, char** argv) {
   CubeGraphOptions gopts;
   gopts.raw_scan_penalty = raw_penalty;
   gopts.maintenance_per_row = maintenance;
+  gopts.num_threads = static_cast<size_t>(threads);
   // The tracer is off by default (its only cost is then one relaxed
   // atomic load per span site); --trace-json opts this run in.
   if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
-  Advisor advisor(schema, sizes, workload, gopts);
+  StatusOr<Advisor> advisor_or =
+      Advisor::Create(schema, sizes, workload, gopts);
+  if (!advisor_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 advisor_or.status().ToString().c_str());
+    return 2;
+  }
+  const Advisor& advisor = *advisor_or;
   Recommendation rec = advisor.Recommend(config);
 
   if (!rec.status.ok() && !rec.status.IsInterruption()) {

@@ -147,6 +147,10 @@ class [[nodiscard]] StatusOr {
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }
+  // Without this overload `*std::move(statusor)` silently binds the const&
+  // accessor and deep-copies the value — for a finalized dim-7 graph that
+  // copy is ~125 MB of cost tables.
+  T&& operator*() && { return std::move(*this).value(); }
   T* operator->() { return &value(); }
   const T* operator->() const { return &value(); }
 

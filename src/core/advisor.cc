@@ -88,6 +88,25 @@ Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
       workload_(workload),
       cube_graph_(BuildCubeGraph(schema, sizes, workload, options)) {}
 
+Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
+                 const Workload& workload, CubeGraph cube_graph)
+    : schema_(schema),
+      sizes_(sizes),
+      workload_(workload),
+      cube_graph_(std::move(cube_graph)) {}
+
+StatusOr<Advisor> Advisor::Create(const CubeSchema& schema,
+                                  const ViewSizes& sizes,
+                                  const Workload& workload,
+                                  const CubeGraphOptions& options) {
+  StatusOr<CubeGraph> cube_graph =
+      TryBuildCubeGraph(schema, sizes, workload, options);
+  if (!cube_graph.ok()) {
+    return cube_graph.status().WithContext("building the query-view graph");
+  }
+  return Advisor(schema, sizes, workload, *std::move(cube_graph));
+}
+
 Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
   const bool greedy = config.algorithm == Algorithm::kOneGreedy ||
                       config.algorithm == Algorithm::kRGreedy ||

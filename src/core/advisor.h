@@ -118,8 +118,18 @@ struct Recommendation {
 
 class Advisor {
  public:
+  // Aborts on an unsupported configuration (n beyond the index-family
+  // dimension limits); prefer Create at external boundaries.
   Advisor(const CubeSchema& schema, const ViewSizes& sizes,
           const Workload& workload, const CubeGraphOptions& options = {});
+
+  // Status-propagating construction: surfaces TryBuildCubeGraph errors
+  // (e.g. n > 8 with fat indexes) instead of aborting, so a CLI or service
+  // can report them.
+  static StatusOr<Advisor> Create(const CubeSchema& schema,
+                                  const ViewSizes& sizes,
+                                  const Workload& workload,
+                                  const CubeGraphOptions& options = {});
 
   const CubeGraph& cube_graph() const { return cube_graph_; }
   const CubeSchema& schema() const { return schema_; }
@@ -128,6 +138,9 @@ class Advisor {
   Recommendation Recommend(const AdvisorConfig& config) const;
 
  private:
+  Advisor(const CubeSchema& schema, const ViewSizes& sizes,
+          const Workload& workload, CubeGraph cube_graph);
+
   CubeSchema schema_;
   ViewSizes sizes_;
   Workload workload_;

@@ -6,8 +6,10 @@
 #ifndef OLAPIDX_CORE_CUBE_GRAPH_H_
 #define OLAPIDX_CORE_CUBE_GRAPH_H_
 
+#include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query_view_graph.h"
 #include "cost/linear_cost_model.h"
 #include "cost/view_sizes.h"
@@ -41,6 +43,12 @@ struct CubeGraphOptions {
   // paper), and the final query costs are penalty-invariant once every
   // query's chosen plan beats raw.
   double raw_scan_penalty = 1.0;
+
+  // Threads for the edge-enumeration phase of the fast builder. 0 uses the
+  // shared pool (OLAPIDX_THREADS / hardware concurrency); any value > 0
+  // builds with a dedicated pool of that size. The resulting graph is
+  // identical for every thread count.
+  size_t num_threads = 0;
 };
 
 // A cube-instantiated query-view graph plus the metadata needed to map graph
@@ -55,9 +63,31 @@ struct CubeGraph {
   std::vector<SliceQuery> queries;
 };
 
+// Fast builder: per query, only the views C ⊇ A∪B are visited (ascending
+// submask-complement walk), each view's fat indexes are costed once per
+// prefix-equivalence class (the cost c(Q,V,J) = |C|/|E| depends only on the
+// set E, the maximal selection-only prefix) and emitted as contiguous rank
+// runs, and queries are partitioned across a thread pool with per-shard
+// run buffers merged deterministically. Returns InvalidArgument for n > 8
+// with fat_indexes_only (n > 6 for the ablation) instead of aborting.
+StatusOr<CubeGraph> TryBuildCubeGraph(const CubeSchema& schema,
+                                      const ViewSizes& sizes,
+                                      const Workload& workload,
+                                      const CubeGraphOptions& options = {});
+
+// TryBuildCubeGraph that aborts on error (the historical signature; every
+// in-tree caller passes dimensions within the supported range).
 CubeGraph BuildCubeGraph(const CubeSchema& schema, const ViewSizes& sizes,
                          const Workload& workload,
                          const CubeGraphOptions& options = {});
+
+// The original serial triple-loop builder, retained verbatim as the
+// differential oracle for the fast path (tests) and as the baseline for
+// bench_graph_build. Produces a bit-identical CubeGraph.
+CubeGraph BuildCubeGraphReference(const CubeSchema& schema,
+                                  const ViewSizes& sizes,
+                                  const Workload& workload,
+                                  const CubeGraphOptions& options = {});
 
 }  // namespace olapidx
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "lattice/index_key.h"
 
 namespace olapidx {
 
@@ -40,6 +41,26 @@ struct StructureRef {
   }
 };
 
+// A group of edges (q, v, k, cost) sharing one cost for a contiguous range
+// of index positions k ∈ [index_begin, index_end). index_begin == kNoIndex
+// denotes the single k = kNoIndex view edge. The fast graph builder emits
+// one run per prefix-equivalence class instead of one edge per index
+// permutation, so intermediate edge storage is O(#classes), not O(#edges).
+struct EdgeRun {
+  uint32_t query = 0;
+  uint32_t view = 0;
+  int32_t index_begin = StructureRef::kNoIndex;
+  int32_t index_end = StructureRef::kNoIndex;  // exclusive; ignored for views
+  double cost = 0.0;
+  // Column-equivalence class id, a small dense integer. Within one view,
+  // index runs carrying the same non-zero col_class promise the *same*
+  // dense index-cost column (the cube builder uses selection-mask ∩ view
+  // + 1: query cost depends only on that intersection), so Finalize()
+  // expands one prototype per class instead of one column per query. 0
+  // means "no sharing" — the run only contributes to its own query.
+  uint32_t col_class = 0;
+};
+
 class QueryViewGraph {
  public:
   static constexpr double kInfiniteCost =
@@ -57,11 +78,32 @@ class QueryViewGraph {
   uint32_t AddQuery(std::string name, double default_cost,
                     double frequency = 1.0);
 
+  // ---- Lazy index registration (fast builder path) ----
+  //
+  // Registers all of `view`'s indexes at once by their IndexKey handles;
+  // names are rendered on demand by index_name() from the attribute-name
+  // dictionary (SetNameDictionary) instead of being materialized up front —
+  // at n = 8 that is ~110k strings the build never creates. All indexes of
+  // a cube view share one space/maintenance figure under the linear cost
+  // model. A view uses either AddIndex (eager names) or AddIndexes (lazy),
+  // never both.
+  void SetNameDictionary(std::vector<std::string> attr_names);
+  void AddIndexes(uint32_t view, std::vector<IndexKey> keys,
+                  double space_each, double maintenance_each = 0.0);
+
   // Cost of answering `query` from `view` with no index (k = 0 edge).
   void AddViewEdge(uint32_t query, uint32_t view, double cost);
   // Cost of answering `query` from `view` with its `index`-th index.
   void AddIndexEdge(uint32_t query, uint32_t view, int32_t index,
                     double cost);
+  // One cost for every index k ∈ [index_begin, index_end) of `view`.
+  void AddIndexEdgeRun(uint32_t query, uint32_t view, int32_t index_begin,
+                       int32_t index_end, double cost);
+  // Appends a whole shard buffer of runs (view edges use
+  // index_begin == kNoIndex). Batches are kept intact and merged by
+  // Finalize(); each is validated here and freed as soon as its runs have
+  // been scattered into the per-view tables.
+  void AddEdgeRuns(std::vector<EdgeRun> runs);
 
   // Optional maintenance (refresh) cost charged once when the structure is
   // selected; the algorithms maximize benefit *net* of maintenance. The
@@ -94,10 +136,20 @@ class QueryViewGraph {
   const std::string& view_name(uint32_t v) const { return views_[v].name; }
   double view_space(uint32_t v) const { return views_[v].space; }
   int32_t num_indexes(uint32_t v) const {
-    return static_cast<int32_t>(views_[v].index_names.size());
+    return static_cast<int32_t>(views_[v].index_spaces.size());
   }
-  const std::string& index_name(uint32_t v, int32_t k) const {
-    return views_[v].index_names[static_cast<size_t>(k)];
+  // Rendered on demand for lazily-registered indexes (hence by value).
+  std::string index_name(uint32_t v, int32_t k) const {
+    const ViewData& vd = views_[v];
+    if (!vd.index_names.empty()) {
+      return vd.index_names[static_cast<size_t>(k)];
+    }
+    return vd.lazy_keys[static_cast<size_t>(k)].ToString(attr_names_);
+  }
+  // The key handle of a lazily-registered index (AddIndexes views only).
+  const IndexKey& index_key(uint32_t v, int32_t k) const {
+    OLAPIDX_DCHECK(static_cast<size_t>(k) < views_[v].lazy_keys.size());
+    return views_[v].lazy_keys[static_cast<size_t>(k)];
   }
   double index_space(uint32_t v, int32_t k) const {
     return views_[v].index_spaces[static_cast<size_t>(k)];
@@ -151,7 +203,10 @@ class QueryViewGraph {
     std::string name;
     double space = 0.0;
     double maintenance = 0.0;
+    // Eager path: index_names parallel to index_spaces. Lazy path:
+    // index_names stays empty and lazy_keys holds the handles instead.
     std::vector<std::string> index_names;
+    std::vector<IndexKey> lazy_keys;
     std::vector<double> index_spaces;
     std::vector<double> index_maintenance;
     // Populated by Finalize():
@@ -171,10 +226,15 @@ class QueryViewGraph {
     double cost;
   };
 
+  void ValidateRun(const EdgeRun& run) const;
+
   std::vector<ViewData> views_;
   std::vector<QueryData> queries_;
+  std::vector<std::string> attr_names_;             // for lazy index names
   std::vector<std::vector<uint32_t>> query_views_;  // built by Finalize()
   std::vector<PendingEdge> pending_;
+  std::vector<EdgeRun> loose_runs_;                 // AddIndexEdgeRun
+  std::vector<std::vector<EdgeRun>> run_batches_;   // AddEdgeRuns shards
   uint32_t num_structures_ = 0;
   bool finalized_ = false;
 };

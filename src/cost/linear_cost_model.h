@@ -37,6 +37,16 @@ class LinearCostModel {
     return sizes_->SizeOf(view_attrs) / sizes_->SizeOf(prefix);
   }
 
+  // Cost shared by every index of the view whose maximal selection-only
+  // key prefix is the set `prefix` — QueryCost factored through the
+  // observation that c(Q,V,J) = |C|/|E| depends only on E, not on the key
+  // order. The fast graph builder evaluates this once per prefix
+  // equivalence class instead of once per permutation.
+  double PrefixClassCost(AttributeSet view_attrs, AttributeSet prefix) const {
+    OLAPIDX_DCHECK(prefix.IsSubsetOf(view_attrs));
+    return sizes_->SizeOf(view_attrs) / sizes_->SizeOf(prefix);
+  }
+
   // Scan cost (no index): |V|.
   double ScanCost(AttributeSet view_attrs) const {
     return sizes_->SizeOf(view_attrs);

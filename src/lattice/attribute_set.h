@@ -105,11 +105,124 @@ class AttributeSet {
     return a.mask_ < b.mask_;
   }
 
+  // Range over every subset of this set (including the empty set and the
+  // set itself), in ascending mask order. Defined after SubsetRange below.
+  constexpr class SubsetRange Subsets() const;
+  // Range over every superset of this set contained in `universe`, in
+  // ascending mask order — exactly the lattice ViewId order, which is what
+  // lets graph construction visit only the views that can answer a query.
+  // Requires IsSubsetOf(universe).
+  constexpr class SupersetRange SupersetsWithin(AttributeSet universe) const;
+
  private:
   explicit constexpr AttributeSet(uint32_t mask) : mask_(mask) {}
 
   uint32_t mask_;
 };
+
+// Ascending submask walk: from s, the next subset of m is (s - m) & m —
+// subtracting m borrows through the cleared bits, so the result is the
+// numerically next value whose bits all lie in m (wrapping to 0 past m).
+class SubsetRange {
+ public:
+  class Iterator {
+   public:
+    constexpr Iterator(uint32_t cur, uint32_t mask, bool done)
+        : cur_(cur), mask_(mask), done_(done) {}
+
+    constexpr AttributeSet operator*() const {
+      return AttributeSet::FromMask(cur_);
+    }
+    constexpr Iterator& operator++() {
+      if (cur_ == mask_) {
+        done_ = true;
+        cur_ = 0;  // canonical past-the-end state, so == end() holds
+      } else {
+        cur_ = (cur_ - mask_) & mask_;
+      }
+      return *this;
+    }
+    friend constexpr bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.done_ != b.done_ || a.cur_ != b.cur_;
+    }
+    friend constexpr bool operator==(const Iterator& a, const Iterator& b) {
+      return !(a != b);
+    }
+
+   private:
+    uint32_t cur_;
+    uint32_t mask_;
+    bool done_;
+  };
+
+  explicit constexpr SubsetRange(AttributeSet set) : mask_(set.mask()) {}
+
+  constexpr Iterator begin() const { return Iterator(0, mask_, false); }
+  constexpr Iterator end() const { return Iterator(0, mask_, true); }
+
+ private:
+  uint32_t mask_;
+};
+
+// Supersets of `set` within `universe` are set ∪ x for x ⊆ universe \ set;
+// since the free bits are disjoint from `set`, walking x ascending (the
+// same submask trick) yields the supersets in ascending mask order.
+class SupersetRange {
+ public:
+  class Iterator {
+   public:
+    constexpr Iterator(uint32_t extra, uint32_t base, uint32_t free,
+                       bool done)
+        : extra_(extra), base_(base), free_(free), done_(done) {}
+
+    constexpr AttributeSet operator*() const {
+      return AttributeSet::FromMask(base_ | extra_);
+    }
+    constexpr Iterator& operator++() {
+      if (extra_ == free_) {
+        done_ = true;
+        extra_ = 0;  // canonical past-the-end state, so == end() holds
+      } else {
+        extra_ = (extra_ - free_) & free_;
+      }
+      return *this;
+    }
+    friend constexpr bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.done_ != b.done_ || a.extra_ != b.extra_;
+    }
+    friend constexpr bool operator==(const Iterator& a, const Iterator& b) {
+      return !(a != b);
+    }
+
+   private:
+    uint32_t extra_;
+    uint32_t base_;
+    uint32_t free_;
+    bool done_;
+  };
+
+  constexpr SupersetRange(AttributeSet set, AttributeSet universe)
+      : base_(set.mask()), free_(universe.Minus(set).mask()) {}
+
+  constexpr Iterator begin() const {
+    return Iterator(0, base_, free_, false);
+  }
+  constexpr Iterator end() const { return Iterator(0, base_, free_, true); }
+
+ private:
+  uint32_t base_;
+  uint32_t free_;
+};
+
+constexpr SubsetRange AttributeSet::Subsets() const {
+  return SubsetRange(*this);
+}
+
+constexpr SupersetRange AttributeSet::SupersetsWithin(
+    AttributeSet universe) const {
+  OLAPIDX_DCHECK(IsSubsetOf(universe));
+  return SupersetRange(*this, universe);
+}
 
 }  // namespace olapidx
 

@@ -104,5 +104,36 @@ TEST(GuaranteesTest, PaperValues) {
   EXPECT_LT(InnerLevelGuarantee(), RGreedyGuarantee(3));
 }
 
+TEST(AdvisorCreateTest, SurfacesDimensionLimitAsStatus) {
+  SyntheticCube cube = UniformSyntheticCube(9, 10, 0.5);
+  Workload w;
+  w.Add(SliceQuery(AttributeSet::Of({0}), AttributeSet()));
+  StatusOr<Advisor> advisor = Advisor::Create(cube.schema, cube.sizes, w);
+  ASSERT_FALSE(advisor.ok());
+  EXPECT_EQ(advisor.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdvisorCreateTest, BuildsAndRecommendsLikeTheConstructor) {
+  SyntheticCube cube = UniformSyntheticCube(3, 100, 0.01);
+  CubeLattice lattice(cube.schema);
+  Workload workload = AllSliceQueries(lattice);
+  StatusOr<Advisor> created =
+      Advisor::Create(cube.schema, cube.sizes, workload);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kInnerLevel;
+  config.space_budget = cube.sizes.TotalViewSpace() * 0.5;
+  Recommendation via_create = created->Recommend(config);
+  Advisor direct(cube.schema, cube.sizes, workload);
+  Recommendation via_ctor = direct.Recommend(config);
+  ASSERT_TRUE(via_create.status.ok());
+  EXPECT_EQ(via_create.space_used, via_ctor.space_used);
+  EXPECT_EQ(via_create.average_query_cost, via_ctor.average_query_cost);
+  ASSERT_EQ(via_create.structures.size(), via_ctor.structures.size());
+  for (size_t i = 0; i < via_create.structures.size(); ++i) {
+    EXPECT_EQ(via_create.structures[i].name, via_ctor.structures[i].name);
+  }
+}
+
 }  // namespace
 }  // namespace olapidx

@@ -1,5 +1,8 @@
 #include "lattice/attribute_set.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace olapidx {
@@ -79,6 +82,82 @@ TEST(AttributeSetTest, Ordering) {
   EXPECT_LT(AttributeSet::Of({0}), AttributeSet::Of({1}));
   EXPECT_EQ(AttributeSet::Of({0, 1}), AttributeSet::FromMask(3));
   EXPECT_NE(AttributeSet::Of({0}), AttributeSet::Of({1}));
+}
+
+std::vector<uint32_t> Collect(auto range) {
+  std::vector<uint32_t> out;
+  for (AttributeSet s : range) out.push_back(s.mask());
+  return out;
+}
+
+TEST(AttributeSetTest, SubsetsOfEmptySetIsJustEmpty) {
+  EXPECT_EQ(Collect(AttributeSet().Subsets()), (std::vector<uint32_t>{0}));
+}
+
+TEST(AttributeSetTest, SubsetsOfSingleton) {
+  EXPECT_EQ(Collect(AttributeSet::Of({3}).Subsets()),
+            (std::vector<uint32_t>{0, 8}));
+}
+
+TEST(AttributeSetTest, SubsetsOfFullSetAscending) {
+  EXPECT_EQ(Collect(AttributeSet::Full(3).Subsets()),
+            (std::vector<uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(AttributeSetTest, SubsetsOfSparseMaskAscending) {
+  // {0, 2} -> masks 0, 1, 4, 5 in ascending order.
+  EXPECT_EQ(Collect(AttributeSet::Of({0, 2}).Subsets()),
+            (std::vector<uint32_t>{0, 1, 4, 5}));
+}
+
+TEST(AttributeSetTest, SupersetsWithinSelf) {
+  AttributeSet s = AttributeSet::Of({1, 2});
+  EXPECT_EQ(Collect(s.SupersetsWithin(s)), (std::vector<uint32_t>{6}));
+}
+
+TEST(AttributeSetTest, SupersetsOfEmptyAreAllSubsetsOfUniverse) {
+  EXPECT_EQ(Collect(AttributeSet().SupersetsWithin(AttributeSet::Full(2))),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(AttributeSetTest, SupersetsWithinFullAscending) {
+  // Supersets of {1} within {0,1,2}: 2, 3, 6, 7.
+  EXPECT_EQ(Collect(AttributeSet::Of({1}).SupersetsWithin(
+                AttributeSet::Full(3))),
+            (std::vector<uint32_t>{2, 3, 6, 7}));
+}
+
+TEST(AttributeSetTest, SubsetsMatchBruteForceExhaustively) {
+  constexpr int kN = 12;
+  for (uint32_t mask = 0; mask < (1u << kN); ++mask) {
+    std::vector<uint32_t> expected;
+    for (uint32_t x = 0; x <= mask; ++x) {
+      if ((x & ~mask) == 0) expected.push_back(x);
+    }
+    ASSERT_EQ(Collect(AttributeSet::FromMask(mask).Subsets()), expected)
+        << "mask=" << mask;
+  }
+}
+
+TEST(AttributeSetTest, SupersetsMatchBruteForceExhaustively) {
+  constexpr int kN = 12;
+  const AttributeSet universe = AttributeSet::Full(kN);
+  for (uint32_t mask = 0; mask < (1u << kN); ++mask) {
+    std::vector<uint32_t> expected;
+    for (uint32_t x = mask; x < (1u << kN); ++x) {
+      if ((mask & ~x) == 0) expected.push_back(x);
+    }
+    ASSERT_EQ(Collect(AttributeSet::FromMask(mask).SupersetsWithin(universe)),
+              expected)
+        << "mask=" << mask;
+  }
+}
+
+TEST(AttributeSetTest, SupersetsWithinSparseUniverse) {
+  // Supersets of {0} within {0, 1, 3}: 1, 3, 9, 11.
+  EXPECT_EQ(Collect(AttributeSet::Of({0}).SupersetsWithin(
+                AttributeSet::Of({0, 1, 3}))),
+            (std::vector<uint32_t>{1, 3, 9, 11}));
 }
 
 }  // namespace

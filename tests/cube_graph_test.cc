@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "data/synthetic.h"
 #include "data/tpcd.h"
 
 namespace olapidx {
@@ -101,6 +102,44 @@ TEST_F(CubeGraphTest, FrequenciesPropagate) {
   CubeGraph cg = BuildCubeGraph(schema_, sizes_, w);
   ASSERT_EQ(cg.graph.num_queries(), 1u);
   EXPECT_EQ(cg.graph.query_frequency(0), 5.0);
+}
+
+TEST(CubeGraphLimitsTest, NineDimensionsWithFatIndexesRejected) {
+  SyntheticCube cube = UniformSyntheticCube(9, 10, 0.5);
+  Workload w;
+  w.Add(SliceQuery(AttributeSet::Of({0}), AttributeSet()));
+  StatusOr<CubeGraph> built =
+      TryBuildCubeGraph(cube.schema, cube.sizes, w, CubeGraphOptions{});
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("8 dimensions"), std::string::npos)
+      << built.status().ToString();
+}
+
+TEST(CubeGraphLimitsTest, SevenDimensionAblationRejected) {
+  SyntheticCube cube = UniformSyntheticCube(7, 10, 0.5);
+  Workload w;
+  w.Add(SliceQuery(AttributeSet::Of({0}), AttributeSet()));
+  CubeGraphOptions options;
+  options.fat_indexes_only = false;
+  StatusOr<CubeGraph> built =
+      TryBuildCubeGraph(cube.schema, cube.sizes, w, options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("6 dimensions"), std::string::npos)
+      << built.status().ToString();
+}
+
+TEST(CubeGraphLimitsTest, SevenDimensionFatBuildAccepted) {
+  // 7 is within the fat-index limit; the same cube is rejected only for
+  // the ablation family.
+  SyntheticCube cube = UniformSyntheticCube(7, 10, 0.5);
+  Workload w;
+  w.Add(SliceQuery(AttributeSet::Of({0, 3}), AttributeSet::Of({5})));
+  StatusOr<CubeGraph> built =
+      TryBuildCubeGraph(cube.schema, cube.sizes, w, CubeGraphOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(built->graph.num_queries(), 1u);
 }
 
 }  // namespace
