@@ -12,6 +12,19 @@
 //               [--checkpoint ckpt.txt] [--resume ckpt.txt]
 //               [--metrics-json metrics.json] [--trace-json trace.json]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
+//   advisor_cli --hierarchy store:400/60/8,day:365/12 --rows 3000000
+//               --budget 50000 [...]
+//
+// --hierarchy switches to the hierarchical lattice: each dimension lists
+// its per-level cardinalities finest→coarsest (store:400/60/8 = 400
+// stores, 60 cities, 8 regions, plus the implicit ALL). Sizes come from
+// the analytical model (--rows is required), the workload is all
+// hierarchical slice queries, and the recommendation is printed as level
+// vectors plus index dimension orders. The flat-cube inputs (--dims,
+// --csv, --sizes, --workload, --out, --dump-sizes, --checkpoint,
+// --resume) do not apply in this mode; --algorithm, --budget,
+// --raw-penalty, --maintenance, --threads, --deadline-ms, --max-stages,
+// --metrics-json, and --trace-json all do.
 //
 // Dimension sizes come from --sizes (olapidx-sizes v1 file), from the
 // analytical model given --rows, or — with --csv — measured from the data
@@ -47,6 +60,7 @@
 #include "common/trace.h"
 #include "core/advisor.h"
 #include "core/serialize.h"
+#include "hierarchy/hierarchical_advisor.h"
 #include "cost/analytical_model.h"
 #include "data/csv_loader.h"
 #include "data/size_estimation.h"
@@ -62,6 +76,7 @@ using namespace olapidx;
       stderr,
       "usage: advisor_cli --dims name:card[,name:card...] --budget ROWS\n"
       "       [--rows N | --sizes FILE] [--workload FILE]\n"
+      "       [--hierarchy name:c1/c2[,name:c1...] --rows N]\n"
       "       [--algorithm inner|1greedy|2greedy|3greedy|twostep|"
       "viewsonly|optimal]\n"
       "       [--index-fraction F] [--maintenance RATE] "
@@ -91,10 +106,115 @@ std::string ReadFileOrDie(const std::string& path) {
   return out.str();
 }
 
+// --hierarchy mode: parse "name:c1/c2[,name:c1...]" (per-level
+// cardinalities finest→coarsest), build the hierarchical advisor over
+// analytical sizes, run the shared AdvisorConfig, and print the design as
+// level vectors + index dimension orders.
+int RunHierarchy(const std::string& hierarchy_arg, double rows,
+                 double budget, const AdvisorConfig& config,
+                 double raw_penalty, double maintenance, long threads,
+                 const std::string& metrics_json_path,
+                 const std::string& trace_json_path) {
+  std::vector<HierarchicalDimension> dims;
+  std::istringstream in(hierarchy_arg);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Usage("bad --hierarchy entry (want name:card[/card...])");
+    }
+    HierarchicalDimension dim;
+    dim.name = item.substr(0, colon);
+    std::istringstream levels(item.substr(colon + 1));
+    std::string card_text;
+    uint64_t previous = 0;
+    while (std::getline(levels, card_text, '/')) {
+      uint64_t card = std::strtoull(card_text.c_str(), nullptr, 10);
+      if (card == 0) Usage("bad cardinality in --hierarchy");
+      if (previous != 0 && card > previous) {
+        Usage("--hierarchy level cardinalities must not increase "
+              "(list them finest to coarsest)");
+      }
+      previous = card;
+      // The finest level carries the dimension's name (as in the flat
+      // model); coarser roll-up levels get derived names.
+      dim.levels.push_back(HierarchyLevel{
+          dim.levels.empty()
+              ? dim.name
+              : dim.name + "_l" + std::to_string(dim.levels.size()),
+          card});
+    }
+    if (dim.levels.empty()) Usage("bad --hierarchy entry (no levels)");
+    dims.push_back(std::move(dim));
+  }
+  if (dims.empty()) Usage("bad --hierarchy (no dimensions)");
+  if (rows < 1.0) Usage("--hierarchy requires --rows");
+  HierarchicalSchema schema(std::move(dims));
+
+  HierarchicalGraphOptions gopts;
+  gopts.raw_scan_penalty = raw_penalty;
+  gopts.maintenance_per_row = maintenance;
+  gopts.num_threads = static_cast<size_t>(threads);
+  if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
+  std::vector<WeightedHQuery> workload = UniformHWorkload(schema);
+  StatusOr<HierarchicalAdvisor> advisor_or =
+      HierarchicalAdvisor::Create(schema, rows, workload, gopts);
+  if (!advisor_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 advisor_or.status().ToString().c_str());
+    return 2;
+  }
+  const HierarchicalAdvisor& advisor = *advisor_or;
+  HRecommendation rec = advisor.TryRecommend(config);
+  if (!rec.status.ok() && !rec.status.IsInterruption()) {
+    std::fprintf(stderr, "error: %s\n", rec.status.ToString().c_str());
+    return 2;
+  }
+
+  std::printf("algorithm: %s (hierarchical lattice)\n",
+              AlgorithmName(config.algorithm));
+  if (!rec.completed) {
+    std::printf("note: selection interrupted (%s) after %llu stage(s); "
+                "the design below is the valid best-so-far prefix\n",
+                rec.status.ToString().c_str(),
+                static_cast<unsigned long long>(rec.raw.stats.stages));
+  }
+  std::printf("views: %u   queries: %zu   structures considered: %u\n",
+              advisor.cube_graph().graph.num_views(), workload.size(),
+              advisor.cube_graph().graph.num_structures());
+  std::printf("space: %s of %s budget\n",
+              FormatRowCount(rec.space_used).c_str(),
+              FormatRowCount(budget).c_str());
+  std::printf("average query cost: %s -> %s rows\n",
+              FormatRowCount(rec.initial_average_cost).c_str(),
+              FormatRowCount(rec.average_query_cost).c_str());
+  if (rec.raw.total_maintenance > 0.0) {
+    std::printf("maintenance charged: %s\n",
+                FormatRowCount(rec.raw.total_maintenance).c_str());
+  }
+  std::printf("evaluation: %s\n", rec.raw.stats.ToString().c_str());
+  std::printf("\ndesign (%zu structures):\n", rec.structures.size());
+  for (const HRecommendedStructure& s : rec.structures) {
+    std::printf("  %-60s %s rows\n", s.name.c_str(),
+                FormatRowCount(s.space).c_str());
+  }
+
+  if (!metrics_json_path.empty()) {
+    WriteFileOrDie(metrics_json_path, rec.raw.metrics.ToJson() + "\n");
+    std::printf("\nwrote %s\n", metrics_json_path.c_str());
+  }
+  if (!trace_json_path.empty()) {
+    WriteFileOrDie(trace_json_path, Tracer::Global().ToJson() + "\n");
+    std::printf("wrote %s\n", trace_json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string dims_arg, sizes_path, workload_path, out_path, csv_path;
+  std::string dims_arg, hierarchy_arg;
+  std::string sizes_path, workload_path, out_path, csv_path;
   std::string dump_sizes_path, checkpoint_path, resume_path;
   std::string metrics_json_path, trace_json_path;
   std::string algorithm = "inner";
@@ -123,6 +243,8 @@ int main(int argc, char** argv) {
     };
     if (flag == "--dims") {
       dims_arg = next();
+    } else if (flag == "--hierarchy") {
+      hierarchy_arg = next();
     } else if (flag == "--csv") {
       csv_path = next();
     } else if (flag == "--rows") {
@@ -168,10 +290,57 @@ int main(int argc, char** argv) {
       Usage(("unknown flag " + flag).c_str());
     }
   }
-  if (dims_arg.empty() && csv_path.empty()) {
-    Usage("--dims or --csv is required");
+  if (dims_arg.empty() && csv_path.empty() && hierarchy_arg.empty()) {
+    Usage("--dims, --csv, or --hierarchy is required");
   }
   if (budget <= 0.0) Usage("--budget is required and must be positive");
+
+  // Algorithm and run control are shared by the flat and hierarchical
+  // paths; neither depends on the schema.
+  AdvisorConfig config;
+  config.space_budget = budget;
+  if (algorithm == "inner") {
+    config.algorithm = Algorithm::kInnerLevel;
+  } else if (algorithm == "1greedy") {
+    config.algorithm = Algorithm::kOneGreedy;
+  } else if (algorithm == "2greedy" || algorithm == "3greedy") {
+    config.algorithm = Algorithm::kRGreedy;
+    config.r_greedy.r = algorithm[0] - '0';
+    config.r_greedy.max_subsets_per_view = 200'000;
+  } else if (algorithm == "twostep") {
+    config.algorithm = Algorithm::kTwoStep;
+    config.two_step.index_fraction = index_fraction;
+    config.two_step.strict_fit = true;
+  } else if (algorithm == "viewsonly") {
+    config.algorithm = Algorithm::kHruViewsOnly;
+  } else if (algorithm == "optimal") {
+    config.algorithm = Algorithm::kOptimal;
+  } else {
+    Usage("unknown --algorithm");
+  }
+  config.r_greedy.num_threads = static_cast<size_t>(threads);
+  config.inner_greedy.num_threads = static_cast<size_t>(threads);
+  if (deadline_ms > 0) {
+    config.control.deadline =
+        Deadline::AfterMillis(static_cast<int64_t>(deadline_ms));
+  }
+  if (max_stages > 0) {
+    config.control.max_steps = static_cast<size_t>(max_stages);
+  }
+
+  if (!hierarchy_arg.empty()) {
+    if (!dims_arg.empty() || !csv_path.empty() || !sizes_path.empty() ||
+        !workload_path.empty() || !out_path.empty() ||
+        !dump_sizes_path.empty() || !checkpoint_path.empty() ||
+        !resume_path.empty()) {
+      Usage("--hierarchy is incompatible with the flat-cube inputs "
+            "(--dims/--csv/--sizes/--workload/--out/--dump-sizes/"
+            "--checkpoint/--resume)");
+    }
+    return RunHierarchy(hierarchy_arg, rows, budget, config, raw_penalty,
+                        maintenance, threads, metrics_json_path,
+                        trace_json_path);
+  }
 
   // Schema and sizes: from the CSV data, or from --dims plus --rows/--sizes.
   std::optional<CsvCube> csv;
@@ -242,37 +411,6 @@ int main(int argc, char** argv) {
     workload = AllSliceQueries(lattice);
   }
 
-  AdvisorConfig config;
-  config.space_budget = budget;
-  if (algorithm == "inner") {
-    config.algorithm = Algorithm::kInnerLevel;
-  } else if (algorithm == "1greedy") {
-    config.algorithm = Algorithm::kOneGreedy;
-  } else if (algorithm == "2greedy" || algorithm == "3greedy") {
-    config.algorithm = Algorithm::kRGreedy;
-    config.r_greedy.r = algorithm[0] - '0';
-    config.r_greedy.max_subsets_per_view = 200'000;
-  } else if (algorithm == "twostep") {
-    config.algorithm = Algorithm::kTwoStep;
-    config.two_step.index_fraction = index_fraction;
-    config.two_step.strict_fit = true;
-  } else if (algorithm == "viewsonly") {
-    config.algorithm = Algorithm::kHruViewsOnly;
-  } else if (algorithm == "optimal") {
-    config.algorithm = Algorithm::kOptimal;
-  } else {
-    Usage("unknown --algorithm");
-  }
-  config.r_greedy.num_threads = static_cast<size_t>(threads);
-  config.inner_greedy.num_threads = static_cast<size_t>(threads);
-
-  if (deadline_ms > 0) {
-    config.control.deadline =
-        Deadline::AfterMillis(static_cast<int64_t>(deadline_ms));
-  }
-  if (max_stages > 0) {
-    config.control.max_steps = static_cast<size_t>(max_stages);
-  }
   SelectionCheckpoint resume_checkpoint;
   if (!resume_path.empty()) {
     StatusOr<SelectionCheckpoint> parsed =

@@ -83,8 +83,7 @@ int main() {
     const LevelVector& levels = cube.view_levels[s.view];
     catalog.MaterializeView(levels);
     if (!s.is_view()) {
-      catalog.BuildIndex(
-          levels, cube.index_orders[s.view][static_cast<size_t>(s.index)]);
+      catalog.BuildIndex(levels, cube.IndexOrderOf(s.view, s.index));
     }
   }
   HierarchicalExecutor executor(&catalog);

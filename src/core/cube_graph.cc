@@ -1,80 +1,117 @@
 #include "core/cube_graph.h"
 
-#include <chrono>
-#include <cstdint>
-#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
-#include "common/thread_pool.h"
-#include "common/trace.h"
-#include "core/graph_build_metrics.h"
+#include "core/lattice_graph_builder.h"
 
 namespace olapidx {
 
 namespace {
 
-uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
-}
+// The flat-cube LatticeProvider: views are attribute-set masks (graph view
+// id == lattice ViewId == mask), a query's answering views are the
+// supersets of A ∪ B, and index costs come from the paper's
+// c(Q,V,J) = |C| / |E| with E the maximal selection-only key prefix.
+// This is the one-level-per-dimension special case of the generic path —
+// the hierarchical provider in hierarchy/hierarchical_graph.cc degenerates
+// to exactly this graph when every dimension has a single level.
+struct CubeLatticeProvider {
+  const CubeSchema* schema;
+  const ViewSizes* sizes;
+  const Workload* workload;
+  const CubeGraphOptions* options;
+  const CubeLattice* lattice;
+  CubeGraph* out;
 
-// Walks the r-arrangement tree of `view_mask`'s attributes (children in
-// ascending attribute order — the exact order of CubeLattice::FatIndexes /
-// AllIndexes) and emits, for each prefix-equivalence class, the contiguous
-// rank range [begin, end) of arrangements sharing it, with the class's
-// maximal selection-only prefix set. Ranks are relative to `base` (the
-// ablation stacks one call per arrangement length r on top of the
-// previous lengths' ranks).
-//
-// The walk only recurses through selection attributes: a child ∉ B seals
-// the prefix of its whole subtree, so the subtree collapses to one range
-// (consecutive sealed siblings merge into one), and once every remaining
-// attribute lies in B — possible only for fat indexes, which consume all
-// of them — the subtree collapses to one full-prefix range. Work is
-// therefore proportional to the number of emitted classes, not to the
-// number of arrangements.
-template <typename Emit>
-void WalkPrefixClasses(uint32_t view_mask, int m, int r, uint32_t sel,
-                       int64_t base, const Emit& emit) {
-  // sub[d]: leaves below a depth-d node = A(m-d, r-d) falling factorial.
-  int64_t sub[kMaxDimensions + 1];
-  sub[r] = 1;
-  for (int d = r - 1; d >= 0; --d) sub[d] = sub[d + 1] * (m - d);
-  auto rec = [&](auto&& self, int d, uint32_t avail, uint32_t prefix,
-                 int64_t rank) -> void {
-    if (d == r) {  // complete all-selection arrangement
-      emit(rank, rank + 1, prefix);
-      return;
+  struct Ctx {
+    const SliceQuery* query = nullptr;
+    uint32_t sel = 0;
+    AttributeSet full;
+  };
+
+  uint32_t num_views() const { return lattice->num_views(); }
+  uint32_t BaseView() const { return lattice->BaseView(); }
+  double ViewSizeOf(uint32_t v) const {
+    return sizes->SizeOf(AttributeSet::FromMask(v));
+  }
+
+  void InitGraph(QueryViewGraph& g) const {
+    g.SetNameDictionary(schema->names());
+  }
+
+  void AddStructures(QueryViewGraph& g, uint32_t v, double size,
+                     double maintenance) const {
+    AttributeSet attrs = lattice->AttrsOf(v);
+    uint32_t gv = g.AddView(attrs.ToString(schema->names()), size);
+    OLAPIDX_CHECK(gv == v);
+    out->view_attrs.push_back(attrs);
+    if (maintenance > 0.0) g.SetViewMaintenance(gv, maintenance);
+    std::vector<IndexKey> keys = options->fat_indexes_only
+                                     ? lattice->FatIndexes(v)
+                                     : lattice->AllIndexes(v);
+    g.AddIndexes(gv, keys, size, maintenance);
+    out->index_keys.push_back(std::move(keys));
+  }
+
+  size_t num_queries() const { return workload->queries().size(); }
+
+  void AddQuery(QueryViewGraph& g, size_t qi, double default_cost) const {
+    const WeightedQuery& wq = workload->queries()[qi];
+    g.AddQuery(wq.query.ToString(schema->names()), default_cost,
+               wq.frequency);
+    out->queries.push_back(wq.query);
+  }
+
+  Ctx MakeQueryContext() const {
+    Ctx ctx;
+    ctx.full = AttributeSet::Full(schema->num_dimensions());
+    return ctx;
+  }
+
+  void BeginQuery(Ctx& ctx, size_t qi) const {
+    ctx.query = &workload->queries()[qi].query;
+    ctx.sel = ctx.query->selection().mask();
+  }
+
+  template <typename Visit>
+  void ForEachAnsweringView(Ctx& ctx, Visit&& visit) const {
+    for (AttributeSet cset :
+         ctx.query->AllAttributes().SupersetsWithin(ctx.full)) {
+      visit(cset.mask());
     }
-    if (r == m && (avail & ~sel) == 0) {  // every completion is all-B
-      emit(rank, rank + sub[d], prefix | avail);
-      return;
-    }
-    const int64_t blk = sub[d + 1];
-    int64_t run_begin = -1;
-    int64_t run_end = 0;
-    int i = 0;
-    for (uint32_t rest = avail; rest != 0; rest &= rest - 1, ++i) {
-      const uint32_t bit = rest & (~rest + 1u);
-      const int64_t child = rank + i * blk;
-      if ((bit & sel) != 0) {
-        if (run_begin >= 0) {
-          emit(run_begin, run_end, prefix);
-          run_begin = -1;
-        }
-        self(self, d + 1, avail & ~bit, prefix | bit, child);
-      } else {
-        if (run_begin < 0) run_begin = child;
-        run_end = child + blk;
+  }
+
+  uint32_t IndexColumnClass(const Ctx& ctx, uint32_t v) const {
+    if (v == 0) return 0;  // the apex view has no indexes
+    // A query's index costs from view C depend only on B ∩ C (every prefix
+    // E is a subset of C), so queries agreeing on that intersection share
+    // one dense column; tag runs with it so Finalize() expands each
+    // distinct column once per view.
+    return (ctx.sel & v) + 1;
+  }
+
+  template <typename Emit>
+  void ForEachIndexCostClass(const Ctx& ctx, uint32_t v,
+                             const double* view_size, Emit&& emit) const {
+    const int m = AttributeSet::FromMask(v).size();
+    auto cost_emit = [&](int64_t rb, int64_t re, uint32_t prefix) {
+      emit(rb, re, view_size[v] / view_size[prefix]);
+    };
+    if (options->fat_indexes_only) {
+      WalkPrefixClasses(v, m, m, ctx.sel, 0, cost_emit);
+    } else {
+      int64_t offset = 0;
+      int64_t arrangements = 1;
+      for (int r = 1; r <= m; ++r) {
+        arrangements *= m - (r - 1);  // A(m, r)
+        WalkPrefixClasses(v, m, r, ctx.sel, offset, cost_emit);
+        offset += arrangements;
       }
     }
-    if (run_begin >= 0) emit(run_begin, run_end, prefix);
-  };
-  rec(rec, 0, view_mask, 0u, base);
-}
+  }
+};
 
 }  // namespace
 
@@ -99,145 +136,19 @@ StatusOr<CubeGraph> TryBuildCubeGraph(const CubeSchema& schema,
         std::to_string(n) + ")");
   }
 
-  OLAPIDX_TRACE_SPAN("graph_build");
-  const auto build_start = std::chrono::steady_clock::now();
-  graph_build_metrics::BuildStats stats;
-
   CubeLattice lattice(schema);
-  const uint32_t nv = lattice.num_views();
-  // Hoisted size lookups: one per view, shared by view space, index space,
-  // maintenance, scan costs, and every prefix-class evaluation (a class's
-  // prefix is itself a view mask).
-  std::vector<double> view_size(nv);
-  for (uint32_t v = 0; v < nv; ++v) {
-    view_size[v] = sizes.SizeOf(AttributeSet::FromMask(v));
-  }
-
   CubeGraph out;
-  QueryViewGraph& g = out.graph;
-  g.SetNameDictionary(schema.names());
-  out.view_attrs.reserve(nv);
-  out.index_keys.reserve(nv);
+  out.view_attrs.reserve(lattice.num_views());
+  out.index_keys.reserve(lattice.num_views());
 
-  {
-    OLAPIDX_TRACE_SPAN("graph_build.structures");
-    for (ViewId v = 0; v < nv; ++v) {
-      AttributeSet attrs = lattice.AttrsOf(v);
-      uint32_t gv = g.AddView(attrs.ToString(schema.names()), view_size[v]);
-      OLAPIDX_CHECK(gv == v);
-      out.view_attrs.push_back(attrs);
-      double maintenance = options.maintenance_per_row > 0.0
-                               ? options.maintenance_per_row * view_size[v]
-                               : 0.0;
-      if (maintenance > 0.0) g.SetViewMaintenance(gv, maintenance);
-      std::vector<IndexKey> keys = options.fat_indexes_only
-                                       ? lattice.FatIndexes(v)
-                                       : lattice.AllIndexes(v);
-      g.AddIndexes(gv, keys, view_size[v], maintenance);
-      out.index_keys.push_back(std::move(keys));
-    }
-  }
-
-  const double default_cost =
-      options.default_query_cost > 0.0
-          ? options.default_query_cost
-          : options.raw_scan_penalty * sizes[lattice.BaseView()];
-  const std::vector<WeightedQuery>& wqs = workload.queries();
-  for (const WeightedQuery& wq : wqs) {
-    g.AddQuery(wq.query.ToString(schema.names()), default_cost,
-               wq.frequency);
-    out.queries.push_back(wq.query);
-  }
-
-  // Edge enumeration: queries partitioned into contiguous chunks, one run
-  // buffer per chunk. Chunk boundaries depend only on (|W|, thread count)
-  // and each run's content only on its query, so the merged edge set — and,
-  // because Finalize() min-merges labels per (view, query, index) slot —
-  // the finalized graph is identical for every thread count.
-  std::optional<ThreadPool> local_pool;
-  if (options.num_threads > 0) local_pool.emplace(options.num_threads);
-  ThreadPool& pool = local_pool ? *local_pool : ThreadPool::Shared();
-  const size_t num_chunks = pool.num_threads();
-  std::vector<std::vector<EdgeRun>> shard(num_chunks);
-  struct ChunkCounters {
-    uint64_t view_pairs = 0;
-    uint64_t prefix_classes = 0;
-    uint64_t index_edges = 0;
-    uint64_t perms_skipped = 0;
-  };
-  std::vector<ChunkCounters> counters(num_chunks);
-  const AttributeSet full = AttributeSet::Full(n);
-  {
-    OLAPIDX_TRACE_SPAN("graph_build.edges");
-    pool.ParallelFor(
-        wqs.size(), [&](size_t begin, size_t end, size_t chunk) {
-          std::vector<EdgeRun>& runs = shard[chunk];
-          ChunkCounters& cc = counters[chunk];
-          for (size_t qi = begin; qi < end; ++qi) {
-            const SliceQuery& query = wqs[qi].query;
-            const uint32_t q = static_cast<uint32_t>(qi);
-            const uint32_t sel = query.selection().mask();
-            for (AttributeSet cset :
-                 query.AllAttributes().SupersetsWithin(full)) {
-              const uint32_t c = cset.mask();
-              const double scan = view_size[c];
-              runs.push_back(EdgeRun{q, c, StructureRef::kNoIndex,
-                                     StructureRef::kNoIndex, scan});
-              ++cc.view_pairs;
-              const int m = cset.size();
-              if (m == 0) continue;  // the apex view has no indexes
-              // A query's index costs from view C depend only on B ∩ C
-              // (every prefix E is a subset of C), so queries agreeing on
-              // that intersection share one dense column; tag runs with it
-              // so Finalize() expands each distinct column once per view.
-              const uint32_t col = (sel & c) + 1;
-              auto emit = [&](int64_t rb, int64_t re, uint32_t prefix) {
-                ++cc.prefix_classes;
-                const double cost = view_size[c] / view_size[prefix];
-                if (cost < scan) {
-                  runs.push_back(EdgeRun{q, c, static_cast<int32_t>(rb),
-                                         static_cast<int32_t>(re), cost, col});
-                  cc.index_edges += static_cast<uint64_t>(re - rb);
-                } else {
-                  cc.perms_skipped += static_cast<uint64_t>(re - rb);
-                }
-              };
-              if (options.fat_indexes_only) {
-                WalkPrefixClasses(c, m, m, sel, 0, emit);
-              } else {
-                int64_t offset = 0;
-                int64_t arrangements = 1;
-                for (int r = 1; r <= m; ++r) {
-                  arrangements *= m - (r - 1);  // A(m, r)
-                  WalkPrefixClasses(c, m, r, sel, offset, emit);
-                  offset += arrangements;
-                }
-              }
-            }
-          }
-        });
-  }
-  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    g.AddEdgeRuns(std::move(shard[chunk]));
-    stats.view_pairs += counters[chunk].view_pairs;
-    stats.prefix_classes += counters[chunk].prefix_classes;
-    stats.index_edges += counters[chunk].index_edges;
-    stats.perms_skipped += counters[chunk].perms_skipped;
-  }
-  stats.enumerate_micros = MicrosSince(build_start);
-
-  const auto finalize_start = std::chrono::steady_clock::now();
-  {
-    OLAPIDX_TRACE_SPAN("graph_build.finalize");
-    g.Finalize();
-  }
-  stats.finalize_micros = MicrosSince(finalize_start);
-
-  stats.views = nv;
-  stats.structures = g.num_structures();
-  stats.queries = g.num_queries();
-  stats.total_micros = MicrosSince(build_start);
-  graph_build_metrics::RecordBuild(stats);
+  CubeLatticeProvider provider{&schema,  &sizes,   &workload,
+                               &options, &lattice, &out};
+  LatticeGraphOptions build;
+  build.default_query_cost = options.default_query_cost;
+  build.raw_scan_penalty = options.raw_scan_penalty;
+  build.maintenance_per_row = options.maintenance_per_row;
+  build.num_threads = options.num_threads;
+  BuildLatticeGraph(provider, build, out.graph);
   return out;
 }
 

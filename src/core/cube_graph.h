@@ -68,7 +68,10 @@ struct CubeGraph {
 // prefix-equivalence class (the cost c(Q,V,J) = |C|/|E| depends only on the
 // set E, the maximal selection-only prefix) and emitted as contiguous rank
 // runs, and queries are partitioned across a thread pool with per-shard
-// run buffers merged deterministically. Returns InvalidArgument for n > 8
+// run buffers merged deterministically. The machinery is the generic
+// provider-parameterized BuildLatticeGraph (core/lattice_graph_builder.h),
+// shared with the hierarchical builder; this entry point supplies the flat
+// 2^n-lattice provider. Returns InvalidArgument for n > 8
 // with fat_indexes_only (n > 6 for the ablation) instead of aborting.
 StatusOr<CubeGraph> TryBuildCubeGraph(const CubeSchema& schema,
                                       const ViewSizes& sizes,

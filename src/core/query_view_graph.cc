@@ -34,6 +34,28 @@ void QueryViewGraph::SetNameDictionary(std::vector<std::string> attr_names) {
   attr_names_ = std::move(attr_names);
 }
 
+void QueryViewGraph::SetIndexNamer(
+    std::function<std::string(uint32_t, int32_t)> namer) {
+  index_namer_ = std::move(namer);
+}
+
+void QueryViewGraph::AddIndexesNamed(uint32_t view, int32_t count,
+                                     double space_each,
+                                     double maintenance_each) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(view < num_views());
+  OLAPIDX_CHECK(count >= 0);
+  OLAPIDX_CHECK(space_each > 0.0);
+  OLAPIDX_CHECK(maintenance_each >= 0.0);
+  ViewData& vd = views_[view];
+  OLAPIDX_CHECK(vd.index_names.empty());  // a view is eager or lazy, not both
+  OLAPIDX_CHECK(vd.lazy_keys.empty());
+  OLAPIDX_CHECK(vd.index_spaces.empty());
+  vd.index_spaces.assign(static_cast<size_t>(count), space_each);
+  vd.index_maintenance.assign(static_cast<size_t>(count), maintenance_each);
+  num_structures_ += static_cast<uint32_t>(count);
+}
+
 void QueryViewGraph::AddIndexes(uint32_t view, std::vector<IndexKey> keys,
                                 double space_each, double maintenance_each) {
   OLAPIDX_CHECK(!finalized_);

@@ -16,6 +16,7 @@
 #define OLAPIDX_CORE_QUERY_VIEW_GRAPH_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -91,6 +92,17 @@ class QueryViewGraph {
   void AddIndexes(uint32_t view, std::vector<IndexKey> keys,
                   double space_each, double maintenance_each = 0.0);
 
+  // Callback-named variant for lattices whose index handles are not
+  // IndexKeys (the hierarchical lattice keys indexes by dimension *order*,
+  // not attribute set): registers `count` indexes for `view` by position
+  // only; index_name(view, k) defers to the namer installed here, which
+  // must render the same name the eager path would have materialized. The
+  // namer must be self-contained (capture by value) — it outlives the
+  // construction phase and is consulted on demand.
+  void SetIndexNamer(std::function<std::string(uint32_t, int32_t)> namer);
+  void AddIndexesNamed(uint32_t view, int32_t count, double space_each,
+                       double maintenance_each = 0.0);
+
   // Cost of answering `query` from `view` with no index (k = 0 edge).
   void AddViewEdge(uint32_t query, uint32_t view, double cost);
   // Cost of answering `query` from `view` with its `index`-th index.
@@ -138,13 +150,18 @@ class QueryViewGraph {
   int32_t num_indexes(uint32_t v) const {
     return static_cast<int32_t>(views_[v].index_spaces.size());
   }
-  // Rendered on demand for lazily-registered indexes (hence by value).
+  // Rendered on demand for lazily-registered indexes (hence by value):
+  // eager names win, then IndexKey handles, then the installed namer.
   std::string index_name(uint32_t v, int32_t k) const {
     const ViewData& vd = views_[v];
     if (!vd.index_names.empty()) {
       return vd.index_names[static_cast<size_t>(k)];
     }
-    return vd.lazy_keys[static_cast<size_t>(k)].ToString(attr_names_);
+    if (!vd.lazy_keys.empty()) {
+      return vd.lazy_keys[static_cast<size_t>(k)].ToString(attr_names_);
+    }
+    OLAPIDX_DCHECK(index_namer_ != nullptr);
+    return index_namer_(v, k);
   }
   // The key handle of a lazily-registered index (AddIndexes views only).
   const IndexKey& index_key(uint32_t v, int32_t k) const {
@@ -231,6 +248,7 @@ class QueryViewGraph {
   std::vector<ViewData> views_;
   std::vector<QueryData> queries_;
   std::vector<std::string> attr_names_;             // for lazy index names
+  std::function<std::string(uint32_t, int32_t)> index_namer_;
   std::vector<std::vector<uint32_t>> query_views_;  // built by Finalize()
   std::vector<PendingEdge> pending_;
   std::vector<EdgeRun> loose_runs_;                 // AddIndexEdgeRun

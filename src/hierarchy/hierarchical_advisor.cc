@@ -1,6 +1,61 @@
 #include "hierarchy/hierarchical_advisor.h"
 
+#include <string>
+#include <utility>
+
 namespace olapidx {
+
+namespace {
+
+// Resolves a checkpoint's lattice-level picks (level vectors, dimension
+// orders) to this graph's StructureRefs. Fails on any pick that does not
+// exist in the graph — e.g. a checkpoint taken with a different schema or
+// index family.
+Status ResolveCheckpoint(const HSelectionCheckpoint& checkpoint,
+                         const HierarchicalCubeGraph& cube_graph,
+                         ResumePicks* out) {
+  out->picks.clear();
+  out->pick_benefits = checkpoint.pick_benefits;
+  out->stages = checkpoint.stages;
+  for (size_t i = 0; i < checkpoint.picks.size(); ++i) {
+    const HRecommendedStructure& s = checkpoint.picks[i];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("checkpoint pick " +
+                                     std::to_string(i + 1) + ": " + message);
+    };
+    uint32_t view = 0;
+    bool view_found = false;
+    for (uint32_t v = 0;
+         v < static_cast<uint32_t>(cube_graph.view_levels.size()); ++v) {
+      if (cube_graph.view_levels[v] == s.view) {
+        view = v;
+        view_found = true;
+        break;
+      }
+    }
+    if (!view_found) return fail("view not in the hierarchical lattice");
+    if (s.is_view()) {
+      out->picks.push_back(StructureRef{view, StructureRef::kNoIndex});
+      continue;
+    }
+    const int32_t index = cube_graph.IndexPositionOf(view, s.index_order);
+    if (index < 0) {
+      return fail("index order not in the view's index family");
+    }
+    out->picks.push_back(StructureRef{view, index});
+  }
+  return Status::Ok();
+}
+
+HRecommendation RejectedRecommendation(Status status) {
+  HRecommendation rec;
+  rec.raw = SelectionResult::Rejected(std::move(status));
+  rec.status = rec.raw.status;
+  rec.completed = false;
+  return rec;
+}
+
+}  // namespace
 
 HierarchicalAdvisor::HierarchicalAdvisor(
     const HierarchicalSchema& schema, double raw_rows,
@@ -11,21 +66,89 @@ HierarchicalAdvisor::HierarchicalAdvisor(
           BuildHierarchicalCubeGraph(schema, raw_rows, workload, options)) {
 }
 
-HRecommendation HierarchicalAdvisor::Recommend(
-    const AdvisorConfig& config) const {
+HierarchicalAdvisor::HierarchicalAdvisor(const HierarchicalSchema& schema,
+                                         HierarchicalCubeGraph cube_graph)
+    : schema_(schema), cube_graph_(std::move(cube_graph)) {}
+
+StatusOr<HierarchicalAdvisor> HierarchicalAdvisor::Create(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options) {
+  StatusOr<HierarchicalCubeGraph> cube_graph =
+      TryBuildHierarchicalCubeGraph(schema, raw_rows, workload, options);
+  if (!cube_graph.ok()) {
+    return cube_graph.status().WithContext("building the query-view graph");
+  }
+  return HierarchicalAdvisor(schema, *std::move(cube_graph));
+}
+
+HRecommendation HierarchicalAdvisor::TryRecommend(
+    const AdvisorConfig& config, const HSelectionCheckpoint* resume) const {
+  const bool greedy = config.algorithm == Algorithm::kOneGreedy ||
+                      config.algorithm == Algorithm::kRGreedy ||
+                      config.algorithm == Algorithm::kInnerLevel;
+  if (config.resume != nullptr) {
+    return RejectedRecommendation(Status::InvalidArgument(
+        "flat-cube checkpoints (AdvisorConfig::resume) cannot be resolved "
+        "against a hierarchical lattice; pass an HSelectionCheckpoint"));
+  }
+  if (!greedy && !config.control.unlimited()) {
+    return RejectedRecommendation(Status::Unimplemented(
+        std::string(AlgorithmName(config.algorithm)) +
+        " has no anytime contract; deadlines/cancellation require a greedy "
+        "algorithm"));
+  }
+  if (!greedy && resume != nullptr) {
+    return RejectedRecommendation(Status::InvalidArgument(
+        std::string(AlgorithmName(config.algorithm)) +
+        " cannot resume from a checkpoint"));
+  }
+
+  ResumePicks resume_picks;
+  const ResumePicks* resume_ptr = nullptr;
+  if (resume != nullptr) {
+    if (resume->algorithm != AlgorithmName(config.algorithm)) {
+      return RejectedRecommendation(Status::InvalidArgument(
+          "checkpoint was taken by '" + resume->algorithm + "', not '" +
+          AlgorithmName(config.algorithm) +
+          "'; resuming would not reproduce the original pick sequence"));
+    }
+    if (resume->space_budget != config.space_budget) {
+      return RejectedRecommendation(Status::InvalidArgument(
+          "checkpoint budget " + std::to_string(resume->space_budget) +
+          " does not match configured budget " +
+          std::to_string(config.space_budget)));
+    }
+    Status resolved = ResolveCheckpoint(*resume, cube_graph_, &resume_picks);
+    if (!resolved.ok()) return RejectedRecommendation(std::move(resolved));
+    resume_ptr = &resume_picks;
+  }
+
   SelectionResult result;
   switch (config.algorithm) {
-    case Algorithm::kOneGreedy:
-      result = OneGreedy(cube_graph_.graph, config.space_budget);
+    case Algorithm::kOneGreedy: {
+      RGreedyOptions options = config.r_greedy;
+      options.r = 1;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
+      result = RGreedy(cube_graph_.graph, config.space_budget, options);
       break;
-    case Algorithm::kRGreedy:
-      result = RGreedy(cube_graph_.graph, config.space_budget,
-                       config.r_greedy);
+    }
+    case Algorithm::kRGreedy: {
+      RGreedyOptions options = config.r_greedy;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
+      result = RGreedy(cube_graph_.graph, config.space_budget, options);
       break;
-    case Algorithm::kInnerLevel:
+    }
+    case Algorithm::kInnerLevel: {
+      InnerGreedyOptions options = config.inner_greedy;
+      if (!config.control.unlimited()) options.control = config.control;
+      if (resume_ptr != nullptr) options.resume = resume_ptr;
       result = InnerLevelGreedy(cube_graph_.graph, config.space_budget,
-                                config.inner_greedy);
+                                options);
       break;
+    }
     case Algorithm::kTwoStep:
       result = TwoStep(cube_graph_.graph, config.space_budget,
                        config.two_step);
@@ -38,9 +161,14 @@ HRecommendation HierarchicalAdvisor::Recommend(
                                      config.space_budget, config.optimal);
       break;
   }
+  if (!result.status.ok() && !result.status.IsInterruption()) {
+    return RejectedRecommendation(std::move(result.status));
+  }
 
   HRecommendation rec;
   rec.raw = result;
+  rec.status = result.status;
+  rec.completed = result.completed;
   rec.space_used = result.space_used;
   rec.initial_average_cost =
       result.total_frequency > 0.0
@@ -51,14 +179,24 @@ HRecommendation HierarchicalAdvisor::Recommend(
     HRecommendedStructure r;
     r.view = cube_graph_.view_levels[s.view];
     if (!s.is_view()) {
-      r.index_order =
-          cube_graph_.index_orders[s.view][static_cast<size_t>(s.index)];
+      r.index_order = cube_graph_.IndexOrderOf(s.view, s.index);
     }
     r.name = cube_graph_.graph.StructureName(s);
     r.space = cube_graph_.graph.structure_space(s);
     rec.structures.push_back(std::move(r));
   }
   return rec;
+}
+
+HSelectionCheckpoint HRecommendation::ToCheckpoint(
+    const AdvisorConfig& config) const {
+  HSelectionCheckpoint checkpoint;
+  checkpoint.algorithm = AlgorithmName(config.algorithm);
+  checkpoint.space_budget = config.space_budget;
+  checkpoint.stages = raw.stats.stages;
+  checkpoint.picks = structures;
+  checkpoint.pick_benefits = raw.pick_benefits;
+  return checkpoint;
 }
 
 }  // namespace olapidx

@@ -1,7 +1,11 @@
 // HierarchicalAdvisor: the high-level recommendation API for hierarchical
-// cubes — the counterpart of core/advisor.h over the level-vector lattice.
-// Returns picks as (level vector, optional index dimension order), ready to
-// feed HierarchicalCatalog.
+// cubes — the counterpart of core/advisor.h over the level-vector lattice,
+// with the same resilient runtime surface: Status-propagating Create,
+// TryRecommend with RunControl (deadline / stage budget / cancellation)
+// for the greedy algorithms, and checkpoint/resume in lattice terms (level
+// vectors and dimension orders, not graph ids). Returns picks as (level
+// vector, optional index dimension order), ready to feed
+// HierarchicalCatalog.
 
 #ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
 #define OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
@@ -9,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/advisor.h"
 #include "hierarchy/hierarchical_graph.h"
 
@@ -25,27 +30,76 @@ struct HRecommendedStructure {
   bool is_view() const { return index_order.empty(); }
 };
 
+// The pick prefix of an interrupted greedy run, in lattice terms (level
+// vectors and dimension orders) so it survives re-building the graph in a
+// later process. The hierarchical counterpart of SelectionCheckpoint;
+// `algorithm` and `space_budget` let the resuming run verify it is
+// continuing the same selection problem.
+struct HSelectionCheckpoint {
+  std::string algorithm;  // AlgorithmName() of the original run
+  double space_budget = 0.0;
+  uint64_t stages = 0;    // greedy stages the prefix represents
+  std::vector<HRecommendedStructure> picks;  // in original pick order
+  std::vector<double> pick_benefits;         // parallel to picks (the a_i)
+};
+
 struct HRecommendation {
+  // Run outcome, mirroring raw.status: OK = complete; an interruption code
+  // = anytime partial design (still fully usable); any other code = the
+  // config or checkpoint was rejected and the recommendation is empty.
+  Status status;
+  bool completed = true;
   std::vector<HRecommendedStructure> structures;
   double space_used = 0.0;
   double initial_average_cost = 0.0;
   double average_query_cost = 0.0;
   SelectionResult raw;
+
+  // Packages this (typically interrupted) recommendation as a resumable
+  // checkpoint, stamped with the producing config's algorithm and budget.
+  HSelectionCheckpoint ToCheckpoint(const AdvisorConfig& config) const;
 };
 
 class HierarchicalAdvisor {
  public:
+  // Aborts on an unsupported schema/workload (dimension limits, lattice
+  // size ceilings); prefer Create at external boundaries.
   HierarchicalAdvisor(const HierarchicalSchema& schema, double raw_rows,
                       const std::vector<WeightedHQuery>& workload,
                       const HierarchicalGraphOptions& options = {});
 
+  // Status-propagating construction: surfaces
+  // TryBuildHierarchicalCubeGraph errors (bad row counts, oversized
+  // lattices, malformed query roles) instead of aborting.
+  static StatusOr<HierarchicalAdvisor> Create(
+      const HierarchicalSchema& schema, double raw_rows,
+      const std::vector<WeightedHQuery>& workload,
+      const HierarchicalGraphOptions& options = {});
+
   const HierarchicalCubeGraph& cube_graph() const { return cube_graph_; }
+  const HierarchicalSchema& schema() const { return schema_; }
 
   // Supports the greedy algorithms and the exact solver; two-step uses
-  // the config's two_step options.
-  HRecommendation Recommend(const AdvisorConfig& config) const;
+  // the config's two_step options. config.control interrupts the greedy
+  // algorithms anytime-style; `resume` warm-starts them from a checkpoint
+  // (algorithm tag and budget must match, picks are resolved against this
+  // graph). config.resume (the *flat* checkpoint slot) must be null here —
+  // flat attribute-set checkpoints cannot be resolved against a
+  // hierarchical lattice.
+  HRecommendation TryRecommend(
+      const AdvisorConfig& config,
+      const HSelectionCheckpoint* resume = nullptr) const;
+
+  // TryRecommend without interruption/resume plumbing (the historical
+  // surface; keeps aborting-constructor callers unchanged).
+  HRecommendation Recommend(const AdvisorConfig& config) const {
+    return TryRecommend(config);
+  }
 
  private:
+  HierarchicalAdvisor(const HierarchicalSchema& schema,
+                      HierarchicalCubeGraph cube_graph);
+
   HierarchicalSchema schema_;
   HierarchicalCubeGraph cube_graph_;
 };

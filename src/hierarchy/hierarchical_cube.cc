@@ -129,6 +129,33 @@ std::vector<std::vector<int>> HierarchicalLattice::FatIndexOrders(
   return orders;
 }
 
+std::vector<std::vector<int>> HierarchicalLattice::AllIndexOrders(
+    const LevelVector& levels) const {
+  std::vector<int> active = ActiveDimensions(levels);
+  OLAPIDX_CHECK(active.size() <= 6);
+  std::vector<std::vector<int>> out;
+  std::vector<bool> used(active.size(), false);
+  std::vector<int> choice;
+  auto rec = [&](auto&& self, int depth, int r) -> void {
+    if (depth == r) {
+      out.push_back(choice);
+      return;
+    }
+    for (size_t i = 0; i < active.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      choice.push_back(active[i]);
+      self(self, depth + 1, r);
+      choice.pop_back();
+      used[i] = false;
+    }
+  };
+  for (int r = 1; r <= static_cast<int>(active.size()); ++r) {
+    rec(rec, 0, r);
+  }
+  return out;
+}
+
 std::vector<double> HierarchicalLattice::AnalyticalSizes(
     double raw_rows) const {
   OLAPIDX_CHECK(raw_rows >= 1.0);

@@ -90,6 +90,11 @@ class HierarchicalLattice {
   HViewId IdOf(const LevelVector& levels) const;
   LevelVector LevelsOf(HViewId id) const;
 
+  // The mixed-radix weight of dimension d in the view encoding:
+  // IdOf(levels) = Σ_d levels[d] · stride(d). Ascending with d, so counting
+  // dimension 0 fastest enumerates ids in ascending order.
+  uint64_t stride(int d) const { return strides_[static_cast<size_t>(d)]; }
+
   // The base view: every dimension at its finest level.
   HViewId BaseView() const { return IdOf(FinestLevels()); }
   LevelVector FinestLevels() const;
@@ -107,6 +112,13 @@ class HierarchicalLattice {
   // All fat indexes of the view: permutations of its active dimensions.
   // Requires <= 8 active dimensions.
   std::vector<std::vector<int>> FatIndexOrders(
+      const LevelVector& levels) const;
+
+  // Every ordered subset of the view's active dimensions (the fat-index
+  // pruning ablation family), listed by length r = 1..m and
+  // lexicographically within each length — the exact counterpart of
+  // CubeLattice::AllIndexes. Requires <= 6 active dimensions.
+  std::vector<std::vector<int>> AllIndexOrders(
       const LevelVector& levels) const;
 
   // Expected rows of every view for a raw table of `raw_rows` rows, under

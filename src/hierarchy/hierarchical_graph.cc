@@ -1,8 +1,89 @@
 #include "hierarchy/hierarchical_graph.h"
 
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/lattice_graph_builder.h"
+
 namespace olapidx {
 
 namespace {
+
+// A(m, r) = m · (m-1) · … · (m-r+1): arrangements of r of m elements.
+int64_t Falling(int m, int r) {
+  int64_t a = 1;
+  for (int i = 0; i < r; ++i) a *= m - i;
+  return a;
+}
+
+// Indexes per view with m active dimensions, by family.
+int64_t NumIndexesForActive(int m, bool fat_indexes_only) {
+  if (m == 0) return 0;
+  if (fat_indexes_only) return Falling(m, m);
+  int64_t total = 0;
+  for (int r = 1; r <= m; ++r) total += Falling(m, r);
+  return total;
+}
+
+// Decodes the k-th key order of a view with active dimensions `active`
+// (ascending), under the canonical family order — lexicographic
+// permutations for fat indexes, length-then-lexicographic arrangements for
+// the ablation (FatIndexOrders / AllIndexOrders rank k) — via the factorial
+// number system.
+std::vector<int> DecodeOrder(const std::vector<int>& active, int64_t k,
+                             bool fat_indexes_only) {
+  const int m = static_cast<int>(active.size());
+  int r = m;
+  if (!fat_indexes_only) {
+    int64_t offset = 0;
+    for (r = 1; r <= m; ++r) {
+      const int64_t block = Falling(m, r);
+      if (k < offset + block) break;
+      offset += block;
+    }
+    OLAPIDX_CHECK(r <= m);
+    k -= offset;
+  }
+  std::vector<int> avail = active;
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(r));
+  for (int d = 0; d < r; ++d) {
+    const int64_t block = Falling(m - d - 1, r - d - 1);
+    const auto i = static_cast<size_t>(k / block);
+    k %= block;
+    OLAPIDX_CHECK(i < avail.size());
+    order.push_back(avail[i]);
+    avail.erase(avail.begin() + static_cast<ptrdiff_t>(i));
+  }
+  return order;
+}
+
+// Inverse of DecodeOrder: the family rank of `order`, or -1 when it is not
+// a valid key order over `active` (wrong length for the family, a repeated
+// dimension, or a dimension outside the active set).
+int64_t OrderRank(const std::vector<int>& active,
+                  const std::vector<int>& order, bool fat_indexes_only) {
+  const int m = static_cast<int>(active.size());
+  const int r = static_cast<int>(order.size());
+  if (r == 0 || r > m) return -1;
+  if (fat_indexes_only && r != m) return -1;
+  int64_t rank = 0;
+  if (!fat_indexes_only) {
+    for (int len = 1; len < r; ++len) rank += Falling(m, len);
+  }
+  std::vector<int> avail = active;
+  for (int d = 0; d < r; ++d) {
+    const auto it =
+        std::find(avail.begin(), avail.end(), order[static_cast<size_t>(d)]);
+    if (it == avail.end()) return -1;
+    rank += (it - avail.begin()) * Falling(m - d - 1, r - d - 1);
+    avail.erase(it);
+  }
+  return rank;
+}
 
 // The subcube id holding the distinct combinations of `dims` at the
 // query's selection levels (ALL elsewhere) — the |E| of the cost formula.
@@ -20,7 +101,275 @@ HViewId PrefixSubcube(const HierarchicalLattice& lattice,
   return lattice.IdOf(LevelVector(std::move(levels)));
 }
 
+std::vector<int> AllLevelsOf(const HierarchicalSchema& schema) {
+  std::vector<int> all(static_cast<size_t>(schema.num_dimensions()));
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    all[static_cast<size_t>(d)] = schema.all_level(d);
+  }
+  return all;
+}
+
+// Everything the lazy index namer needs, captured by value so the closure
+// outlives the build (QueryViewGraph consults it on demand).
+struct NamerState {
+  std::vector<std::string> dim_names;
+  // Per dimension, level names including "ALL" at index all_level.
+  std::vector<std::vector<std::string>> level_names;
+  std::vector<uint64_t> strides;
+  std::vector<int> radices;
+  std::vector<int> all_levels;
+  bool fat_indexes_only = true;
+};
+
+std::function<std::string(uint32_t, int32_t)> MakeIndexNamer(
+    const HierarchicalSchema& schema, const HierarchicalLattice& lattice,
+    bool fat_indexes_only) {
+  auto state = std::make_shared<NamerState>();
+  const int n = schema.num_dimensions();
+  state->fat_indexes_only = fat_indexes_only;
+  state->all_levels = AllLevelsOf(schema);
+  for (int d = 0; d < n; ++d) {
+    state->dim_names.push_back(schema.dimension(d).name);
+    std::vector<std::string> names;
+    for (int level = 0; level <= schema.all_level(d); ++level) {
+      names.push_back(schema.level_name(d, level));
+    }
+    state->level_names.push_back(std::move(names));
+    state->strides.push_back(lattice.stride(d));
+    state->radices.push_back(schema.radix(d));
+  }
+  return [state](uint32_t v, int32_t k) {
+    const int nd = static_cast<int>(state->dim_names.size());
+    std::vector<int> levels(static_cast<size_t>(nd));
+    std::vector<int> active;
+    for (int d = 0; d < nd; ++d) {
+      const int level = static_cast<int>(
+          (v / state->strides[static_cast<size_t>(d)]) %
+          static_cast<uint64_t>(state->radices[static_cast<size_t>(d)]));
+      levels[static_cast<size_t>(d)] = level;
+      if (level != state->all_levels[static_cast<size_t>(d)]) {
+        active.push_back(d);
+      }
+    }
+    std::vector<int> order =
+        DecodeOrder(active, k, state->fat_indexes_only);
+    std::string name = "I_";
+    for (int d : order) {
+      name += state->dim_names[static_cast<size_t>(d)] + "." +
+              state->level_names[static_cast<size_t>(d)]
+                                [static_cast<size_t>(
+                                     levels[static_cast<size_t>(d)])] +
+              ".";
+    }
+    name.pop_back();
+    return name;
+  };
+}
+
+// The hierarchical LatticeProvider (core/lattice_graph_builder.h): views
+// are mixed-radix level-vector ids, a query's answering views are the
+// odometer product of [0, required_level_d] per dimension, and index costs
+// come from WalkPrefixClasses over the view's active dimensions mapped to
+// local bits — the per-class cost depends only on the prefix's dimension
+// *set* (key order within the prefix never changes |E|), so one division
+// covers a whole contiguous rank range of key orders.
+struct HierarchicalLatticeProvider {
+  const HierarchicalSchema* schema;
+  const HierarchicalLattice* lattice;
+  const std::vector<WeightedHQuery>* workload;
+  const HierarchicalGraphOptions* options;
+  HierarchicalCubeGraph* out;
+  int n = 0;
+  uint32_t all_all_id = 0;  // id of the all-ALL apex = num_views - 1
+
+  struct Ctx {
+    std::vector<int> required;    // per dim: coarsest answering level
+    std::vector<int> lv;          // odometer digits = current view's levels
+    std::vector<int64_t> delta;   // select dims: (sel_level − ALL)·stride
+    std::vector<char> is_select;  // per dim
+    std::vector<int64_t> local_delta;  // per active local bit, select only
+  };
+
+  uint32_t num_views() const {
+    return static_cast<uint32_t>(lattice->num_views());
+  }
+  uint32_t BaseView() const {
+    return static_cast<uint32_t>(lattice->BaseView());
+  }
+  double ViewSizeOf(uint32_t v) const { return out->view_sizes[v]; }
+
+  void InitGraph(QueryViewGraph& g) const {
+    g.SetIndexNamer(
+        MakeIndexNamer(*schema, *lattice, options->fat_indexes_only));
+  }
+
+  void AddStructures(QueryViewGraph& g, uint32_t v, double size,
+                     double maintenance) const {
+    LevelVector levels = lattice->LevelsOf(v);
+    uint32_t gv = g.AddView(lattice->ViewName(levels), size);
+    OLAPIDX_CHECK(gv == v);
+    if (maintenance > 0.0) g.SetViewMaintenance(gv, maintenance);
+    const int m =
+        static_cast<int>(lattice->ActiveDimensions(levels).size());
+    const int64_t count =
+        NumIndexesForActive(m, options->fat_indexes_only);
+    g.AddIndexesNamed(gv, static_cast<int32_t>(count), size, maintenance);
+    out->view_levels.push_back(std::move(levels));
+  }
+
+  size_t num_queries() const { return workload->size(); }
+
+  void AddQuery(QueryViewGraph& g, size_t qi, double default_cost) const {
+    const WeightedHQuery& wq = (*workload)[qi];
+    g.AddQuery(wq.query.ToString(*schema), default_cost, wq.frequency);
+    out->queries.push_back(wq.query);
+  }
+
+  Ctx MakeQueryContext() const {
+    Ctx ctx;
+    ctx.required.resize(static_cast<size_t>(n));
+    ctx.lv.resize(static_cast<size_t>(n));
+    ctx.delta.resize(static_cast<size_t>(n));
+    ctx.is_select.resize(static_cast<size_t>(n));
+    ctx.local_delta.reserve(static_cast<size_t>(n));
+    return ctx;
+  }
+
+  void BeginQuery(Ctx& ctx, size_t qi) const {
+    const HSliceQuery& q = (*workload)[qi].query;
+    for (int d = 0; d < n; ++d) {
+      const HDimRole& role = q.role(d);
+      const auto sd = static_cast<size_t>(d);
+      ctx.required[sd] =
+          role.kind == HDimRole::kAbsent ? schema->all_level(d) : role.level;
+      ctx.is_select[sd] = role.kind == HDimRole::kSelect;
+      ctx.delta[sd] =
+          ctx.is_select[sd]
+              ? (static_cast<int64_t>(role.level) - schema->all_level(d)) *
+                    static_cast<int64_t>(lattice->stride(d))
+              : 0;
+    }
+  }
+
+  template <typename Visit>
+  void ForEachAnsweringView(Ctx& ctx, Visit&& visit) const {
+    // The views that can answer the query are exactly those at least as
+    // fine as its required levels: the product of [0, required_d] per
+    // dimension, walked as a mixed-radix odometer (dimension 0 fastest =
+    // ascending view ids). ctx.lv holds the current view's level digits
+    // for the duration of each visit, so IndexColumnClass /
+    // ForEachIndexCostClass read them without re-decoding the id.
+    std::fill(ctx.lv.begin(), ctx.lv.end(), 0);
+    uint32_t v = 0;  // the finest view has id 0
+    for (;;) {
+      visit(v);
+      int d = 0;
+      while (d < n && ctx.lv[static_cast<size_t>(d)] ==
+                          ctx.required[static_cast<size_t>(d)]) {
+        v -= static_cast<uint32_t>(
+            static_cast<uint64_t>(ctx.lv[static_cast<size_t>(d)]) *
+            lattice->stride(d));
+        ctx.lv[static_cast<size_t>(d)] = 0;
+        ++d;
+      }
+      if (d == n) break;
+      ++ctx.lv[static_cast<size_t>(d)];
+      v += static_cast<uint32_t>(lattice->stride(d));
+    }
+  }
+
+  uint32_t IndexColumnClass(const Ctx& ctx, uint32_t /*v*/) const {
+    // A query's index costs from a view depend only on the restriction of
+    // the view's active dimensions to the query's selection (each |E|
+    // denominator is the subcube of a selection-dimension prefix at the
+    // query's select levels), so queries agreeing on that restricted
+    // subcube share one dense column. Its id, shifted to be non-zero, is
+    // the column class; ids stay < 2^20 by the kMaxHierarchicalViews
+    // ceiling. 0 iff the view has no active dimensions (the apex — the
+    // only view without indexes).
+    int64_t id = all_all_id;
+    bool any_active = false;
+    for (int d = 0; d < n; ++d) {
+      const auto sd = static_cast<size_t>(d);
+      if (ctx.lv[sd] == schema->all_level(d)) continue;
+      any_active = true;
+      if (ctx.is_select[sd]) id += ctx.delta[sd];
+    }
+    if (!any_active) return 0;
+    return static_cast<uint32_t>(id) + 1;
+  }
+
+  template <typename Emit>
+  void ForEachIndexCostClass(Ctx& ctx, uint32_t v, const double* view_size,
+                             Emit&& emit) const {
+    // Map the view's active dimensions to local bits 0..m-1 (ascending
+    // dimension order — the rank order of FatIndexOrders/AllIndexOrders)
+    // and walk the arrangement tree once per prefix-equivalence class.
+    ctx.local_delta.clear();
+    uint32_t sel_local = 0;
+    for (int d = 0; d < n; ++d) {
+      const auto sd = static_cast<size_t>(d);
+      if (ctx.lv[sd] == schema->all_level(d)) continue;
+      if (ctx.is_select[sd]) {
+        sel_local |= 1u << ctx.local_delta.size();
+      }
+      ctx.local_delta.push_back(ctx.delta[sd]);
+    }
+    const int m = static_cast<int>(ctx.local_delta.size());
+    const uint32_t full = (1u << m) - 1;
+    auto cost_emit = [&](int64_t rb, int64_t re, uint32_t prefix) {
+      // |E|: the subcube of the prefix dimensions at the query's select
+      // levels, ALL elsewhere = apex id plus the precomputed per-dimension
+      // stride deltas (prefix bits are always selection bits).
+      int64_t denom_id = all_all_id;
+      for (uint32_t rest = prefix; rest != 0; rest &= rest - 1) {
+        denom_id += ctx.local_delta[static_cast<size_t>(
+            std::countr_zero(rest))];
+      }
+      emit(rb, re, view_size[v] / view_size[denom_id]);
+    };
+    if (options->fat_indexes_only) {
+      WalkPrefixClasses(full, m, m, sel_local, 0, cost_emit);
+    } else {
+      int64_t offset = 0;
+      int64_t arrangements = 1;
+      for (int r = 1; r <= m; ++r) {
+        arrangements *= m - (r - 1);  // A(m, r)
+        WalkPrefixClasses(full, m, r, sel_local, offset, cost_emit);
+        offset += arrangements;
+      }
+    }
+  }
+};
+
 }  // namespace
+
+std::vector<int> HierarchicalCubeGraph::ActiveDimensionsOf(
+    uint32_t v) const {
+  const LevelVector& levels = view_levels[v];
+  std::vector<int> active;
+  for (int d = 0; d < levels.size(); ++d) {
+    if (levels.level(d) != all_levels[static_cast<size_t>(d)]) {
+      active.push_back(d);
+    }
+  }
+  return active;
+}
+
+std::vector<int> HierarchicalCubeGraph::IndexOrderOf(uint32_t v,
+                                                     int32_t k) const {
+  if (!index_orders.empty()) {
+    return index_orders[v][static_cast<size_t>(k)];
+  }
+  return DecodeOrder(ActiveDimensionsOf(v), k, fat_indexes_only);
+}
+
+int32_t HierarchicalCubeGraph::IndexPositionOf(
+    uint32_t v, const std::vector<int>& order) const {
+  const int64_t rank =
+      OrderRank(ActiveDimensionsOf(v), order, fat_indexes_only);
+  return rank < 0 ? -1 : static_cast<int32_t>(rank);
+}
 
 std::vector<WeightedHQuery> UniformHWorkload(
     const HierarchicalSchema& schema) {
@@ -31,7 +380,141 @@ std::vector<WeightedHQuery> UniformHWorkload(
   return out;
 }
 
+StatusOr<HierarchicalCubeGraph> TryBuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options) {
+  if (!(raw_rows >= 1.0)) {
+    return Status::InvalidArgument("raw_rows must be >= 1 (got " +
+                                   std::to_string(raw_rows) + ")");
+  }
+  if (!(options.raw_scan_penalty >= 1.0)) {
+    return Status::InvalidArgument("raw_scan_penalty must be >= 1 (got " +
+                                   std::to_string(options.raw_scan_penalty) +
+                                   ")");
+  }
+  if (options.maintenance_per_row < 0.0) {
+    return Status::InvalidArgument(
+        "maintenance_per_row must be non-negative (got " +
+        std::to_string(options.maintenance_per_row) + ")");
+  }
+  if (options.default_query_cost < 0.0) {
+    return Status::InvalidArgument(
+        "default_query_cost must be non-negative (got " +
+        std::to_string(options.default_query_cost) + ")");
+  }
+  const int n = schema.num_dimensions();
+  if (options.fat_indexes_only && n > 8) {
+    return Status::InvalidArgument(
+        "fat-index hierarchical graphs support at most 8 dimensions (got "
+        "n = " +
+        std::to_string(n) +
+        "; the base view's fat indexes are permutations of all n "
+        "dimensions)");
+  }
+  if (!options.fat_indexes_only && n > 6) {
+    return Status::InvalidArgument(
+        "all-ordered-subset (fat-index-pruning ablation) hierarchical "
+        "graphs support at most 6 dimensions (got n = " +
+        std::to_string(n) + ")");
+  }
+  const uint64_t num_views = schema.NumViews();
+  if (num_views > kMaxHierarchicalViews) {
+    return Status::InvalidArgument(
+        "hierarchical lattice has " + std::to_string(num_views) +
+        " views, over the ceiling of " +
+        std::to_string(kMaxHierarchicalViews) +
+        "; coarsen or drop hierarchy levels");
+  }
+  // Total structure census, combinatorially: the views whose active set is
+  // exactly the dimension subset S number Π_{d∈S} levels_d, and each
+  // carries 1 view + family(|S|) indexes.
+  uint64_t total_structures = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    uint64_t views_with = 1;
+    int m = 0;
+    for (int d = 0; d < n; ++d) {
+      if ((mask >> d) & 1u) {
+        views_with *= static_cast<uint64_t>(schema.num_levels(d));
+        ++m;
+      }
+    }
+    total_structures +=
+        views_with *
+        (1 + static_cast<uint64_t>(
+                 NumIndexesForActive(m, options.fat_indexes_only)));
+    if (total_structures > kMaxHierarchicalStructures) {
+      return Status::InvalidArgument(
+          "hierarchical lattice carries over " +
+          std::to_string(kMaxHierarchicalStructures) +
+          " structures (views + indexes); coarsen or drop hierarchy "
+          "levels");
+    }
+  }
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const WeightedHQuery& wq = workload[qi];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("workload query " +
+                                     std::to_string(qi + 1) + ": " + message);
+    };
+    if (static_cast<int>(wq.query.roles().size()) != n) {
+      return fail("has " + std::to_string(wq.query.roles().size()) +
+                  " dimension roles, schema has " + std::to_string(n) +
+                  " dimensions");
+    }
+    if (wq.frequency < 0.0) {
+      return fail("negative frequency " + std::to_string(wq.frequency));
+    }
+    for (int d = 0; d < n; ++d) {
+      const HDimRole& role = wq.query.role(d);
+      if (role.kind == HDimRole::kAbsent) continue;
+      if (role.level < 0 || role.level >= schema.num_levels(d)) {
+        return fail("dimension '" + schema.dimension(d).name +
+                    "' mentioned at level " + std::to_string(role.level) +
+                    ", outside its proper levels [0, " +
+                    std::to_string(schema.num_levels(d) - 1) + "]");
+      }
+    }
+  }
+
+  HierarchicalLattice lattice(&schema);
+  HierarchicalCubeGraph out;
+  out.view_sizes = lattice.AnalyticalSizes(raw_rows);
+  out.view_levels.reserve(static_cast<size_t>(num_views));
+  out.all_levels = AllLevelsOf(schema);
+  out.fat_indexes_only = options.fat_indexes_only;
+
+  HierarchicalLatticeProvider provider{
+      &schema,
+      &lattice,
+      &workload,
+      &options,
+      &out,
+      n,
+      static_cast<uint32_t>(num_views - 1)};
+  LatticeGraphOptions build;
+  build.default_query_cost = options.default_query_cost;
+  build.raw_scan_penalty = options.raw_scan_penalty;
+  build.maintenance_per_row = options.maintenance_per_row;
+  build.num_threads = options.num_threads;
+  BuildLatticeGraph(provider, build, out.graph);
+  return out;
+}
+
 HierarchicalCubeGraph BuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options) {
+  StatusOr<HierarchicalCubeGraph> built =
+      TryBuildHierarchicalCubeGraph(schema, raw_rows, workload, options);
+  if (!built.ok()) {
+    internal::CheckFailed(__FILE__, __LINE__,
+                          built.status().ToString().c_str());
+  }
+  return *std::move(built);
+}
+
+HierarchicalCubeGraph BuildHierarchicalCubeGraphReference(
     const HierarchicalSchema& schema, double raw_rows,
     const std::vector<WeightedHQuery>& workload,
     const HierarchicalGraphOptions& options) {
@@ -41,6 +524,8 @@ HierarchicalCubeGraph BuildHierarchicalCubeGraph(
 
   HierarchicalCubeGraph out;
   out.view_sizes = lattice.AnalyticalSizes(raw_rows);
+  out.all_levels = AllLevelsOf(schema);
+  out.fat_indexes_only = options.fat_indexes_only;
   QueryViewGraph& g = out.graph;
 
   for (HViewId v = 0; v < lattice.num_views(); ++v) {
@@ -51,7 +536,9 @@ HierarchicalCubeGraph BuildHierarchicalCubeGraph(
     if (options.maintenance_per_row > 0.0) {
       g.SetViewMaintenance(gv, options.maintenance_per_row * size);
     }
-    std::vector<std::vector<int>> orders = lattice.FatIndexOrders(levels);
+    std::vector<std::vector<int>> orders =
+        options.fat_indexes_only ? lattice.FatIndexOrders(levels)
+                                 : lattice.AllIndexOrders(levels);
     for (const std::vector<int>& order : orders) {
       std::string name = "I_";
       for (int d : order) {
@@ -96,6 +583,11 @@ HierarchicalCubeGraph BuildHierarchicalCubeGraph(
         double denom =
             out.view_sizes[PrefixSubcube(lattice, wq.query, prefix)];
         double cost = scan / denom;
+        // Same pruning rule as the generic builder
+        // (core/lattice_graph_builder.h): emit iff cost < scan. The
+        // prefix.empty() skip above is the rule's degenerate case — the
+        // all-ALL denominator is exactly 1, so an empty prefix costs
+        // exactly a scan.
         if (cost < scan) {
           g.AddIndexEdge(q, static_cast<uint32_t>(v),
                          static_cast<int32_t>(k), cost);

@@ -8,13 +8,19 @@
 // at the longest prefix of D consisting of Q's *selection* dimensions,
 // taken at Q's selection levels (with hierarchically clustered key
 // encodings a finer-keyed index serves coarser selections as range scans).
-// With one level per dimension this reduces exactly to the paper's model.
+// With one level per dimension this reduces exactly to the paper's model —
+// and to the paper's *graph*: TryBuildHierarchicalCubeGraph and flat
+// TryBuildCubeGraph are the same generic builder
+// (core/lattice_graph_builder.h) under two LatticeProviders, and the
+// degeneration is tested bit-identical.
 
 #ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
 #define OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query_view_graph.h"
 #include "hierarchy/hierarchical_cube.h"
 
@@ -30,19 +36,78 @@ struct HierarchicalGraphOptions {
   double default_query_cost = 0.0;
   double raw_scan_penalty = 1.0;
   double maintenance_per_row = 0.0;
+  // If true (the paper's default), only fat indexes — permutations of each
+  // view's active (non-ALL) dimensions — are considered. If false, every
+  // ordered subset of the active dimensions becomes an index (the pruning
+  // ablation, as in the flat builder).
+  bool fat_indexes_only = true;
+  // Threads for the edge-enumeration phase of the fast builder (0 = shared
+  // pool). The resulting graph is identical for every thread count.
+  size_t num_threads = 0;
 };
+
+// Hierarchical lattices overflow much earlier than flat cubes (the view
+// count is Π_d (levels_d + 1), not 2^n), so the fast builder enforces
+// explicit size ceilings — the hierarchy counterpart of the flat n > 8
+// fat-index guard:
+//  * kMaxHierarchicalViews: every index-edge column class is keyed by a
+//    view id and indexes dense Finalize() scratch, so ids must stay below
+//    2^20 (see QueryViewGraph::EdgeRun::col_class).
+//  * kMaxHierarchicalStructures: ceiling on views + indexes, bounding the
+//    graph's memory before construction starts.
+inline constexpr uint64_t kMaxHierarchicalViews = (uint64_t{1} << 20) - 1;
+inline constexpr uint64_t kMaxHierarchicalStructures = uint64_t{1} << 22;
 
 struct HierarchicalCubeGraph {
   QueryViewGraph graph;
   // graph view id -> level assignment (dense: graph view id == HViewId).
   std::vector<LevelVector> view_levels;
-  // graph view id -> index position -> dimension order of the fat index.
+  // graph view id -> index position -> dimension order of the index.
+  // Populated only by the reference builder; the fast path leaves it empty
+  // and decodes orders on demand. Use IndexOrderOf / IndexPositionOf,
+  // which work for both.
   std::vector<std::vector<std::vector<int>>> index_orders;
   std::vector<HSliceQuery> queries;
   std::vector<double> view_sizes;  // by graph view id
+  // Per-dimension ALL level (= num_levels(d)), for active-dim decoding.
+  std::vector<int> all_levels;
+  bool fat_indexes_only = true;
+
+  // The view's non-ALL dimensions, ascending — its index-key dimensions.
+  std::vector<int> ActiveDimensionsOf(uint32_t v) const;
+  // The dimension order of view v's k-th index, in the canonical family
+  // order (FatIndexOrders / AllIndexOrders rank k).
+  std::vector<int> IndexOrderOf(uint32_t v, int32_t k) const;
+  // Inverse: the index position of `order` within v's family, or -1 when
+  // `order` is not a valid key order for v.
+  int32_t IndexPositionOf(uint32_t v, const std::vector<int>& order) const;
 };
 
+// Fast builder: the provider-parameterized core path (superset-odometer
+// answering-view enumeration, one cost division per prefix-equivalence
+// class, query-sharded parallel EdgeRun emission, lazy index names).
+// Returns InvalidArgument instead of aborting for bad external input:
+// raw_rows < 1, penalties < 1, negative costs/frequencies, malformed query
+// roles (a mentioned dimension must sit at a proper level), > 8 dimensions
+// (> 6 for the ablation family), or a lattice exceeding the size ceilings
+// above.
+StatusOr<HierarchicalCubeGraph> TryBuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options = {});
+
+// TryBuildHierarchicalCubeGraph that aborts on error (the historical
+// signature; in-tree callers pass well-formed schemas).
 HierarchicalCubeGraph BuildHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalGraphOptions& options = {});
+
+// The original serial builder — every view tested per query, every key
+// order costed individually, every index name materialized eagerly —
+// retained as the differential oracle for the fast path (tests) and as the
+// baseline for bench_hierarchy. Produces a bit-identical graph.
+HierarchicalCubeGraph BuildHierarchicalCubeGraphReference(
     const HierarchicalSchema& schema, double raw_rows,
     const std::vector<WeightedHQuery>& workload,
     const HierarchicalGraphOptions& options = {});

@@ -88,5 +88,137 @@ TEST(HierarchicalAdvisorTest, AllAlgorithmsRun) {
   }
 }
 
+TEST(HierarchicalAdvisorRuntimeTest, CreateSurfacesGraphBuildErrors) {
+  HierarchicalSchema schema = Schema();
+  StatusOr<HierarchicalAdvisor> bad = HierarchicalAdvisor::Create(
+      schema, /*raw_rows=*/0.25, UniformHWorkload(schema));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<HierarchicalAdvisor> ok =
+      HierarchicalAdvisor::Create(schema, 1'000, UniformHWorkload(schema));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  AdvisorConfig config;
+  config.space_budget = 1'500;
+  HRecommendation rec = ok->TryRecommend(config);
+  EXPECT_TRUE(rec.status.ok());
+  EXPECT_TRUE(rec.completed);
+  EXPECT_FALSE(rec.structures.empty());
+}
+
+TEST(HierarchicalAdvisorRuntimeTest, DeadlineAndCancellationInterrupt) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalAdvisor advisor(schema, 1'000, UniformHWorkload(schema));
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kInnerLevel;
+  config.space_budget = 2'000;
+  config.control.deadline = Deadline::AfterMillis(0);  // already expired
+  HRecommendation rec = advisor.TryRecommend(config);
+  EXPECT_FALSE(rec.completed);
+  EXPECT_EQ(rec.status.code(), StatusCode::kDeadlineExceeded);
+
+  CancelToken token;
+  token.Cancel();
+  AdvisorConfig cancelled;
+  cancelled.algorithm = Algorithm::kOneGreedy;
+  cancelled.space_budget = 2'000;
+  cancelled.control.cancel = &token;
+  HRecommendation rec2 = advisor.TryRecommend(cancelled);
+  EXPECT_FALSE(rec2.completed);
+  EXPECT_EQ(rec2.status.code(), StatusCode::kCancelled);
+}
+
+TEST(HierarchicalAdvisorRuntimeTest, ResumeReproducesFullRunBitExactly) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalAdvisor advisor(schema, 1'000, UniformHWorkload(schema));
+  for (Algorithm algo : {Algorithm::kOneGreedy, Algorithm::kInnerLevel}) {
+    SCOPED_TRACE(AlgorithmName(algo));
+    AdvisorConfig config;
+    config.algorithm = algo;
+    config.space_budget = 2'500;
+    HRecommendation full = advisor.TryRecommend(config);
+    ASSERT_TRUE(full.status.ok());
+    ASSERT_GE(full.structures.size(), 2u);
+
+    AdvisorConfig limited = config;
+    limited.control.max_steps = 1;
+    HRecommendation partial = advisor.TryRecommend(limited);
+    ASSERT_FALSE(partial.completed);
+    EXPECT_EQ(partial.status.code(), StatusCode::kResourceExhausted);
+    ASSERT_LT(partial.structures.size(), full.structures.size());
+    HSelectionCheckpoint checkpoint = partial.ToCheckpoint(limited);
+
+    HRecommendation resumed = advisor.TryRecommend(config, &checkpoint);
+    ASSERT_TRUE(resumed.status.ok());
+    EXPECT_TRUE(resumed.completed);
+    ASSERT_EQ(resumed.structures.size(), full.structures.size());
+    for (size_t i = 0; i < full.structures.size(); ++i) {
+      EXPECT_EQ(resumed.structures[i].name, full.structures[i].name);
+      EXPECT_EQ(resumed.structures[i].space, full.structures[i].space);
+      EXPECT_EQ(resumed.structures[i].view, full.structures[i].view);
+      EXPECT_EQ(resumed.structures[i].index_order,
+                full.structures[i].index_order);
+    }
+    EXPECT_EQ(resumed.space_used, full.space_used);
+    EXPECT_EQ(resumed.average_query_cost, full.average_query_cost);
+    EXPECT_EQ(resumed.raw.pick_benefits, full.raw.pick_benefits);
+  }
+}
+
+TEST(HierarchicalAdvisorRuntimeTest, RejectsMismatchedOrFlatCheckpoints) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalAdvisor advisor(schema, 1'000, UniformHWorkload(schema));
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kOneGreedy;
+  config.space_budget = 2'000;
+  config.control.max_steps = 1;
+  HRecommendation partial = advisor.TryRecommend(config);
+  HSelectionCheckpoint checkpoint = partial.ToCheckpoint(config);
+
+  // Different algorithm tag.
+  AdvisorConfig other = config;
+  other.algorithm = Algorithm::kInnerLevel;
+  EXPECT_EQ(advisor.TryRecommend(other, &checkpoint).status.code(),
+            StatusCode::kInvalidArgument);
+  // Different budget.
+  AdvisorConfig rebudgeted = config;
+  rebudgeted.space_budget = 999;
+  EXPECT_EQ(advisor.TryRecommend(rebudgeted, &checkpoint).status.code(),
+            StatusCode::kInvalidArgument);
+  // A pick that does not exist in this lattice.
+  HSelectionCheckpoint alien = checkpoint;
+  alien.picks.push_back(HRecommendedStructure{
+      LevelVector({7, 7}), {}, "bogus", 1.0});
+  alien.pick_benefits.push_back(1.0);
+  EXPECT_EQ(advisor.TryRecommend(config, &alien).status.code(),
+            StatusCode::kInvalidArgument);
+  // The flat-cube checkpoint slot is meaningless here.
+  SelectionCheckpoint flat;
+  AdvisorConfig with_flat = config;
+  with_flat.resume = &flat;
+  EXPECT_EQ(advisor.TryRecommend(with_flat).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchicalAdvisorRuntimeTest, NonGreedyRejectsControlAndResume) {
+  HierarchicalSchema schema = Schema();
+  HierarchicalAdvisor advisor(schema, 1'000, UniformHWorkload(schema));
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kTwoStep;
+  config.space_budget = 1'000;
+  config.control.max_steps = 3;
+  EXPECT_EQ(advisor.TryRecommend(config).status.code(),
+            StatusCode::kUnimplemented);
+
+  AdvisorConfig with_resume;
+  with_resume.algorithm = Algorithm::kTwoStep;
+  with_resume.space_budget = 1'000;
+  HSelectionCheckpoint checkpoint;
+  checkpoint.algorithm = AlgorithmName(Algorithm::kTwoStep);
+  checkpoint.space_budget = 1'000;
+  EXPECT_EQ(advisor.TryRecommend(with_resume, &checkpoint).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace olapidx

@@ -177,8 +177,12 @@ TEST_F(HierarchicalGraphTest, FlatSchemaReducesToPaperModel) {
     const auto& queries = g.graph.ViewQueries(static_cast<uint32_t>(base));
     for (size_t pos = 0; pos < queries.size(); ++pos) {
       if (queries[pos] != q) continue;
-      for (size_t k = 0; k < g.index_orders[base].size(); ++k) {
-        if (g.index_orders[base][k] == std::vector<int>{1, 0}) {
+      const auto nk = static_cast<size_t>(
+          g.graph.num_indexes(static_cast<uint32_t>(base)));
+      for (size_t k = 0; k < nk; ++k) {
+        if (g.IndexOrderOf(static_cast<uint32_t>(base),
+                           static_cast<int32_t>(k)) ==
+            std::vector<int>{1, 0}) {
           EXPECT_NEAR(g.graph.IndexCostAt(static_cast<uint32_t>(base),
                                           static_cast<int32_t>(k), pos),
                       expected, 1e-9);
