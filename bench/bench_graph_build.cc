@@ -120,25 +120,15 @@ void RunBench(bench::BenchJsonReporter& rep, int max_dim) {
 }  // namespace olapidx
 
 int main(int argc, char** argv) {
-  // Peel off --max-dim=N (ParseBenchArgs rejects anything but --json).
-  int max_dim = olapidx::kDefaultMaxDim;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--max-dim=", 0) == 0) {
-      max_dim = std::atoi(arg.c_str() + 10);
-      if (max_dim < olapidx::kMinDim || max_dim > 8) {
-        std::fprintf(stderr, "error: --max-dim must be in [%d, 8]\n",
-                     olapidx::kMinDim);
-        return 2;
-      }
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
   olapidx::bench::BenchArgs args =
-      olapidx::bench::ParseBenchArgs(argc, argv, "graph_build");
+      olapidx::bench::ParseBenchArgs(argc, argv, "graph_build", {"max-dim"});
+  const int max_dim =
+      static_cast<int>(args.GetInt("max-dim", olapidx::kDefaultMaxDim));
+  if (max_dim < olapidx::kMinDim || max_dim > 8) {
+    std::fprintf(stderr, "error: --max-dim must be in [%d, 8]\n",
+                 olapidx::kMinDim);
+    return 2;
+  }
   olapidx::bench::BenchJsonReporter rep("graph_build");
   olapidx::RunBench(rep, max_dim);
   olapidx::bench::FinishBenchJson(rep, args);

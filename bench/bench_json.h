@@ -215,18 +215,49 @@ inline Status ValidateBenchJson(const Json& doc) {
   return Status::Ok();
 }
 
-// --json flag parsing shared by every bench main(). Unknown arguments
-// print usage and exit(2); benches accept nothing else (except
-// bench_perf_scaling, which forwards the rest to google-benchmark).
+// --json flag parsing shared by every bench main(). Benches register
+// their bench-specific value flags by name ("max-dim" accepts
+// "--max-dim=7" and "--max-dim 7"); anything unregistered prints usage
+// and exits(2) — no more hand-rolled argv peeling per bench. (Exception:
+// bench_perf_scaling forwards the rest to google-benchmark.)
 struct BenchArgs {
   bool json = false;
   std::string json_path;  // set iff json
+  // Registered extra flags actually passed, as (name, raw value) in
+  // command-line order.
+  std::vector<std::pair<std::string, std::string>> extras;
+
+  const std::string* Get(const std::string& name) const {
+    for (const auto& [flag, value] : extras) {
+      if (flag == name) return &value;
+    }
+    return nullptr;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    const std::string* raw = Get(name);
+    return raw != nullptr ? std::atol(raw->c_str()) : fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string* raw = Get(name);
+    return raw != nullptr ? std::atof(raw->c_str()) : fallback;
+  }
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
-                                const std::string& bench_name) {
+                                const std::string& bench_name,
+                                const std::vector<std::string>& extra_flags =
+                                    {}) {
   BenchArgs out;
   const std::string default_path = "BENCH_" + bench_name + ".json";
+  auto usage = [&]() {
+    std::string extras_text;
+    for (const std::string& flag : extra_flags) {
+      extras_text += " [--" + flag + "=V]";
+    }
+    std::fprintf(stderr, "usage: bench_%s [--json[=FILE]]%s\n",
+                 bench_name.c_str(), extras_text.c_str());
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
@@ -236,15 +267,32 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
       } else {
         out.json_path = default_path;
       }
-    } else if (arg.rfind("--json=", 0) == 0) {
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
       out.json = true;
       out.json_path = arg.substr(7);
       if (out.json_path.empty()) out.json_path = default_path;
-    } else {
-      std::fprintf(stderr, "usage: bench_%s [--json[=FILE]]\n",
-                   bench_name.c_str());
-      std::exit(2);
+      continue;
     }
+    bool matched = false;
+    for (const std::string& flag : extra_flags) {
+      const std::string prefix = "--" + flag;
+      if (arg.rfind(prefix + "=", 0) == 0) {
+        std::string value = arg.substr(prefix.size() + 1);
+        if (value.empty()) usage();
+        out.extras.emplace_back(flag, std::move(value));
+        matched = true;
+        break;
+      }
+      if (arg == prefix) {
+        if (i + 1 >= argc) usage();
+        out.extras.emplace_back(flag, argv[++i]);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) usage();
   }
   return out;
 }

@@ -11,9 +11,22 @@
 //               [--deadline-ms 500] [--max-stages N]
 //               [--checkpoint ckpt.txt] [--resume ckpt.txt]
 //               [--metrics-json metrics.json] [--trace-json trace.json]
+//               [--sparse] [--top-queries N] [--query-mass F]
+//               [--max-views N] [--beam B]
+//               [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
 //   advisor_cli --hierarchy store:400/60/8,day:365/12 --rows 3000000
 //               --budget 50000 [...]
+//
+// --sparse switches to the workload-pruned graph (core/sparse_cube_graph.h)
+// and is the only way past n = 8: --top-queries/--query-mass prune the
+// workload, --max-views caps the retained lattice, and cost columns are
+// stored compressed. --beam B caps per-stage greedy re-evaluations at the
+// B most promising dirty views (stale-bound ranking); the printed beam
+// factor is the a-posteriori per-stage guarantee. Beyond 10 dimensions a
+// workload must be explicit: --workload FILE or --zipf-queries N (a
+// sampled Zipf(--zipf-skew) workload of N distinct slice queries,
+// deterministic in --zipf-seed).
 //
 // --hierarchy switches to the hierarchical lattice: each dimension lists
 // its per-level cardinalities finest→coarsest (store:400/60/8 = 400
@@ -83,7 +96,10 @@ using namespace olapidx;
       "[--raw-penalty P] [--threads N] [--out FILE]\n"
       "       [--deadline-ms MS] [--max-stages N] [--checkpoint FILE] "
       "[--resume FILE]\n"
-      "       [--metrics-json FILE] [--trace-json FILE]\n");
+      "       [--metrics-json FILE] [--trace-json FILE]\n"
+      "       [--sparse] [--top-queries N] [--query-mass F] "
+      "[--max-views N] [--beam B]\n"
+      "       [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]\n");
   std::exit(2);
 }
 
@@ -223,6 +239,14 @@ int main(int argc, char** argv) {
   long threads = 0;  // 0 = shared pool sized from the hardware
   long deadline_ms = 0;  // 0 = no deadline
   long max_stages = 0;   // 0 = no stage budget
+  bool sparse = false;
+  long top_queries = 0;    // 0 = no cap
+  double query_mass = 1.0;
+  long max_views = 0;      // 0 = the sparse builder's default cap
+  long beam = 0;           // 0 = exact greedy
+  long zipf_queries = 0;   // 0 = no sampled workload
+  double zipf_skew = 1.0;
+  long zipf_seed = 42;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -284,6 +308,30 @@ int main(int argc, char** argv) {
       metrics_json_path = next();
     } else if (flag == "--trace-json") {
       trace_json_path = next();
+    } else if (flag == "--sparse") {
+      sparse = true;
+    } else if (flag == "--top-queries") {
+      top_queries = std::atol(next().c_str());
+      if (top_queries <= 0) Usage("--top-queries must be positive");
+    } else if (flag == "--query-mass") {
+      query_mass = std::atof(next().c_str());
+      if (!(query_mass > 0.0) || query_mass > 1.0) {
+        Usage("--query-mass must be in (0, 1]");
+      }
+    } else if (flag == "--max-views") {
+      max_views = std::atol(next().c_str());
+      if (max_views <= 0) Usage("--max-views must be positive");
+    } else if (flag == "--beam") {
+      beam = std::atol(next().c_str());
+      if (beam < 0) Usage("--beam must be >= 0");
+    } else if (flag == "--zipf-queries") {
+      zipf_queries = std::atol(next().c_str());
+      if (zipf_queries <= 0) Usage("--zipf-queries must be positive");
+    } else if (flag == "--zipf-skew") {
+      zipf_skew = std::atof(next().c_str());
+      if (!(zipf_skew >= 0.0)) Usage("--zipf-skew must be >= 0");
+    } else if (flag == "--zipf-seed") {
+      zipf_seed = std::atol(next().c_str());
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -320,6 +368,8 @@ int main(int argc, char** argv) {
   }
   config.r_greedy.num_threads = static_cast<size_t>(threads);
   config.inner_greedy.num_threads = static_cast<size_t>(threads);
+  config.r_greedy.beam_width = static_cast<size_t>(beam);
+  config.inner_greedy.beam_width = static_cast<size_t>(beam);
   if (deadline_ms > 0) {
     config.control.deadline =
         Deadline::AfterMillis(static_cast<int64_t>(deadline_ms));
@@ -332,10 +382,10 @@ int main(int argc, char** argv) {
     if (!dims_arg.empty() || !csv_path.empty() || !sizes_path.empty() ||
         !workload_path.empty() || !out_path.empty() ||
         !dump_sizes_path.empty() || !checkpoint_path.empty() ||
-        !resume_path.empty()) {
+        !resume_path.empty() || sparse || zipf_queries > 0) {
       Usage("--hierarchy is incompatible with the flat-cube inputs "
             "(--dims/--csv/--sizes/--workload/--out/--dump-sizes/"
-            "--checkpoint/--resume)");
+            "--checkpoint/--resume/--sparse/--zipf-queries)");
     }
     return RunHierarchy(hierarchy_arg, rows, budget, config, raw_penalty,
                         maintenance, threads, metrics_json_path,
@@ -407,6 +457,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: workload file has no queries\n");
       return 2;
     }
+  } else if (zipf_queries > 0) {
+    workload = SampledZipfSliceQueries(lattice, zipf_skew,
+                                       static_cast<size_t>(zipf_queries),
+                                       static_cast<uint64_t>(zipf_seed));
+  } else if (schema.num_dimensions() > 10) {
+    Usage("enumerating all 3^n slice queries is infeasible beyond 10 "
+          "dimensions; provide --workload FILE or --zipf-queries N");
   } else {
     workload = AllSliceQueries(lattice);
   }
@@ -424,15 +481,29 @@ int main(int argc, char** argv) {
     config.resume = &resume_checkpoint;
   }
 
-  CubeGraphOptions gopts;
-  gopts.raw_scan_penalty = raw_penalty;
-  gopts.maintenance_per_row = maintenance;
-  gopts.num_threads = static_cast<size_t>(threads);
   // The tracer is off by default (its only cost is then one relaxed
   // atomic load per span site); --trace-json opts this run in.
   if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
-  StatusOr<Advisor> advisor_or =
-      Advisor::Create(schema, sizes, workload, gopts);
+  StatusOr<Advisor> advisor_or = [&]() -> StatusOr<Advisor> {
+    if (sparse) {
+      SparseCubeGraphOptions sopts;
+      sopts.top_queries = static_cast<size_t>(top_queries);
+      sopts.query_mass = query_mass;
+      if (max_views > 0) sopts.max_views = static_cast<size_t>(max_views);
+      sopts.raw_scan_penalty = raw_penalty;
+      sopts.maintenance_per_row = maintenance;
+      sopts.num_threads = static_cast<size_t>(threads);
+      return Advisor::CreateSparse(schema, sizes, workload, sopts);
+    }
+    if (top_queries > 0 || query_mass < 1.0 || max_views > 0) {
+      Usage("--top-queries/--query-mass/--max-views require --sparse");
+    }
+    CubeGraphOptions gopts;
+    gopts.raw_scan_penalty = raw_penalty;
+    gopts.maintenance_per_row = maintenance;
+    gopts.num_threads = static_cast<size_t>(threads);
+    return Advisor::Create(schema, sizes, workload, gopts);
+  }();
   if (!advisor_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  advisor_or.status().ToString().c_str());
@@ -456,6 +527,19 @@ int main(int argc, char** argv) {
   std::printf("queries: %zu   structures considered: %u\n",
               workload.size(),
               advisor.cube_graph().graph.num_structures());
+  if (const SparseBuildStats* ss = advisor.sparse_stats()) {
+    std::printf(
+        "sparse graph: %zu/%zu queries retained (%.1f%% of mass), "
+        "%zu views (%zu with candidate index families, cap %s)\n",
+        ss->retained_queries, ss->workload_queries,
+        ss->total_mass > 0.0 ? 100.0 * ss->retained_mass / ss->total_mass
+                             : 100.0,
+        ss->retained_views, ss->candidate_views,
+        ss->view_cap_hit ? "hit" : "not hit");
+    std::printf("sparse graph peak memory: %.1f MiB (edge runs + cost "
+                "table)\n",
+                static_cast<double>(ss->build.peak_bytes) / (1024.0 * 1024.0));
+  }
   std::printf("space: %s of %s budget\n",
               FormatRowCount(rec.space_used).c_str(),
               FormatRowCount(budget).c_str());
@@ -472,6 +556,13 @@ int main(int argc, char** argv) {
                 FormatRowCount(rec.raw.total_maintenance).c_str());
   }
   std::printf("evaluation: %s\n", rec.raw.stats.ToString().c_str());
+  if (beam > 0) {
+    std::printf("beam: width %ld, %llu re-evaluations skipped, per-stage "
+                "guarantee factor %.4f\n",
+                beam,
+                static_cast<unsigned long long>(rec.raw.beam_skipped),
+                rec.raw.beam_stage_factor);
+  }
   if (rec.raw.candidates_truncated > 0) {
     std::printf("note: subset enumeration was capped; %llu candidate "
                 "subsets were skipped\n",

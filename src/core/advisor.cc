@@ -107,6 +107,20 @@ StatusOr<Advisor> Advisor::Create(const CubeSchema& schema,
   return Advisor(schema, sizes, workload, *std::move(cube_graph));
 }
 
+StatusOr<Advisor> Advisor::CreateSparse(const CubeSchema& schema,
+                                        const ViewSizes& sizes,
+                                        const Workload& workload,
+                                        const SparseCubeGraphOptions& options) {
+  StatusOr<SparseCubeGraph> sparse =
+      TryBuildSparseCubeGraph(schema, sizes, workload, options);
+  if (!sparse.ok()) {
+    return sparse.status().WithContext("building the sparse query-view graph");
+  }
+  Advisor advisor(schema, sizes, workload, std::move(sparse->cube));
+  advisor.sparse_stats_ = std::move(sparse->stats);
+  return advisor;
+}
+
 Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
   const bool greedy = config.algorithm == Algorithm::kOneGreedy ||
                       config.algorithm == Algorithm::kRGreedy ||

@@ -8,12 +8,14 @@
 #ifndef OLAPIDX_CORE_ADVISOR_H_
 #define OLAPIDX_CORE_ADVISOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
 #include "common/status.h"
 #include "core/cube_graph.h"
+#include "core/sparse_cube_graph.h"
 #include "core/inner_greedy.h"
 #include "core/optimal.h"
 #include "core/r_greedy.h"
@@ -131,9 +133,22 @@ class Advisor {
                                   const Workload& workload,
                                   const CubeGraphOptions& options = {});
 
+  // Workload-pruned construction for 12–20 dimension cubes (see
+  // core/sparse_cube_graph.h): prunes queries/views/indexes before any
+  // edge exists and stores compressed cost columns. Recommendations and
+  // plans cover the *retained* query set; sparse_stats() reports what was
+  // pruned.
+  static StatusOr<Advisor> CreateSparse(
+      const CubeSchema& schema, const ViewSizes& sizes,
+      const Workload& workload, const SparseCubeGraphOptions& options = {});
+
   const CubeGraph& cube_graph() const { return cube_graph_; }
   const CubeSchema& schema() const { return schema_; }
   const ViewSizes& sizes() const { return sizes_; }
+  // Pruning/build telemetry of CreateSparse; nullptr for dense advisors.
+  const SparseBuildStats* sparse_stats() const {
+    return sparse_stats_ ? &*sparse_stats_ : nullptr;
+  }
 
   Recommendation Recommend(const AdvisorConfig& config) const;
 
@@ -145,6 +160,7 @@ class Advisor {
   ViewSizes sizes_;
   Workload workload_;
   CubeGraph cube_graph_;
+  std::optional<SparseBuildStats> sparse_stats_;
 };
 
 }  // namespace olapidx

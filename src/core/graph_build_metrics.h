@@ -30,6 +30,14 @@ struct BuildStats {
   uint64_t enumerate_micros = 0;
   uint64_t finalize_micros = 0;
   uint64_t total_micros = 0;
+  // Allocation accounting (not RSS): bytes of buffered EdgeRuns across all
+  // shards, bytes of the finalized per-view cost tables, and the modeled
+  // peak — Finalize() holds the counting-sorted run copy alongside either
+  // the draining shard batches or the growing cost tables, whichever is
+  // larger.
+  uint64_t edge_run_bytes = 0;
+  uint64_t cost_table_bytes = 0;
+  uint64_t peak_bytes = 0;
 };
 
 // Kept out of line so the registry machinery (static-init guards, shard
@@ -46,6 +54,7 @@ struct BuildStats {
   OLAPIDX_METRIC_HISTOGRAM(enumerate_wall, "graph_build.enumerate_micros");
   OLAPIDX_METRIC_HISTOGRAM(finalize_wall, "graph_build.finalize_micros");
   OLAPIDX_METRIC_HISTOGRAM(build_wall, "graph_build.build_micros");
+  OLAPIDX_METRIC_GAUGE(peak_bytes, "graph_build.peak_bytes");
   builds.Add(1);
   views.Add(stats.views);
   structures.Add(stats.structures);
@@ -57,6 +66,43 @@ struct BuildStats {
   enumerate_wall.Observe(stats.enumerate_micros);
   finalize_wall.Observe(stats.finalize_micros);
   build_wall.Observe(stats.total_micros);
+  // Gauge (not a counter): the latest build's modeled peak, so a dense and
+  // a sparse build of the same instance can be compared by reading it
+  // after each.
+  peak_bytes.Set(static_cast<int64_t>(stats.peak_bytes));
+}
+
+// One sparse build's pruning totals (core/sparse_cube_graph.cc).
+struct SparseStats {
+  uint64_t workload_queries = 0;
+  uint64_t retained_queries = 0;
+  // Retained frequency mass in permille of the workload total (gauges are
+  // integral).
+  uint64_t retained_mass_permille = 0;
+  uint64_t retained_views = 0;
+  // Views whose index family was derived from the workload (too many
+  // attributes for full fat-index enumeration) vs full fat families.
+  uint64_t candidate_views = 0;
+  uint64_t candidate_indexes = 0;
+};
+
+[[gnu::noinline]] inline void RecordSparseBuild(const SparseStats& stats) {
+  OLAPIDX_METRIC_COUNTER(builds, "graph_build.sparse.builds");
+  OLAPIDX_METRIC_COUNTER(workload_q, "graph_build.sparse.workload_queries");
+  OLAPIDX_METRIC_COUNTER(retained_q, "graph_build.sparse.retained_queries");
+  OLAPIDX_METRIC_COUNTER(dropped_q, "graph_build.sparse.dropped_queries");
+  OLAPIDX_METRIC_COUNTER(retained_v, "graph_build.sparse.retained_views");
+  OLAPIDX_METRIC_COUNTER(candidate_v, "graph_build.sparse.candidate_views");
+  OLAPIDX_METRIC_COUNTER(candidate_i, "graph_build.sparse.candidate_indexes");
+  OLAPIDX_METRIC_GAUGE(mass, "graph_build.sparse.retained_mass_permille");
+  builds.Add(1);
+  workload_q.Add(stats.workload_queries);
+  retained_q.Add(stats.retained_queries);
+  dropped_q.Add(stats.workload_queries - stats.retained_queries);
+  retained_v.Add(stats.retained_views);
+  candidate_v.Add(stats.candidate_views);
+  candidate_i.Add(stats.candidate_indexes);
+  mass.Set(static_cast<int64_t>(stats.retained_mass_permille));
 }
 
 }  // namespace olapidx::graph_build_metrics

@@ -223,6 +223,9 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
   std::vector<ViewSlot> slots(num_views);
   std::vector<uint32_t> dirty;
   dirty.reserve(num_views);
+  std::vector<uint32_t> beamed;    // beam scratch: bounded dirty views
+  std::vector<uint32_t> deferred;  // beam-skipped this stage
+  std::vector<uint8_t> beam_out(num_views, 0);
   std::vector<uint64_t> chunk_evals(chunks);
   const auto run_start = SteadyClock::now();
   // Stages executed by *this call*; replayed checkpoint stages don't
@@ -281,27 +284,65 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
       }
       dirty.push_back(v);
     }
+
+    // Beam cap: of the dirty views with a certified stale bound, only the
+    // beam_width with the largest bounds are re-grown; the rest are
+    // deferred. A deferred slot must not enter the reduction — its stale
+    // ratio is an *over*estimate — so it is masked out and accounted in
+    // the a-posteriori guarantee instead. Views with no certified bound
+    // (first touch, post-pick family change) are always evaluated.
+    deferred.clear();
+    double deferred_bound = 0.0;
+    if (options.memoize && options.beam_width > 0 &&
+        dirty.size() > options.beam_width) {
+      beamed.clear();
+      for (uint32_t v : dirty) {
+        if (slots[v].bound_ok) beamed.push_back(v);
+      }
+      if (beamed.size() > options.beam_width) {
+        std::sort(beamed.begin(), beamed.end(),
+                  [&](uint32_t a, uint32_t b) {
+                    if (slots[a].bound != slots[b].bound) {
+                      return slots[a].bound > slots[b].bound;
+                    }
+                    return a < b;
+                  });
+        deferred.assign(
+            beamed.begin() + static_cast<std::ptrdiff_t>(options.beam_width),
+            beamed.end());
+        deferred_bound = slots[deferred.front()].bound;
+        for (uint32_t v : deferred) beam_out[v] = 1;
+        dirty.erase(std::remove_if(
+                        dirty.begin(), dirty.end(),
+                        [&](uint32_t v) { return beam_out[v] != 0; }),
+                    dirty.end());
+      }
+    }
     result.stats.cache_misses += dirty.size();
 
-    std::fill(chunk_evals.begin(), chunk_evals.end(), 0);
     // Evaluation crosses the pool's fault points and polls the stop
     // inputs between per-view evaluations; an interrupted view keeps its
     // stale version and is re-evaluated on resume.
     std::atomic<bool> stop_requested{false};
-    Status evaluated = pool.TryParallelFor(
-        dirty.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
-          for (size_t i = begin; i < end; ++i) {
-            if (stop_requested.load(std::memory_order_relaxed)) break;
-            if (options.control.StopRequested()) {
-              stop_requested.store(true, std::memory_order_relaxed);
-              break;
+    auto evaluate_list = [&](const std::vector<uint32_t>& list) -> Status {
+      std::fill(chunk_evals.begin(), chunk_evals.end(), 0);
+      Status st = pool.TryParallelFor(
+          list.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              if (stop_requested.load(std::memory_order_relaxed)) break;
+              if (options.control.StopRequested()) {
+                stop_requested.store(true, std::memory_order_relaxed);
+                break;
+              }
+              EvaluateView(state, list[i], space_budget, &slots[list[i]],
+                           &chunk_evals[chunk]);
             }
-            EvaluateView(state, dirty[i], space_budget, &slots[dirty[i]],
-                         &chunk_evals[chunk]);
-          }
-          return Status::Ok();
-        });
-    for (uint64_t e : chunk_evals) stage_evals += e;
+            return Status::Ok();
+          });
+      for (uint64_t e : chunk_evals) stage_evals += e;
+      return st;
+    };
+    Status evaluated = evaluate_list(dirty);
     result.candidates_evaluated += stage_evals;
     if (!evaluated.ok()) {
       result.status = evaluated.WithContext("bundle growth");
@@ -320,17 +361,53 @@ SelectionResult InnerLevelGreedy(const QueryViewGraph& graph,
     // strictly-greater ratio implements the documented candidate order.
     // Bound-pruned stale slots are harmless: their cached ratio is at
     // most their bound, strictly below the best clean ratio, which
-    // itself participates.
+    // itself participates. Beam-deferred slots are masked out.
     const ViewSlot* winner = nullptr;
-    for (uint32_t v = 0; v < num_views; ++v) {
-      const ViewSlot& s = slots[v];
-      if (s.valid && (winner == nullptr || s.ratio() > winner->ratio())) {
-        winner = &s;
+    auto reduce = [&] {
+      winner = nullptr;
+      for (uint32_t v = 0; v < num_views; ++v) {
+        if (beam_out[v] != 0) continue;
+        const ViewSlot& s = slots[v];
+        if (s.valid && (winner == nullptr || s.ratio() > winner->ratio())) {
+          winner = &s;
+        }
       }
+    };
+    reduce();
+    if (winner == nullptr && !deferred.empty()) {
+      // The beam hid every remaining positive candidate: grow the
+      // deferred set after all, so a beam run never stops before the
+      // exact one would.
+      for (uint32_t v : deferred) beam_out[v] = 0;
+      const uint64_t evals_before = stage_evals;
+      Status fallback = evaluate_list(deferred);
+      result.stats.cache_misses += deferred.size();
+      result.candidates_evaluated += stage_evals - evals_before;
+      deferred.clear();
+      if (!fallback.ok()) {
+        result.status = fallback.WithContext("bundle growth");
+        result.completed = false;
+        end_stage();
+        break;
+      }
+      if (stop_requested.load(std::memory_order_relaxed)) {
+        result.status = options.control.StopStatus();
+        result.completed = false;
+        end_stage();
+        break;
+      }
+      reduce();
     }
     if (winner == nullptr) {
       end_stage();
       break;
+    }
+    if (!deferred.empty()) {
+      result.beam_skipped += deferred.size();
+      result.beam_stage_factor = std::min(
+          result.beam_stage_factor,
+          winner->ratio() / std::max(winner->ratio(), deferred_bound));
+      for (uint32_t v : deferred) beam_out[v] = 0;
     }
 
     const Candidate c = winner->candidate;  // copy: Apply dirties the slot

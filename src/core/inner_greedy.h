@@ -36,6 +36,16 @@ struct InnerGreedyOptions {
   // bit-identical with the flag off.
   bool memoize = true;
 
+  // Beam cap on per-stage bundle regrowth (effective with memoize on):
+  // dirty views with no certified stale bound are always re-grown, but of
+  // the bounded ones only the beam_width with the largest stale bounds;
+  // the rest are deferred — excluded from the stage's reduction and
+  // accounted in SelectionResult::beam_skipped / beam_stage_factor. If
+  // the beam hides every positive candidate the deferred set is grown
+  // after all, so a beam run never stops before the exact one would.
+  // 0 = unlimited — bit-identical to exact greedy.
+  size_t beam_width = 0;
+
   // Interruption inputs (deadline, cancel token, stage budget), polled at
   // stage boundaries and between per-view evaluations. On interruption
   // the result is the anytime best-so-far prefix: completed == false,

@@ -41,6 +41,7 @@
 #ifndef OLAPIDX_CORE_LATTICE_GRAPH_BUILDER_H_
 #define OLAPIDX_CORE_LATTICE_GRAPH_BUILDER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -162,8 +163,8 @@ void WalkPrefixClasses(uint32_t view_mask, int m, int r, uint32_t sel,
 // same rule in disguise).
 template <typename Provider>
 void BuildLatticeGraph(const Provider& provider,
-                       const LatticeGraphOptions& options,
-                       QueryViewGraph& g) {
+                       const LatticeGraphOptions& options, QueryViewGraph& g,
+                       graph_build_metrics::BuildStats* stats_out = nullptr) {
   OLAPIDX_TRACE_SPAN("graph_build");
   const auto build_start = std::chrono::steady_clock::now();
   graph_build_metrics::BuildStats stats;
@@ -245,6 +246,8 @@ void BuildLatticeGraph(const Provider& provider,
     });
   }
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    stats.edge_run_bytes +=
+        static_cast<uint64_t>(shard[chunk].size()) * sizeof(EdgeRun);
     g.AddEdgeRuns(std::move(shard[chunk]));
     stats.view_pairs += counters[chunk].view_pairs;
     stats.prefix_classes += counters[chunk].prefix_classes;
@@ -264,7 +267,16 @@ void BuildLatticeGraph(const Provider& provider,
   stats.structures = g.num_structures();
   stats.queries = g.num_queries();
   stats.total_micros = lattice_build::MicrosSince(build_start);
+  // Peak allocation model: Finalize() keeps the counting-sorted run copy
+  // (edge_run_bytes) alive while either draining the shard batches (another
+  // edge_run_bytes, freed incrementally) or writing the cost tables,
+  // whichever dominates.
+  stats.cost_table_bytes = g.CostTableBytes();
+  stats.peak_bytes =
+      stats.edge_run_bytes +
+      std::max(stats.edge_run_bytes, stats.cost_table_bytes);
   graph_build_metrics::RecordBuild(stats);
+  if (stats_out != nullptr) *stats_out = stats;
 }
 
 }  // namespace olapidx

@@ -119,8 +119,10 @@ void QueryViewGraph::ValidateRun(const EdgeRun& run) const {
   if (run.index_begin != StructureRef::kNoIndex) {
     OLAPIDX_CHECK(run.index_begin >= 0 && run.index_begin < run.index_end &&
                   run.index_end <= num_indexes(run.view));
-    // Class ids index dense scratch in Finalize(); keep them small.
-    OLAPIDX_CHECK(run.col_class < (1u << 20));
+    // Class ids index dense scratch in Finalize(); keep them small. The
+    // cube builders use (selection ∩ view) + 1, which reaches 2^n at the
+    // kMaxDimensions = 20 ceiling the sparse path supports.
+    OLAPIDX_CHECK(run.col_class <= (1u << 20));
   }
 }
 
@@ -262,6 +264,14 @@ void QueryViewGraph::Finalize() {
         }
       }
     }
+    if (compressed_) {
+      // Sparse mode keeps the prototypes themselves; IndexCostAt resolves
+      // pos → pid → prototype on demand. The moved-from scratch vectors
+      // are re-assigned at the top of the next view's iteration.
+      vd.col_protos = std::move(protos);
+      vd.col_of_pos = std::move(pid_of_pos);
+      continue;
+    }
     // Pass C: the k-major table, written sequentially row by row; the
     // prototype reads for one k touch at most ndist cache lines. This
     // ordering is what makes large builds cheap — scattering each run
@@ -289,6 +299,18 @@ void QueryViewGraph::Finalize() {
     }
   }
   finalized_ = true;
+}
+
+uint64_t QueryViewGraph::CostTableBytes() const {
+  uint64_t bytes = 0;
+  for (const ViewData& vd : views_) {
+    bytes += (vd.index_cost.size() + vd.view_cost.size() +
+              vd.col_protos.size()) *
+             sizeof(double);
+    bytes += vd.col_of_pos.size() * sizeof(int32_t);
+    bytes += vd.queries.size() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
 double QueryViewGraph::DefaultTotalCost() const {

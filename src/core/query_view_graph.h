@@ -131,10 +131,30 @@ class QueryViewGraph {
                      .index_maintenance[static_cast<size_t>(s.index)];
   }
 
+  // Sparse storage mode: keep one prototype cost column per column class
+  // plus a position→class map instead of expanding the dense k-major
+  // index-cost table in Finalize(). IndexCostAt() then resolves through
+  // one extra indirection but returns bit-identical values — the dense
+  // table is itself expanded from exactly these prototypes. Memory drops
+  // from O(ni · nq) to O(ni · #classes + nq) doubles per view, which is
+  // what makes dimension 12–20 builds fit in memory. Must be called
+  // before Finalize().
+  void SetCompressedCostColumns(bool on = true) {
+    OLAPIDX_CHECK(!finalized_);
+    compressed_ = on;
+  }
+  bool compressed_cost_columns() const { return compressed_; }
+
   // Compacts edges into per-view dense cost tables. Must be called exactly
   // once, before any algorithm runs.
   void Finalize();
   bool finalized() const { return finalized_; }
+
+  // Bytes held by the finalized per-view cost tables (dense k-major tables
+  // or compressed prototypes, view-cost columns, and query lists). The
+  // dominant term of the graph's resident footprint; feeds the
+  // graph_build.peak_bytes gauge.
+  uint64_t CostTableBytes() const;
 
   // ---- Introspection ----
 
@@ -209,10 +229,20 @@ class QueryViewGraph {
   double ViewCostAt(uint32_t v, size_t pos) const {
     return views_[v].view_cost[pos];
   }
-  // Cost of answering ViewQueries(v)[pos] from v with index k.
+  // Cost of answering ViewQueries(v)[pos] from v with index k. Dense mode
+  // reads the k-major table; compressed mode resolves pos → column class →
+  // prototype, yielding the same double (the dense table is expanded from
+  // the prototypes).
   double IndexCostAt(uint32_t v, int32_t k, size_t pos) const {
     const ViewData& vd = views_[v];
-    return vd.index_cost[static_cast<size_t>(k) * vd.queries.size() + pos];
+    if (!vd.index_cost.empty()) {
+      return vd.index_cost[static_cast<size_t>(k) * vd.queries.size() + pos];
+    }
+    const int32_t pid = vd.col_of_pos.empty() ? -1 : vd.col_of_pos[pos];
+    return pid < 0 ? kInfiniteCost
+                   : vd.col_protos[static_cast<size_t>(pid) *
+                                       vd.index_spaces.size() +
+                                   static_cast<size_t>(k)];
   }
 
  private:
@@ -229,7 +259,12 @@ class QueryViewGraph {
     // Populated by Finalize():
     std::vector<uint32_t> queries;   // queries with any edge to this view
     std::vector<double> view_cost;   // parallel to `queries`
-    std::vector<double> index_cost;  // [k * queries.size() + pos]
+    std::vector<double> index_cost;  // dense mode: [k * queries.size() + pos]
+    // Compressed mode (index_cost stays empty): one prototype column per
+    // distinct column class, pid-major [pid * num_indexes + k], plus the
+    // position→class map (-1 = no index edges for that query).
+    std::vector<double> col_protos;
+    std::vector<int32_t> col_of_pos;
   };
   struct QueryData {
     std::string name;
@@ -255,6 +290,7 @@ class QueryViewGraph {
   std::vector<std::vector<EdgeRun>> run_batches_;   // AddEdgeRuns shards
   uint32_t num_structures_ = 0;
   bool finalized_ = false;
+  bool compressed_ = false;
 };
 
 }  // namespace olapidx

@@ -207,6 +207,9 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
   std::vector<ViewSlot> slots(num_views);
   std::vector<uint32_t> dirty;
   dirty.reserve(num_views);
+  std::vector<uint32_t> beamed;    // beam scratch: bounded dirty views
+  std::vector<uint32_t> deferred;  // beam-skipped this stage
+  std::vector<uint8_t> beam_out(num_views, 0);
   std::vector<ChunkCounters> counters(chunks);
   const auto run_start = SteadyClock::now();
   // Stages executed by *this call*; replayed checkpoint stages don't count
@@ -268,31 +271,70 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
       }
       dirty.push_back(v);
     }
+
+    // Beam cap: of the dirty views with a certified stale bound, only the
+    // beam_width with the largest bounds are re-evaluated; the rest are
+    // deferred. A deferred slot must not enter the reduction — its stale
+    // ratio is an *over*estimate — so it is masked out and accounted in
+    // the a-posteriori guarantee instead. Views with no certified bound
+    // (first touch, post-pick family change, truncated enumeration) are
+    // always evaluated.
+    deferred.clear();
+    double deferred_bound = 0.0;
+    if (options.memoize && options.beam_width > 0 &&
+        dirty.size() > options.beam_width) {
+      beamed.clear();
+      for (uint32_t v : dirty) {
+        if (slots[v].bound_ok) beamed.push_back(v);
+      }
+      if (beamed.size() > options.beam_width) {
+        std::sort(beamed.begin(), beamed.end(),
+                  [&](uint32_t a, uint32_t b) {
+                    if (slots[a].ratio != slots[b].ratio) {
+                      return slots[a].ratio > slots[b].ratio;
+                    }
+                    return a < b;
+                  });
+        deferred.assign(
+            beamed.begin() + static_cast<std::ptrdiff_t>(options.beam_width),
+            beamed.end());
+        deferred_bound = slots[deferred.front()].ratio;
+        for (uint32_t v : deferred) beam_out[v] = 1;
+        dirty.erase(std::remove_if(
+                        dirty.begin(), dirty.end(),
+                        [&](uint32_t v) { return beam_out[v] != 0; }),
+                    dirty.end());
+      }
+    }
     result.stats.cache_misses += dirty.size();
 
-    std::fill(counters.begin(), counters.end(), ChunkCounters{});
     // Evaluation crosses the pool's fault points and polls the stop inputs
     // between per-view evaluations. A view interrupted mid-evaluation keeps
     // kNeverEvaluated / its stale version, so a later resume re-evaluates
     // it — interruption never corrupts the memoization invariant.
     std::atomic<bool> stop_requested{false};
-    Status evaluated = pool.TryParallelFor(
-        dirty.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
-          for (size_t i = begin; i < end; ++i) {
-            if (stop_requested.load(std::memory_order_relaxed)) break;
-            if (options.control.StopRequested()) {
-              stop_requested.store(true, std::memory_order_relaxed);
-              break;
+    auto evaluate_list = [&](const std::vector<uint32_t>& list) -> Status {
+      std::fill(counters.begin(), counters.end(), ChunkCounters{});
+      Status st = pool.TryParallelFor(
+          list.size(), [&](size_t begin, size_t end, size_t chunk) -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              if (stop_requested.load(std::memory_order_relaxed)) break;
+              if (options.control.StopRequested()) {
+                stop_requested.store(true, std::memory_order_relaxed);
+                break;
+              }
+              EvaluateView(state, list[i], options, &slots[list[i]],
+                           &counters[chunk]);
             }
-            EvaluateView(state, dirty[i], options, &slots[dirty[i]],
-                         &counters[chunk]);
-          }
-          return Status::Ok();
-        });
-    for (const ChunkCounters& c : counters) {
-      stage_evals += c.evals;
-      result.candidates_truncated += c.truncated;
-    }
+            return Status::Ok();
+          });
+      for (const ChunkCounters& c : counters) {
+        stage_evals += c.evals;
+        result.candidates_truncated += c.truncated;
+      }
+      return st;
+    };
+    Status evaluated = evaluate_list(dirty);
     result.candidates_evaluated += stage_evals;
     if (!evaluated.ok()) {
       result.status = evaluated.WithContext("candidate evaluation");
@@ -312,16 +354,53 @@ SelectionResult EagerRGreedy(const QueryViewGraph& graph,
     // the documented candidate order. Slots skipped by the bound prune
     // are harmless here: their stale ratio is strictly below the best
     // clean ratio, which itself participates, so they can never win.
+    // Beam-deferred slots are masked out.
     const ViewSlot* best = nullptr;
-    for (uint32_t v = 0; v < num_views; ++v) {
-      const ViewSlot& s = slots[v];
-      if (s.valid && (best == nullptr || s.ratio > best->ratio)) {
-        best = &s;
+    auto reduce = [&] {
+      best = nullptr;
+      for (uint32_t v = 0; v < num_views; ++v) {
+        if (beam_out[v] != 0) continue;
+        const ViewSlot& s = slots[v];
+        if (s.valid && (best == nullptr || s.ratio > best->ratio)) {
+          best = &s;
+        }
       }
+    };
+    reduce();
+    if (best == nullptr && !deferred.empty()) {
+      // The beam hid every remaining positive candidate: evaluate the
+      // deferred set after all, so a beam run never stops before the
+      // exact one would.
+      for (uint32_t v : deferred) beam_out[v] = 0;
+      const uint64_t evals_before = stage_evals;
+      Status fallback = evaluate_list(deferred);
+      result.stats.cache_misses += deferred.size();
+      result.candidates_evaluated += stage_evals - evals_before;
+      deferred.clear();
+      if (!fallback.ok()) {
+        result.status = fallback.WithContext("candidate evaluation");
+        result.completed = false;
+        end_stage();
+        break;
+      }
+      if (stop_requested.load(std::memory_order_relaxed)) {
+        result.status = options.control.StopStatus();
+        result.completed = false;
+        end_stage();
+        break;
+      }
+      reduce();
     }
     if (best == nullptr) {
       end_stage();
       break;  // Nothing left with positive benefit.
+    }
+    if (!deferred.empty()) {
+      result.beam_skipped += deferred.size();
+      result.beam_stage_factor =
+          std::min(result.beam_stage_factor,
+                   best->ratio / std::max(best->ratio, deferred_bound));
+      for (uint32_t v : deferred) beam_out[v] = 0;
     }
 
     const Candidate c = best->cand;  // copy: Apply dirties the slot

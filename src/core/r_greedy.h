@@ -75,6 +75,18 @@ struct RGreedyOptions {
   // the graph.
   const ResumePicks* resume = nullptr;
 
+  // Beam cap on per-stage re-evaluations (effective with memoize on and
+  // the eager path; the lazy 1-greedy heap is already beam-like). Each
+  // stage always re-evaluates dirty views with no certified stale bound,
+  // but of the bounded ones only the beam_width with the largest stale
+  // bounds; the rest are deferred — excluded from the stage's reduction
+  // (their stale ratios overestimate) and accounted in
+  // SelectionResult::beam_skipped / beam_stage_factor. If the beam hides
+  // every positive candidate, the deferred set is evaluated after all, so
+  // a beam run never stops before the exact one would. 0 = unlimited —
+  // bit-identical to exact greedy.
+  size_t beam_width = 0;
+
   // r = 1 only: use CELF-style lazy evaluation (Leskovec et al., 2007).
   // Because single-structure benefits are monotone non-increasing as the
   // selection grows, a stale cached benefit is an upper bound, so popping

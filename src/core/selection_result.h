@@ -95,6 +95,18 @@ struct SelectionResult {
   // all performed evaluations (0 = the enumeration was exhaustive; cached
   // evaluations are not re-counted).
   uint64_t candidates_truncated = 0;
+  // Beam selection (RGreedyOptions / InnerGreedyOptions::beam_width):
+  // dirty views whose re-evaluation was skipped by the per-stage beam cap.
+  // Unlike bound_prunes these are *not* provably non-winning — the
+  // a-posteriori guarantee below accounts for them.
+  uint64_t beam_skipped = 0;
+  // A-posteriori guarantee of a beam-limited run: the minimum over stages
+  // of ρ_picked / max(ρ_picked, best skipped stale bound). Every stage's
+  // pick achieved at least this fraction of the best benefit-per-space
+  // ratio any beam-skipped candidate could have offered at that stage.
+  // 1.0 when nothing was ever skipped (beam_width = 0 or a wide beam);
+  // then the run is exactly the unbeamed greedy.
+  double beam_stage_factor = 1.0;
   // Work/caching/timing telemetry of the selection loop.
   EvaluationStats stats;
   // Process-wide metrics registry delta attributed to this run — captured

@@ -1,0 +1,112 @@
+// TryBuildSparseCubeGraph: the workload-pruned construction path that
+// breaks the n ≤ 8 wall of the dense cube graph (core/cube_graph.h).
+//
+// The dense builder enumerates all 2^n views, each with all m! fat indexes,
+// and expands a dense cost column per (view, query) — at n = 8 that is
+// already a multi-GB table, and n = 12–20 is out of reach. This path scales
+// to kMaxDimensions (20) by pruning on three axes before any edge exists:
+//
+//   1. Queries: keep only the queries carrying non-negligible frequency
+//      mass (a mass threshold and/or a top-k cap over the explicit
+//      workload). With a Zipf-skewed workload the dropped tail contributes
+//      almost nothing to τ(G, M).
+//   2. Views: keep only views reachable as supersets of some retained
+//      query's A ∪ B (plus the base view, which anchors default costs) —
+//      no other view can answer any retained query, so the dense lattice's
+//      remaining 2^n − |reachable| views are pure waste. A soft cap bounds
+//      the blow-up for queries with few mentioned attributes.
+//   3. Indexes: views with at most max_fat_dim attributes get the paper's
+//      full fat-index family (m! permutations); wider views get a
+//      workload-derived candidate family instead — one fat key per
+//      distinct selection ∩ view over the retained answerable queries,
+//      with the selection attributes leading. Every retained query still
+//      finds a key whose prefix covers its whole usable selection, so the
+//      candidate family preserves exactly the per-query best costs the
+//      full m! family would offer, at O(|W|) keys per view.
+//
+// The graph is stored with compressed cost columns (one prototype column
+// per column class; see QueryViewGraph::SetCompressedCostColumns), so the
+// per-view tables stay proportional to the number of *distinct* columns,
+// not queries × indexes.
+//
+// When nothing is pruned — full query set, query_mass = 1, no caps, and
+// every view within max_fat_dim — the result is bit-identical to
+// TryBuildCubeGraph (the equivalence test pins this).
+
+#ifndef OLAPIDX_CORE_SPARSE_CUBE_GRAPH_H_
+#define OLAPIDX_CORE_SPARSE_CUBE_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/cube_graph.h"
+#include "core/graph_build_metrics.h"
+#include "cost/view_sizes.h"
+#include "lattice/schema.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+
+struct SparseCubeGraphOptions {
+  // Keep at most this many queries, highest frequency first (ties broken
+  // by workload order). 0 = no cap.
+  size_t top_queries = 0;
+
+  // Keep the smallest highest-frequency prefix of the workload whose
+  // cumulative frequency reaches this fraction of the total. 1.0 keeps
+  // every query (including zero-frequency ones).
+  double query_mass = 1.0;
+
+  // Soft cap on retained views: the base view and each retained query's
+  // minimal view (A ∪ B) are always kept; further supersets are added —
+  // hottest queries first — until the cap.
+  size_t max_views = 1u << 16;
+
+  // Views with more attributes than this get the workload-derived
+  // candidate index family instead of all m! fat indexes. Must be ≤ 8
+  // (the fat-enumeration limit).
+  int max_fat_dim = 6;
+
+  // Store compressed (prototype) cost columns instead of dense k-major
+  // tables. Off only for A/B comparisons; the values are identical.
+  bool compress_cost_columns = true;
+
+  // Same meaning as in CubeGraphOptions.
+  double default_query_cost = 0.0;
+  double raw_scan_penalty = 1.0;
+  double maintenance_per_row = 0.0;
+  size_t num_threads = 0;
+};
+
+struct SparseBuildStats {
+  size_t workload_queries = 0;
+  size_t retained_queries = 0;
+  double total_mass = 0.0;
+  double retained_mass = 0.0;
+  size_t retained_views = 0;
+  bool view_cap_hit = false;
+  // Views carrying the full fat family vs a workload-derived one.
+  size_t fat_views = 0;
+  size_t candidate_views = 0;
+  uint64_t candidate_indexes = 0;
+  // The generic builder's totals for this build (edge counts, timings,
+  // peak_bytes).
+  graph_build_metrics::BuildStats build;
+};
+
+struct SparseCubeGraph {
+  // Reuses the dense result type so the advisor, checkpoints, and plan
+  // mapping work unchanged; view ids are dense in the *retained* view set
+  // (ascending mask order), not lattice masks.
+  CubeGraph cube;
+  SparseBuildStats stats;
+};
+
+StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
+    const CubeSchema& schema, const ViewSizes& sizes,
+    const Workload& workload, const SparseCubeGraphOptions& options = {});
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_SPARSE_CUBE_GRAPH_H_

@@ -25,6 +25,18 @@ ViewSizes AnalyticalViewSizes(const CubeSchema& schema, double raw_rows) {
     sizes.Set(attrs, std::max(1.0, ExpectedDistinct(schema.DomainSize(attrs),
                                                     raw_rows)));
   }
+  // ExpectedDistinct is monotone in the domain analytically, but at 12+
+  // dimensions the expm1/log1p composition can violate subset-monotonicity
+  // by a few ulps across the 2^n views; pin it by propagating each view's
+  // size up to its immediate supersets (a no-op when already monotone).
+  for (uint32_t v = 1; v < sizes.num_views(); ++v) {
+    AttributeSet attrs = AttributeSet::FromMask(v);
+    double size = sizes.SizeOf(attrs);
+    for (int a : attrs.ToVector()) {
+      size = std::max(size, sizes.SizeOf(attrs.Without(a)));
+    }
+    sizes.Set(attrs, size);
+  }
   OLAPIDX_CHECK(sizes.IsMonotone());
   return sizes;
 }

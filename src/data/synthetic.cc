@@ -16,7 +16,11 @@ std::vector<Dimension> NamedDimensions(
   std::vector<Dimension> dims;
   dims.reserve(cardinalities.size());
   for (size_t i = 0; i < cardinalities.size(); ++i) {
-    dims.push_back(Dimension{"d" + std::to_string(i), cardinalities[i]});
+    // Built up in two steps: GCC 12's -Wrestrict misfires (bug 105329) on
+    // `"d" + std::to_string(i)` under -O3 and the build runs -Werror.
+    std::string name = "d";
+    name += std::to_string(i);
+    dims.push_back(Dimension{std::move(name), cardinalities[i]});
   }
   return dims;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
 namespace olapidx {
 
@@ -86,6 +87,54 @@ Workload ZipfSliceQueries(const CubeLattice& lattice, double skew,
   for (size_t k = 0; k < all.size(); ++k) {
     out.push_back(
         WeightedQuery{all[k], zipf.Probability(static_cast<uint32_t>(k))});
+  }
+  return Workload(std::move(out));
+}
+
+Workload SampledZipfSliceQueries(const CubeLattice& lattice, double skew,
+                                 size_t num_queries, uint64_t seed) {
+  const int n = lattice.num_dimensions();
+  uint64_t total = 1;
+  for (int i = 0; i < n; ++i) total *= 3;
+  OLAPIDX_CHECK(num_queries > 0 && num_queries <= total);
+
+  // Rejection-sample distinct queries: each draw picks an independent trit
+  // per dimension (absent / group-by / selection), so the sample is uniform
+  // over the 3^n population without ever enumerating it.
+  Pcg32 rng(seed);
+  std::vector<SliceQuery> sample;
+  sample.reserve(num_queries);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_queries * 2);
+  while (sample.size() < num_queries) {
+    uint32_t group = 0;
+    uint32_t sel = 0;
+    for (int a = 0; a < n; ++a) {
+      switch (rng.NextBounded(3)) {
+        case 1:
+          group |= 1u << a;
+          break;
+        case 2:
+          sel |= 1u << a;
+          break;
+        default:
+          break;
+      }
+    }
+    uint64_t key = (static_cast<uint64_t>(group) << 32) | sel;
+    if (!seen.insert(key).second) continue;
+    sample.emplace_back(AttributeSet::FromMask(group),
+                        AttributeSet::FromMask(sel));
+  }
+
+  // Draw rank = heat rank: the k-th distinct query sampled gets the k-th
+  // Zipf mass, mirroring ZipfSliceQueries' shuffled rank assignment.
+  ZipfSampler zipf(static_cast<uint32_t>(num_queries), skew);
+  std::vector<WeightedQuery> out;
+  out.reserve(num_queries);
+  for (size_t k = 0; k < num_queries; ++k) {
+    out.push_back(
+        WeightedQuery{sample[k], zipf.Probability(static_cast<uint32_t>(k))});
   }
   return Workload(std::move(out));
 }

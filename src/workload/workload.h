@@ -50,6 +50,15 @@ Workload AllSliceQueries(const CubeLattice& lattice);
 Workload ZipfSliceQueries(const CubeLattice& lattice, double skew,
                           uint64_t seed);
 
+// A sample of `num_queries` *distinct* slice queries with Zipf(skew)
+// frequencies assigned by draw rank (first drawn = hottest). Unlike
+// ZipfSliceQueries this never materializes the 3^n population — each draw
+// picks an independent trit per dimension — so it scales to the 12–20
+// dimension cubes where full enumeration is impossible. Deterministic in
+// `seed`. Requires num_queries ≤ 3^n.
+Workload SampledZipfSliceQueries(const CubeLattice& lattice, double skew,
+                                 size_t num_queries, uint64_t seed);
+
 // All 3^n slice queries, weighting each query by `hot_boost` for every hot
 // attribute it mentions — models workloads concentrated on a few dimensions
 // (the paper's [MS95] "most frequently used dimensions" setting).

@@ -1,0 +1,198 @@
+// Beam selection (RGreedyOptions / InnerGreedyOptions::beam_width):
+// capping per-stage re-evaluations at the B best stale bounds.
+//
+// Contracts under test:
+//   - beam_width = 0 and an unbounded beam are bit-identical to the exact
+//     greedy (same picks, same doubles), for every thread count;
+//   - a finite beam always completes and reports its a-posteriori
+//     guarantee: beam_stage_factor ∈ (0, 1], 1.0 exactly when no stage
+//     ever skipped a candidate whose bound beat the pick;
+//   - the beam defers only certified-bounded views, so it never stops a
+//     run earlier than the exact greedy would (deferred fallback).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cube_graph.h"
+#include "core/inner_greedy.h"
+#include "core/r_greedy.h"
+#include "data/synthetic.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+CubeGraph BuildGraph(int n, uint64_t seed) {
+  SyntheticCube cube = UniformSyntheticCube(n, 80, 0.05);
+  CubeLattice lattice(cube.schema);
+  Workload workload = ZipfSliceQueries(lattice, 1.1, seed);
+  CubeGraphOptions options;
+  options.raw_scan_penalty = 2.0;
+  StatusOr<CubeGraph> built =
+      TryBuildCubeGraph(cube.schema, cube.sizes, workload, options);
+  OLAPIDX_CHECK(built.ok());
+  return *std::move(built);
+}
+
+void ExpectBitIdentical(const SelectionResult& a, const SelectionResult& b,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  ASSERT_EQ(a.picks.size(), b.picks.size());
+  for (size_t i = 0; i < a.picks.size(); ++i) {
+    EXPECT_EQ(a.picks[i], b.picks[i]) << "pick " << i;
+    EXPECT_EQ(a.pick_benefits[i], b.pick_benefits[i]) << "pick " << i;
+  }
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  EXPECT_EQ(a.space_used, b.space_used);
+  EXPECT_EQ(a.stats.stages, b.stats.stages);
+}
+
+TEST(BeamSelectionTest, UnboundedBeamIsExactRGreedy) {
+  for (int n = 3; n <= 6; ++n) {
+    CubeGraph cg = BuildGraph(n, static_cast<uint64_t>(n));
+    const double budget = 3.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+    for (int r : {1, 2}) {
+      RGreedyOptions exact;
+      exact.r = r;
+      SelectionResult base = RGreedy(cg.graph, budget, exact);
+      ASSERT_GT(base.picks.size(), 0u);
+      for (size_t beam : {size_t{0}, SIZE_MAX, size_t{1} << 20}) {
+        RGreedyOptions beamed = exact;
+        beamed.beam_width = beam;
+        SelectionResult got = RGreedy(cg.graph, budget, beamed);
+        EXPECT_EQ(got.beam_skipped, 0u);
+        EXPECT_EQ(got.beam_stage_factor, 1.0);
+        ExpectBitIdentical(got, base,
+                           "n=" + std::to_string(n) +
+                               " r=" + std::to_string(r) +
+                               " beam=" + std::to_string(beam));
+      }
+    }
+  }
+}
+
+TEST(BeamSelectionTest, UnboundedBeamIsExactInnerGreedy) {
+  for (int n = 3; n <= 6; ++n) {
+    CubeGraph cg = BuildGraph(n, static_cast<uint64_t>(10 + n));
+    const double budget = 3.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+    SelectionResult base = InnerLevelGreedy(cg.graph, budget, {});
+    ASSERT_GT(base.picks.size(), 0u);
+    for (size_t beam : {size_t{0}, SIZE_MAX}) {
+      InnerGreedyOptions options;
+      options.beam_width = beam;
+      SelectionResult got = InnerLevelGreedy(cg.graph, budget, options);
+      EXPECT_EQ(got.beam_skipped, 0u);
+      EXPECT_EQ(got.beam_stage_factor, 1.0);
+      ExpectBitIdentical(got, base,
+                         "n=" + std::to_string(n) +
+                             " beam=" + std::to_string(beam));
+    }
+  }
+}
+
+TEST(BeamSelectionTest, FiniteBeamCompletesAndReportsGuarantee) {
+  CubeGraph cg = BuildGraph(5, 21);
+  const double budget = 4.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+  for (size_t beam : {size_t{1}, size_t{4}, size_t{16}}) {
+    SCOPED_TRACE("beam=" + std::to_string(beam));
+    InnerGreedyOptions options;
+    options.beam_width = beam;
+    SelectionResult got = InnerLevelGreedy(cg.graph, budget, options);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    EXPECT_TRUE(got.completed);
+    EXPECT_GT(got.picks.size(), 0u);
+    EXPECT_GT(got.Benefit(), 0.0);
+    EXPECT_GT(got.beam_stage_factor, 0.0);
+    EXPECT_LE(got.beam_stage_factor, 1.0);
+    // A pick whose ratio matched or beat every skipped bound keeps the
+    // factor at exactly 1; anything else must have recorded skips.
+    if (got.beam_stage_factor < 1.0) {
+      EXPECT_GT(got.beam_skipped, 0u);
+    }
+
+    RGreedyOptions ropts;
+    ropts.r = 2;
+    ropts.beam_width = beam;
+    SelectionResult rgot = RGreedy(cg.graph, budget, ropts);
+    ASSERT_TRUE(rgot.status.ok()) << rgot.status.ToString();
+    EXPECT_TRUE(rgot.completed);
+    EXPECT_GT(rgot.beam_stage_factor, 0.0);
+    EXPECT_LE(rgot.beam_stage_factor, 1.0);
+  }
+}
+
+TEST(BeamSelectionTest, FiniteBeamSkipsWork) {
+  // A tight beam on a graph with many views must actually defer
+  // re-evaluations (the whole point), and still never pick a worse
+  // candidate than the bound it certified: the run's final cost can only
+  // be above the exact run's by stages whose factor dropped below 1.
+  CubeGraph cg = BuildGraph(6, 33);
+  const double budget = 4.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+  InnerGreedyOptions tight;
+  tight.beam_width = 1;
+  SelectionResult beamed = InnerLevelGreedy(cg.graph, budget, tight);
+  SelectionResult exact = InnerLevelGreedy(cg.graph, budget, {});
+  ASSERT_TRUE(beamed.status.ok());
+  ASSERT_TRUE(exact.status.ok());
+  EXPECT_GT(beamed.beam_skipped, 0u);
+  EXPECT_LT(beamed.candidates_evaluated, exact.candidates_evaluated);
+  if (beamed.beam_stage_factor == 1.0) {
+    EXPECT_EQ(beamed.final_cost, exact.final_cost);
+  }
+}
+
+TEST(BeamSelectionTest, BeamIsThreadDeterministic) {
+  CubeGraph cg = BuildGraph(5, 8);
+  const double budget = 4.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+  InnerGreedyOptions base;
+  base.beam_width = 2;
+  base.num_threads = 1;
+  SelectionResult serial = InnerLevelGreedy(cg.graph, budget, base);
+  ASSERT_TRUE(serial.status.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    InnerGreedyOptions options = base;
+    options.num_threads = threads;
+    SelectionResult got = InnerLevelGreedy(cg.graph, budget, options);
+    EXPECT_EQ(got.beam_skipped, serial.beam_skipped);
+    EXPECT_EQ(got.beam_stage_factor, serial.beam_stage_factor);
+    ExpectBitIdentical(got, serial,
+                       "threads=" + std::to_string(threads));
+  }
+  RGreedyOptions ropts;
+  ropts.r = 1;
+  ropts.beam_width = 2;
+  ropts.num_threads = 1;
+  SelectionResult rserial = RGreedy(cg.graph, budget, ropts);
+  ASSERT_TRUE(rserial.status.ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    RGreedyOptions options = ropts;
+    options.num_threads = threads;
+    SelectionResult got = RGreedy(cg.graph, budget, options);
+    ExpectBitIdentical(got, rserial,
+                       "r-greedy threads=" + std::to_string(threads));
+  }
+}
+
+TEST(BeamSelectionTest, BeamRequiresMemoization) {
+  // With memoization off there are no stale bounds to rank, so the beam
+  // must be inert: identical to the exact run, nothing skipped.
+  CubeGraph cg = BuildGraph(4, 17);
+  const double budget = 3.0 * cg.graph.view_space(cg.graph.num_views() - 1);
+  InnerGreedyOptions off;
+  off.memoize = false;
+  SelectionResult exact = InnerLevelGreedy(cg.graph, budget, off);
+  InnerGreedyOptions beamed = off;
+  beamed.beam_width = 1;
+  SelectionResult got = InnerLevelGreedy(cg.graph, budget, beamed);
+  EXPECT_EQ(got.beam_skipped, 0u);
+  EXPECT_EQ(got.beam_stage_factor, 1.0);
+  ExpectBitIdentical(got, exact, "memoize off");
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -1,6 +1,7 @@
 #include "core/r_greedy.h"
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -184,10 +185,16 @@ TEST(LazyOneGreedyTest, EvaluatesFewerCandidatesOnLargeInstances) {
   QueryViewGraph g;
   std::vector<uint32_t> queries;
   for (int q = 0; q < 50; ++q) {
-    queries.push_back(g.AddQuery("q" + std::to_string(q), 1000.0));
+    // Two-step concatenation sidesteps a GCC 12 -Werror=restrict false
+    // positive on "literal" + std::to_string(...) at -O3 (PR 105329).
+    std::string qname = "q";
+    qname += std::to_string(q);
+    queries.push_back(g.AddQuery(qname, 1000.0));
   }
   for (int v = 0; v < 60; ++v) {
-    uint32_t view = g.AddView("v" + std::to_string(v), 1.0);
+    std::string vname = "v";
+    vname += std::to_string(v);
+    uint32_t view = g.AddView(vname, 1.0);
     // Each view helps a couple of queries by a view-specific amount.
     g.AddViewEdge(queries[static_cast<size_t>(v) % queries.size()], view,
                   1000.0 - 10.0 * (v + 1));
