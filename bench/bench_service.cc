@@ -1,0 +1,193 @@
+// Service-plane benchmark — the resident AdvisorService's operating
+// costs: initial bring-up (graph build + first selection), observation
+// throughput into the sharded frequency sketch (serial and concurrent),
+// what-if request latency (sequential) and throughput under concurrent
+// load, a drift-triggered epoch close (re-selection included), and the
+// crash-safety tax (journal save, journaled restart). Prints a
+// paper-style table and emits BENCH_service.json under --json[=FILE].
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/check.h"
+#include "data/synthetic.h"
+#include "service/advisor_service.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+namespace {
+
+constexpr int kDefaultDims = 6;
+constexpr size_t kDefaultRequests = 200;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+SliceQuery MaskedQuery(uint32_t group_mask, uint32_t selection_mask = 0) {
+  return SliceQuery(AttributeSet::FromMask(group_mask),
+                    AttributeSet::FromMask(selection_mask));
+}
+
+void AddRow(bench::BenchJsonReporter& rep, const std::string& label,
+            double wall_ms, double ops_per_sec = 0.0) {
+  Json row = Json::Object();
+  row.Set("label", Json::Str(label));
+  row.Set("wall_ms", Json::Number(wall_ms));
+  if (ops_per_sec > 0.0) row.Set("ops_per_sec", Json::Number(ops_per_sec));
+  rep.AddRun(std::move(row));
+  if (ops_per_sec > 0.0) {
+    std::printf("%-28s %12.2f ms %14.0f ops/s\n", label.c_str(), wall_ms,
+                ops_per_sec);
+  } else {
+    std::printf("%-28s %12.2f ms\n", label.c_str(), wall_ms);
+  }
+}
+
+void RunBench(bench::BenchJsonReporter& rep, int dims, size_t requests) {
+  SyntheticCube cube = UniformSyntheticCube(dims, 8, 0.3);
+  CubeLattice lattice(cube.schema);
+  const std::string journal = "BENCH_service.journal";
+  std::remove(journal.c_str());
+
+  ServiceOptions options;
+  options.base.algorithm = Algorithm::kInnerLevel;
+  options.base.space_budget = 0.25 * cube.sizes.TotalViewSpace();
+  options.graph.raw_scan_penalty = 2.0;
+  options.drift_threshold = 0.05;
+  options.default_deadline_ms = 60'000;
+  options.journal_path = journal;
+
+  // Bring-up: graph build + the complete initial selection.
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<std::unique_ptr<AdvisorService>> created = AdvisorService::Create(
+      cube.schema, cube.sizes, AllSliceQueries(lattice), options);
+  OLAPIDX_CHECK(created.ok());
+  AdvisorService& service = **created;
+  AddRow(rep, "create", MsSince(start));
+
+  // Observation plane: the sketch's insert path, serial then concurrent.
+  const size_t kObservations = 200'000;
+  const uint32_t all_mask = (1u << static_cast<uint32_t>(dims)) - 1u;
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kObservations; ++i) {
+    (void)service.Observe(
+        MaskedQuery(static_cast<uint32_t>(i) % all_mask + 1u));
+  }
+  double serial_ms = MsSince(start);
+  AddRow(rep, "observe/serial", serial_ms,
+         static_cast<double>(kObservations) / serial_ms * 1000.0);
+
+  constexpr size_t kObserveThreads = 4;
+  start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kObserveThreads; ++t) {
+      threads.emplace_back([&service, t, all_mask] {
+        for (size_t i = 0; i < kObservations / kObserveThreads; ++i) {
+          (void)service.Observe(MaskedQuery(
+              static_cast<uint32_t>(t * 31 + i) % all_mask + 1u));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  double parallel_ms = MsSince(start);
+  AddRow(rep, "observe/4threads", parallel_ms,
+         static_cast<double>(kObservations) / parallel_ms * 1000.0);
+
+  // Request plane, sequential: a 3-point budget sweep per request.
+  double budget = options.base.space_budget;
+  WhatIfRequest sweep;
+  sweep.budgets = {0.5 * budget, budget, 2.0 * budget};
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    WhatIfResult result = service.WhatIf(sweep);
+    OLAPIDX_CHECK(result.status.ok());
+  }
+  double seq_ms = MsSince(start);
+  AddRow(rep, "whatif/sequential", seq_ms,
+         static_cast<double>(requests) / seq_ms * 1000.0);
+  rep.AddScalar("whatif_mean_ms", seq_ms / static_cast<double>(requests));
+
+  // Request plane, concurrent: 4 requesters racing admission control.
+  constexpr size_t kRequestThreads = 4;
+  start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kRequestThreads; ++t) {
+      threads.emplace_back([&service, &sweep, requests] {
+        for (size_t i = 0; i < requests / kRequestThreads; ++i) {
+          (void)service.WhatIf(sweep);  // rejections are terminal answers
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  double conc_ms = MsSince(start);
+  AddRow(rep, "whatif/4threads", conc_ms,
+         static_cast<double>(requests) / conc_ms * 1000.0);
+
+  // Control plane: shift the observed distribution, close the epoch, and
+  // time the drift-triggered re-selection (epoch close includes the
+  // journal write).
+  (void)service.AdvanceEpoch();  // establish the baseline epoch
+  for (int i = 0; i < 500; ++i) {
+    (void)service.Observe(MaskedQuery(1u, all_mask & ~1u), 8.0);
+  }
+  start = std::chrono::steady_clock::now();
+  EpochResult epoch = service.AdvanceEpoch();
+  OLAPIDX_CHECK(epoch.status.ok());
+  OLAPIDX_CHECK(epoch.reselected);
+  AddRow(rep, "epoch_close/reselect", MsSince(start));
+  rep.AddScalar("drift", epoch.drift);
+
+  // Crash-safety tax: explicit journal save, then a journaled restart.
+  start = std::chrono::steady_clock::now();
+  OLAPIDX_CHECK(service.Save().ok());
+  AddRow(rep, "journal/save", MsSince(start));
+
+  start = std::chrono::steady_clock::now();
+  StatusOr<std::unique_ptr<AdvisorService>> restarted =
+      AdvisorService::Create(cube.schema, cube.sizes,
+                             AllSliceQueries(lattice), options);
+  OLAPIDX_CHECK(restarted.ok());
+  OLAPIDX_CHECK((*restarted)->epoch() == service.epoch());
+  AddRow(rep, "journal/restart", MsSince(start));
+
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace olapidx
+
+int main(int argc, char** argv) {
+  olapidx::bench::BenchArgs args = olapidx::bench::ParseBenchArgs(
+      argc, argv, "service", {"dims", "requests"});
+  const int dims =
+      static_cast<int>(args.GetInt("dims", olapidx::kDefaultDims));
+  const size_t requests = static_cast<size_t>(
+      args.GetInt("requests",
+                  static_cast<long>(olapidx::kDefaultRequests)));
+  if (dims < 2 || dims > 10) {
+    std::fprintf(stderr, "error: --dims must be in [2, 10]\n");
+    return 2;
+  }
+  if (requests < 4) {
+    std::fprintf(stderr, "error: --requests must be >= 4\n");
+    return 2;
+  }
+  olapidx::bench::BenchJsonReporter rep("service");
+  olapidx::RunBench(rep, dims, requests);
+  olapidx::bench::FinishBenchJson(rep, args);
+  return 0;
+}

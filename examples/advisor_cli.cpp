@@ -58,6 +58,13 @@
 // in the olapidx-checkpoint v1 format. A later run with --resume FILE (and
 // the same inputs, algorithm, and budget) continues where it stopped,
 // reproducing the uninterrupted pick sequence bit-exactly.
+//
+// Exit codes: 0 on success, 2 for usage errors and plain file I/O
+// failures, and a distinct per-StatusCode value (common/status.h,
+// StatusExitCode: 3..13) for every failure that carries a Status — so a
+// wrapping script can tell a corrupt checkpoint (data loss) from a
+// mismatched one (failed precondition) without parsing stderr. All errors
+// go to stderr; stdout carries only the design.
 
 #include <cstdio>
 #include <cstdlib>
@@ -178,13 +185,13 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
   if (!advisor_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  advisor_or.status().ToString().c_str());
-    return 2;
+    return StatusExitCode(advisor_or.status());
   }
   const HierarchicalAdvisor& advisor = *advisor_or;
   HRecommendation rec = advisor.TryRecommend(config);
   if (!rec.status.ok() && !rec.status.IsInterruption()) {
     std::fprintf(stderr, "error: %s\n", rec.status.ToString().c_str());
-    return 2;
+    return StatusExitCode(rec.status);
   }
 
   std::printf("algorithm: %s (hierarchical lattice)\n",
@@ -400,7 +407,7 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) {
       std::fprintf(stderr, "error in %s: %s\n", csv_path.c_str(),
                    loaded.status().ToString().c_str());
-      return 2;
+      return StatusExitCode(loaded.status());
     }
     csv.emplace(std::move(loaded).value());
     schema_holder = std::make_unique<CubeSchema>(csv->schema);
@@ -433,7 +440,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "error in %s: %s\n", sizes_path.c_str(),
                    parsed.status().ToString().c_str());
-      return 2;
+      return StatusExitCode(parsed.status());
     }
     sizes = std::move(parsed).value();
   } else if (rows >= 1.0) {
@@ -475,7 +482,7 @@ int main(int argc, char** argv) {
     if (!parsed.ok()) {
       std::fprintf(stderr, "error in %s: %s\n", resume_path.c_str(),
                    parsed.status().ToString().c_str());
-      return 2;
+      return StatusExitCode(parsed.status());
     }
     resume_checkpoint = std::move(parsed).value();
     config.resume = &resume_checkpoint;
@@ -507,14 +514,14 @@ int main(int argc, char** argv) {
   if (!advisor_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  advisor_or.status().ToString().c_str());
-    return 2;
+    return StatusExitCode(advisor_or.status());
   }
   const Advisor& advisor = *advisor_or;
   Recommendation rec = advisor.Recommend(config);
 
   if (!rec.status.ok() && !rec.status.IsInterruption()) {
     std::fprintf(stderr, "error: %s\n", rec.status.ToString().c_str());
-    return 2;
+    return StatusExitCode(rec.status);
   }
 
   std::printf("algorithm: %s\n", AlgorithmName(config.algorithm));

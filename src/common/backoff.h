@@ -1,0 +1,88 @@
+// Bounded retry with deterministic exponential backoff, for transient
+// (kUnavailable) failures at service boundaries — the injected-fault code
+// and, in a real deployment, flaky IO. The delay schedule is a pure
+// function of the attempt number (no jitter), so a seeded fault plan
+// produces the exact same retry trace on every run; tests can also swap
+// the sleeper out entirely.
+//
+// Retrying is *only* for kUnavailable: every other code either reports a
+// caller mistake (retrying cannot help) or an intentional interruption
+// (retrying would violate the caller's own deadline).
+
+#ifndef OLAPIDX_COMMON_BACKOFF_H_
+#define OLAPIDX_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace olapidx {
+
+struct RetryPolicy {
+  // Total tries, including the first (1 = no retries).
+  size_t max_attempts = 3;
+  // Delay before retry k (1-based) is base_micros * multiplier^(k-1),
+  // capped at max_micros.
+  int64_t base_micros = 200;
+  double multiplier = 2.0;
+  int64_t max_micros = 50'000;
+
+  // Only transient failures are worth retrying.
+  bool ShouldRetry(const Status& status, size_t attempts_done) const {
+    return status.code() == StatusCode::kUnavailable &&
+           attempts_done < max_attempts;
+  }
+
+  // Deterministic delay before the (attempts_done + 1)-th attempt.
+  int64_t DelayMicros(size_t attempts_done) const {
+    double delay = static_cast<double>(base_micros);
+    for (size_t i = 1; i < attempts_done; ++i) delay *= multiplier;
+    delay = std::min(delay, static_cast<double>(max_micros));
+    return static_cast<int64_t>(delay);
+  }
+};
+
+// Sleeps for `micros`; replaceable in tests to make retry loops instant.
+using BackoffSleeper = std::function<void(int64_t micros)>;
+
+inline void DefaultBackoffSleeper(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+// Calls `fn` until it returns a non-retryable Status, the attempt budget is
+// spent, or the next backoff would overrun `deadline`. Returns the last
+// status; `retries_out` (optional) counts the re-attempts performed.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, const Deadline& deadline,
+                        Fn&& fn, size_t* retries_out = nullptr,
+                        const BackoffSleeper& sleeper =
+                            DefaultBackoffSleeper) {
+  if (retries_out != nullptr) *retries_out = 0;
+  Status status;
+  for (size_t attempt = 1;; ++attempt) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("deadline expired before attempt " +
+                                      std::to_string(attempt));
+    }
+    status = fn();
+    if (!policy.ShouldRetry(status, attempt)) return status;
+    int64_t delay = policy.DelayMicros(attempt);
+    if (delay >= deadline.remaining_micros()) {
+      // Sleeping would consume the caller's whole budget; report the
+      // transient failure as-is and let the caller decide.
+      return status;
+    }
+    if (delay > 0) sleeper(delay);
+    if (retries_out != nullptr) ++*retries_out;
+  }
+}
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_BACKOFF_H_

@@ -25,6 +25,14 @@
 //   csv.load            LoadCsvFacts entry
 //   engine.materialize  MaterializePhysicalDesign entry
 //   executor.execute    Executor::TryExecute entry
+//   journal.write       AtomicWriteFile, before the temp file is created
+//   journal.read        ReadFileToString entry
+//   service.sketch.insert   FrequencySketch::TryRecord entry
+//   service.whatif.run      AdvisorService what-if attempt (inside retry)
+//   service.worker.spawn    AdvisorService, before spawning a re-selection
+//                           worker thread
+//   service.swap            AdvisorService, before publishing a new epoch
+//                           snapshot
 
 #ifndef OLAPIDX_COMMON_FAULT_INJECTION_H_
 #define OLAPIDX_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,85 @@
+#include "common/journal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "common/fault_injection.h"
+
+namespace olapidx {
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string HashToHex(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+bool ParseHexHash(const std::string& text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  OLAPIDX_FAULT_POINT("journal.write");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << content) || !out.flush()) {
+      std::remove(tmp.c_str());
+      return Status::Unavailable("cannot write temp file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename '" + tmp + "' to '" + path +
+                               "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  OLAPIDX_FAULT_POINT("journal.read");
+  if (!FileExists(path)) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Unavailable("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) return Status::Unavailable("read failure on '" + path + "'");
+  return out.str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace olapidx

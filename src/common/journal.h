@@ -1,0 +1,49 @@
+// Crash-safe journal file primitives for the resident advisor service.
+//
+// AtomicWriteFile implements the classic write-temp + atomic-rename
+// protocol: readers (including a process restarted after a crash at any
+// instant) observe either the previous complete file or the new complete
+// file, never a torn mix. A content checksum (Fnv1a64) lets loaders detect
+// silent corruption of the stored artifact and fail with kDataLoss instead
+// of resuming from garbage.
+//
+// Fault points: "journal.write" (before the temp file is created) and
+// "journal.read" (before the file is opened) make both directions
+// injectable for the service soak tests.
+
+#ifndef OLAPIDX_COMMON_JOURNAL_H_
+#define OLAPIDX_COMMON_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace olapidx {
+
+// FNV-1a 64-bit over `data`; the journal's corruption checksum.
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0);
+inline uint64_t Fnv1a64(const std::string& s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+// 16-hex-digit rendering used by checksum and fingerprint lines.
+std::string HashToHex(uint64_t hash);
+// Parses exactly 16 hex digits; false on anything else.
+bool ParseHexHash(const std::string& text, uint64_t* out);
+
+// Writes `content` to `path` via "<path>.tmp" + rename. The temp file is
+// flushed before the rename; a failure at any step removes the temp file
+// and leaves any previous `path` untouched. kUnavailable on IO failure.
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+// Reads the whole file. kNotFound when it does not exist, kUnavailable on
+// a read failure (or injected fault).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// True iff `path` exists (regular file); journal presence probe.
+bool FileExists(const std::string& path);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COMMON_JOURNAL_H_

@@ -32,6 +32,39 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+int StatusExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    // 1 is the catch-all shells use for "something failed"; 2 is reserved
+    // for usage errors (the getopt convention the CLIs follow). Status
+    // codes start at 3 so scripted callers can branch on the failure kind.
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kAlreadyExists:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kResourceExhausted:
+      return 7;
+    case StatusCode::kDeadlineExceeded:
+      return 8;
+    case StatusCode::kCancelled:
+      return 9;
+    case StatusCode::kUnavailable:
+      return 10;
+    case StatusCode::kDataLoss:
+      return 11;
+    case StatusCode::kInternal:
+      return 12;
+    case StatusCode::kUnimplemented:
+      return 13;
+  }
+  return 1;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

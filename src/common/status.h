@@ -41,6 +41,14 @@ enum class StatusCode : int {
 // "OK", "INVALID_ARGUMENT", ... (stable, used in rendered messages).
 const char* StatusCodeName(StatusCode code);
 
+class Status;
+
+// Process exit code for a CLI that failed with `status`: 0 for OK and a
+// distinct, stable nonzero code per StatusCode (3 = kInvalidArgument
+// through 13 = kUnimplemented; 2 stays reserved for usage errors), so
+// scripted callers can branch on the failure kind without parsing stderr.
+int StatusExitCode(const Status& status);
+
 class Status {
  public:
   Status() = default;  // OK

@@ -41,7 +41,12 @@ void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
   // keeps the parallel reduction deterministic), so there is no steal
   // counter to export — chunks_executed / chunks_skipped / chunk_failures
   // and the per-chunk latency histogram are the full story.
-  if (job_failed_.load(std::memory_order_acquire)) {
+  //
+  // Skip only chunks *above* the lowest failure seen so far: a chunk below
+  // it must still run, because if it fails too it becomes the job's
+  // deterministic first-failing chunk (see the header's failure
+  // semantics).
+  if (job_first_failed_.load(std::memory_order_acquire) < chunk) {
     OLAPIDX_METRIC_COUNTER(skipped, "pool.chunks_skipped");
     skipped.Add(1);
     return;
@@ -70,7 +75,13 @@ void ThreadPool::RunChunk(size_t n, size_t chunk, bool fault_points) {
     OLAPIDX_METRIC_COUNTER(failures, "pool.chunk_failures");
     failures.Add(1);
     job_status_[chunk] = std::move(status);
-    job_failed_.store(true, std::memory_order_release);
+    // Atomic min: record this chunk as the lowest failure if it is one.
+    size_t lowest = job_first_failed_.load(std::memory_order_relaxed);
+    while (chunk < lowest &&
+           !job_first_failed_.compare_exchange_weak(
+               lowest, chunk, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
   }
 }
 
@@ -88,7 +99,7 @@ Status ThreadPool::Run(size_t n, const StatusChunkFn& fn,
   } active_guard{active};
   size_t threads = num_threads();
   std::fill(job_status_.begin(), job_status_.end(), Status::Ok());
-  job_failed_.store(false, std::memory_order_relaxed);
+  job_first_failed_.store(SIZE_MAX, std::memory_order_relaxed);
   job_ = &fn;
   job_n_ = n;
   job_fault_points_ = fault_points;

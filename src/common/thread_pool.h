@@ -13,10 +13,14 @@
 // Failure semantics (TryParallelFor): a chunk signals failure by returning
 // a non-OK Status. The pool never deadlocks or tears down the process on a
 // failed chunk — every chunk's completion is accounted for, the pool stays
-// reusable, and the destructor joins cleanly afterwards. Once any chunk
-// has failed, chunks that have not started yet are skipped (their Status
-// stays OK); the call returns the non-OK Status of the lowest-numbered
-// chunk that ran, so a single armed fault yields a reproducible error.
+// reusable, and the destructor joins cleanly afterwards. Failure
+// fast-path: once chunk c has failed, chunks *above* c that have not
+// started yet are skipped (their Status stays OK); chunks below c always
+// run, so the call returns the Status of the lowest-numbered chunk whose
+// body fails — deterministic for any thread interleaving whenever chunk
+// outcomes are themselves deterministic functions of (begin, end, chunk).
+// Fault-injected service runs rely on this: an ArmAlways'd fault yields
+// the same first-failing-chunk message on every run.
 
 #ifndef OLAPIDX_COMMON_THREAD_POOL_H_
 #define OLAPIDX_COMMON_THREAD_POOL_H_
@@ -96,8 +100,10 @@ class ThreadPool {
   bool shutdown_ = false;
   // Per-chunk outcome of the active job; chunk c writes only slot c.
   std::vector<Status> job_status_;
-  // Set by the first failing chunk; later chunks check it and skip.
-  std::atomic<bool> job_failed_{false};
+  // Lowest chunk ordinal that has failed so far (SIZE_MAX = none). Chunks
+  // above it skip; chunks below it still run, keeping the first-failing
+  // chunk — and therefore the returned Status — deterministic.
+  std::atomic<size_t> job_first_failed_{SIZE_MAX};
   std::vector<std::thread> workers_;
 };
 

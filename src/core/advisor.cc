@@ -86,14 +86,16 @@ Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
     : schema_(schema),
       sizes_(sizes),
       workload_(workload),
-      cube_graph_(BuildCubeGraph(schema, sizes, workload, options)) {}
+      cube_graph_(BuildCubeGraph(schema, sizes, workload, options)),
+      graph_fingerprint_(cube_graph_.graph.Fingerprint()) {}
 
 Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
                  const Workload& workload, CubeGraph cube_graph)
     : schema_(schema),
       sizes_(sizes),
       workload_(workload),
-      cube_graph_(std::move(cube_graph)) {}
+      cube_graph_(std::move(cube_graph)),
+      graph_fingerprint_(cube_graph_.graph.Fingerprint()) {}
 
 StatusOr<Advisor> Advisor::Create(const CubeSchema& schema,
                                   const ViewSizes& sizes,
@@ -153,6 +155,14 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
           " does not match configured budget " +
           std::to_string(config.space_budget)));
     }
+    if (cp.graph_fingerprint != 0 &&
+        cp.graph_fingerprint != graph_fingerprint_) {
+      return RejectedRecommendation(Status::FailedPrecondition(
+          "checkpoint was taken against a different query-view graph "
+          "(checkpoint graph fingerprint does not match this advisor's); "
+          "rebuild with the same schema, sizes, workload, and options, or "
+          "start a fresh selection"));
+    }
     Status resolved = ResolveCheckpoint(cp, cube_graph_, &resume);
     if (!resolved.ok()) return RejectedRecommendation(std::move(resolved));
     resume_ptr = &resume;
@@ -209,6 +219,7 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
   rec.status = result.status;
   rec.completed = result.completed;
   rec.space_used = result.space_used;
+  rec.graph_fingerprint = graph_fingerprint_;
   rec.initial_average_cost =
       result.total_frequency > 0.0
           ? result.initial_cost / result.total_frequency
@@ -261,6 +272,7 @@ SelectionCheckpoint Recommendation::ToCheckpoint(
   checkpoint.algorithm = AlgorithmName(config.algorithm);
   checkpoint.space_budget = config.space_budget;
   checkpoint.stages = raw.stats.stages;
+  checkpoint.graph_fingerprint = graph_fingerprint;
   checkpoint.picks = structures;
   checkpoint.pick_benefits = raw.pick_benefits;
   return checkpoint;

@@ -83,6 +83,13 @@ struct SelectionCheckpoint {
   std::string algorithm;              // AlgorithmName() of the original run
   double space_budget = 0.0;
   uint64_t stages = 0;                // greedy stages the prefix represents
+  // QueryViewGraph::Fingerprint() of the graph the checkpoint was taken
+  // against; 0 = not stamped (legacy checkpoint, or a caller that
+  // deliberately warm-starts across graphs). Recommend rejects a nonzero
+  // fingerprint that does not match the advisor's graph — picks would
+  // resolve by name against the wrong costs and silently corrupt the
+  // resumed selection.
+  uint64_t graph_fingerprint = 0;
   std::vector<RecommendedStructure> picks;  // in original pick order
   std::vector<double> pick_benefits;        // parallel to picks (the a_i)
 };
@@ -110,6 +117,9 @@ struct Recommendation {
   // Frequency-weighted average query cost before/after.
   double initial_average_cost = 0.0;
   double average_query_cost = 0.0;
+  // Fingerprint of the graph this recommendation was computed against
+  // (copied into checkpoints by ToCheckpoint); 0 only for rejected runs.
+  uint64_t graph_fingerprint = 0;
   // The underlying algorithm output (picks as graph ids, τ, work counters).
   SelectionResult raw;
 
@@ -149,6 +159,9 @@ class Advisor {
   const SparseBuildStats* sparse_stats() const {
     return sparse_stats_ ? &*sparse_stats_ : nullptr;
   }
+  // QueryViewGraph::Fingerprint() of this advisor's graph, computed once at
+  // construction (the graph is immutable from then on).
+  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
 
   Recommendation Recommend(const AdvisorConfig& config) const;
 
@@ -160,6 +173,7 @@ class Advisor {
   ViewSizes sizes_;
   Workload workload_;
   CubeGraph cube_graph_;
+  uint64_t graph_fingerprint_ = 0;
   std::optional<SparseBuildStats> sparse_stats_;
 };
 

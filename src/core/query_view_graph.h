@@ -150,6 +150,20 @@ class QueryViewGraph {
   void Finalize();
   bool finalized() const { return finalized_; }
 
+  // Content fingerprint of the finalized graph: a 64-bit hash over the
+  // view/query/structure counts, per-structure spaces and maintenance
+  // costs, query default costs and frequencies, and every finalized cost
+  // table, mixed word-at-a-time (FNV-1a over the 64-bit bit patterns, so
+  // it is bit-exact across platforms for identical doubles). Two graphs
+  // built from the same schema, sizes, workload, and options — in the same
+  // storage mode (dense vs compressed columns) — hash identically; any
+  // drift in inputs changes the fingerprint. Checkpoints are stamped with
+  // this value so a resume against a different graph is rejected instead
+  // of silently resolving picks against the wrong costs. Requires
+  // finalized(); never returns 0 (0 is the "no fingerprint" sentinel in
+  // checkpoint files).
+  uint64_t Fingerprint() const;
+
   // Bytes held by the finalized per-view cost tables (dense k-major tables
   // or compressed prototypes, view-cost columns, and query lists). The
   // dominant term of the graph's resident footprint; feeds the

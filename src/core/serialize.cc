@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/journal.h"
 
 namespace olapidx {
 
@@ -322,6 +323,9 @@ std::string SerializeCheckpoint(const SelectionCheckpoint& checkpoint,
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", checkpoint.space_budget);
   out += "budget " + std::string(buf) + "\n";
+  if (checkpoint.graph_fingerprint != 0) {
+    out += "graph " + HashToHex(checkpoint.graph_fingerprint) + "\n";
+  }
   out += "stages " + std::to_string(checkpoint.stages) + "\n";
   for (size_t i = 0; i < checkpoint.picks.size(); ++i) {
     const RecommendedStructure& s = checkpoint.picks[i];
@@ -373,6 +377,19 @@ StatusOr<SelectionCheckpoint> ParseCheckpoint(const std::string& text,
           }
           return Status::Ok();
         }
+        if (line.rfind("graph ", 0) == 0) {
+          if (checkpoint.graph_fingerprint != 0) {
+            return Status::InvalidArgument("duplicate 'graph' line");
+          }
+          std::string hex = Trim(line.substr(6));
+          if (!ParseHexHash(hex, &checkpoint.graph_fingerprint) ||
+              checkpoint.graph_fingerprint == 0) {
+            return Status::InvalidArgument(
+                "bad graph fingerprint '" + hex +
+                "' (expected 16 hex digits, nonzero)");
+          }
+          return Status::Ok();
+        }
         if (line.rfind("stages ", 0) == 0) {
           if (stages_seen) {
             return Status::InvalidArgument("duplicate 'stages' line");
@@ -409,7 +426,8 @@ StatusOr<SelectionCheckpoint> ParseCheckpoint(const std::string& text,
           return Status::Ok();
         }
         return Status::InvalidArgument(
-            "expected 'algorithm', 'budget', 'stages', or 'pick ...'");
+            "expected 'algorithm', 'budget', 'graph', 'stages', or "
+            "'pick ...'");
       });
   if (!status.ok()) return status;
   if (!algorithm_seen) {

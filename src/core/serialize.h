@@ -24,6 +24,7 @@
 //     olapidx-checkpoint v1
 //     algorithm inner-level greedy
 //     budget 250000
+//     graph 6b6f2a9c01e4d357
 //     stages 3
 //     pick 1234.5 view p,s
 //     pick 617.25 index p,s : s,p
@@ -31,7 +32,12 @@
 // `algorithm` is the AlgorithmName() of the producing run, `budget` its
 // space budget (%.17g, bit-exact round-trip), `stages` the number of
 // greedy stages the prefix represents, and each `pick` line carries the
-// structure's recorded incremental benefit (the a_i).
+// structure's recorded incremental benefit (the a_i). The optional `graph`
+// line is the 16-hex-digit QueryViewGraph::Fingerprint() of the graph the
+// run selected against; when present, a resume against a graph with a
+// different fingerprint is rejected (FailedPrecondition) instead of
+// resolving picks against the wrong costs. Absent = legacy checkpoint,
+// accepted against any graph that resolves the picks.
 //
 // All parsers are total functions: malformed input yields a line-tagged
 // error Status, never a crash.

@@ -214,7 +214,10 @@ Status Executor::TryExecute(const SliceQuery& query,
         " attribute(s) but " + std::to_string(selection_values.size()) +
         " selection value(s) were supplied");
   }
+  ExecutionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   *out = Execute(query, selection_values, stats);
+  if (observer_) observer_(query, *stats);
   return Status::Ok();
 }
 

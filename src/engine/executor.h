@@ -7,6 +7,7 @@
 #define OLAPIDX_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,11 +57,24 @@ class Executor {
   // Status-returning variant for service boundaries: rejects a
   // selection-value count that does not match the query (instead of
   // aborting) and crosses the "executor.execute" fault point. On success
-  // stores the result in *out.
+  // stores the result in *out and notifies the query observer (if set).
   Status TryExecute(const SliceQuery& query,
                     const std::vector<uint32_t>& selection_values,
                     GroupedResult* out,
                     ExecutionStats* stats = nullptr) const;
+
+  // Called after every successful TryExecute with the executed query and
+  // its stats — the hook a resident advisor uses to learn the observed
+  // workload without the engine depending on the service layer. The
+  // observer must be thread-safe if TryExecute is called from multiple
+  // threads, must not call back into this Executor, and must outlive it.
+  // Execute() (the aborting variant) does not notify: it predates the
+  // service surface and tests drive it directly.
+  using QueryObserver =
+      std::function<void(const SliceQuery&, const ExecutionStats&)>;
+  void SetQueryObserver(QueryObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   // Reference implementation that always scans the raw fact table; used by
   // tests to validate Execute's answers.
@@ -86,6 +100,7 @@ class Executor {
 
  private:
   const Catalog* catalog_;
+  QueryObserver observer_;
 };
 
 }  // namespace olapidx

@@ -68,7 +68,9 @@ HierarchicalAdvisor::HierarchicalAdvisor(
 
 HierarchicalAdvisor::HierarchicalAdvisor(const HierarchicalSchema& schema,
                                          HierarchicalCubeGraph cube_graph)
-    : schema_(schema), cube_graph_(std::move(cube_graph)) {}
+    : schema_(schema),
+      cube_graph_(std::move(cube_graph)),
+      graph_fingerprint_(cube_graph_.graph.Fingerprint()) {}
 
 StatusOr<HierarchicalAdvisor> HierarchicalAdvisor::Create(
     const HierarchicalSchema& schema, double raw_rows,
@@ -118,6 +120,14 @@ HRecommendation HierarchicalAdvisor::TryRecommend(
           "checkpoint budget " + std::to_string(resume->space_budget) +
           " does not match configured budget " +
           std::to_string(config.space_budget)));
+    }
+    if (resume->graph_fingerprint != 0 &&
+        resume->graph_fingerprint != graph_fingerprint_) {
+      return RejectedRecommendation(Status::FailedPrecondition(
+          "checkpoint was taken against a different query-view graph "
+          "(checkpoint graph fingerprint does not match this advisor's); "
+          "rebuild with the same schema, row counts, workload, and "
+          "options, or start a fresh selection"));
     }
     Status resolved = ResolveCheckpoint(*resume, cube_graph_, &resume_picks);
     if (!resolved.ok()) return RejectedRecommendation(std::move(resolved));
@@ -170,6 +180,7 @@ HRecommendation HierarchicalAdvisor::TryRecommend(
   rec.status = result.status;
   rec.completed = result.completed;
   rec.space_used = result.space_used;
+  rec.graph_fingerprint = graph_fingerprint_;
   rec.initial_average_cost =
       result.total_frequency > 0.0
           ? result.initial_cost / result.total_frequency
@@ -194,6 +205,7 @@ HSelectionCheckpoint HRecommendation::ToCheckpoint(
   checkpoint.algorithm = AlgorithmName(config.algorithm);
   checkpoint.space_budget = config.space_budget;
   checkpoint.stages = raw.stats.stages;
+  checkpoint.graph_fingerprint = graph_fingerprint;
   checkpoint.picks = structures;
   checkpoint.pick_benefits = raw.pick_benefits;
   return checkpoint;

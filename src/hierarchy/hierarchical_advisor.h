@@ -39,6 +39,10 @@ struct HSelectionCheckpoint {
   std::string algorithm;  // AlgorithmName() of the original run
   double space_budget = 0.0;
   uint64_t stages = 0;    // greedy stages the prefix represents
+  // QueryViewGraph::Fingerprint() of the hierarchical graph the checkpoint
+  // was taken against; 0 = not stamped. TryRecommend rejects a nonzero
+  // mismatch (same contract as the flat SelectionCheckpoint).
+  uint64_t graph_fingerprint = 0;
   std::vector<HRecommendedStructure> picks;  // in original pick order
   std::vector<double> pick_benefits;         // parallel to picks (the a_i)
 };
@@ -53,6 +57,9 @@ struct HRecommendation {
   double space_used = 0.0;
   double initial_average_cost = 0.0;
   double average_query_cost = 0.0;
+  // Fingerprint of the graph this recommendation was computed against
+  // (copied into checkpoints by ToCheckpoint); 0 only for rejected runs.
+  uint64_t graph_fingerprint = 0;
   SelectionResult raw;
 
   // Packages this (typically interrupted) recommendation as a resumable
@@ -78,6 +85,9 @@ class HierarchicalAdvisor {
 
   const HierarchicalCubeGraph& cube_graph() const { return cube_graph_; }
   const HierarchicalSchema& schema() const { return schema_; }
+  // QueryViewGraph::Fingerprint() of this advisor's graph, computed once
+  // at construction (the graph is immutable from then on).
+  uint64_t graph_fingerprint() const { return graph_fingerprint_; }
 
   // Supports the greedy algorithms and the exact solver; two-step uses
   // the config's two_step options. config.control interrupts the greedy
@@ -102,6 +112,7 @@ class HierarchicalAdvisor {
 
   HierarchicalSchema schema_;
   HierarchicalCubeGraph cube_graph_;
+  uint64_t graph_fingerprint_ = 0;
 };
 
 }  // namespace olapidx

@@ -1,0 +1,187 @@
+#include "workload/frequency_sketch.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace olapidx {
+
+FrequencySketch::FrequencySketch(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t FrequencySketch::KeyOf(const SliceQuery& query) {
+  return (static_cast<uint64_t>(query.group_by().mask()) << 32) |
+         static_cast<uint64_t>(query.selection().mask());
+}
+
+size_t FrequencySketch::ShardFor(uint64_t key) const {
+  // SplitMix64 spreads the structured mask pairs across shards; the shard
+  // choice is pure function of the key, so the same query always lands on
+  // the same shard (its weight accumulates in one place).
+  return static_cast<size_t>(SplitMix64(key).Next() % shards_.size());
+}
+
+Status FrequencySketch::TryRecord(const SliceQuery& query, double weight) {
+  OLAPIDX_FAULT_POINT("service.sketch.insert");
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument("observation weight must be > 0");
+  }
+  OLAPIDX_METRIC_COUNTER(observed, "sketch.observations");
+  observed.Add(1);
+  uint64_t key = KeyOf(query);
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.entries[key];
+  slot.first += weight;
+  slot.second += 1;
+  return Status::Ok();
+}
+
+std::vector<FrequencySketch::Entry> FrequencySketch::Snapshot() const {
+  // Keys are (group_by << 32) | selection, and shard maps are key-ordered,
+  // so merging the shards and sorting by key reproduces SliceQuery's own
+  // (group_by, selection) ordering — the snapshot is deterministic in the
+  // observed multiset alone.
+  std::map<uint64_t, std::pair<double, uint64_t>> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, slot] : shard->entries) {
+      auto& out = merged[key];
+      out.first += slot.first;
+      out.second += slot.second;
+    }
+  }
+  std::vector<Entry> entries;
+  entries.reserve(merged.size());
+  for (const auto& [key, slot] : merged) {
+    Entry e;
+    e.query = SliceQuery(
+        AttributeSet::FromMask(static_cast<uint32_t>(key >> 32)),
+        AttributeSet::FromMask(static_cast<uint32_t>(key & 0xffffffffu)));
+    e.weight = slot.first;
+    e.count = slot.second;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+uint64_t FrequencySketch::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, slot] : shard->entries) {
+      (void)key;
+      total += slot.second;
+    }
+  }
+  return total;
+}
+
+double FrequencySketch::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, slot] : shard->entries) {
+      (void)key;
+      total += slot.first;
+    }
+  }
+  return total;
+}
+
+size_t FrequencySketch::DistinctQueries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+Workload FrequencySketch::ToWorkload() const {
+  Workload workload;
+  for (const Entry& e : Snapshot()) {
+    workload.Add(e.query, e.weight);
+  }
+  return workload;
+}
+
+void FrequencySketch::RestoreEntry(const SliceQuery& query, double weight,
+                                   uint64_t count) {
+  uint64_t key = KeyOf(query);
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.entries[key];
+  slot.first += weight;
+  slot.second += count;
+}
+
+void FrequencySketch::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+}
+
+double KlDivergence(const FrequencySketch& current,
+                    const FrequencySketch& baseline, double smoothing) {
+  OLAPIDX_CHECK(smoothing > 0.0);
+  std::vector<FrequencySketch::Entry> p = current.Snapshot();
+  std::vector<FrequencySketch::Entry> q = baseline.Snapshot();
+  if (p.empty() || q.empty()) return 0.0;
+
+  // Union support via a sorted two-pointer merge (both snapshots are in
+  // query order). Add-`smoothing` puts every union query in both
+  // distributions' support, so the divergence is always finite.
+  double p_total = 0.0, q_total = 0.0;
+  for (const auto& e : p) p_total += e.weight;
+  for (const auto& e : q) q_total += e.weight;
+
+  size_t support = 0;
+  {
+    size_t i = 0, j = 0;
+    while (i < p.size() || j < q.size()) {
+      if (j >= q.size() || (i < p.size() && p[i].query < q[j].query)) {
+        ++i;
+      } else if (i >= p.size() || q[j].query < p[i].query) {
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+      ++support;
+    }
+  }
+  double p_norm = p_total + smoothing * static_cast<double>(support);
+  double q_norm = q_total + smoothing * static_cast<double>(support);
+
+  double kl = 0.0;
+  size_t i = 0, j = 0;
+  while (i < p.size() || j < q.size()) {
+    double pw = smoothing, qw = smoothing;
+    if (j >= q.size() || (i < p.size() && p[i].query < q[j].query)) {
+      pw += p[i++].weight;
+    } else if (i >= p.size() || q[j].query < p[i].query) {
+      qw += q[j++].weight;
+    } else {
+      pw += p[i++].weight;
+      qw += q[j++].weight;
+    }
+    double pi = pw / p_norm;
+    double qi = qw / q_norm;
+    kl += pi * std::log(pi / qi);
+  }
+  // Floating-point cancellation can leave a tiny negative residue when the
+  // distributions are identical; KL is ≥ 0 by definition.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+}  // namespace olapidx

@@ -1,0 +1,108 @@
+// FrequencySketch: a sharded concurrent frequency map over observed slice
+// queries — the service's record of what the workload *actually* looks
+// like, as opposed to the workload the current design was selected for.
+//
+// Executed queries stream in via TryRecord from many threads; a query is
+// keyed by its (group_by, selection) mask pair, so the sketch is exact per
+// distinct slice query (the query population is at most 3^n, and observed
+// workloads concentrate on far fewer — exact counting is cheap and keeps
+// drift detection deterministic, unlike a lossy count-min sketch).
+// Sharding by key hash keeps concurrent inserts from serializing on one
+// mutex; reads (Snapshot, totals) lock shard-by-shard and are safe to run
+// concurrently with inserts.
+//
+// Snapshot() returns entries sorted by query, so every derived artifact —
+// the ToWorkload() used for re-selection, the KL drift score, the journaled
+// observation list — is bit-identical for a given multiset of observations
+// regardless of insertion order or thread interleaving.
+
+#ifndef OLAPIDX_WORKLOAD_FREQUENCY_SKETCH_H_
+#define OLAPIDX_WORKLOAD_FREQUENCY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/slice_query.h"
+#include "workload/workload.h"
+
+namespace olapidx {
+
+class FrequencySketch {
+ public:
+  // `num_shards` bounds insert contention; 0 is treated as 1. The shard
+  // count does not affect any observable result, only throughput.
+  explicit FrequencySketch(size_t num_shards = 8);
+
+  FrequencySketch(const FrequencySketch&) = delete;
+  FrequencySketch& operator=(const FrequencySketch&) = delete;
+
+  // Records one execution of `query` with weight `weight` (> 0).
+  // Thread-safe. Crosses the "service.sketch.insert" fault point: on an
+  // injected failure the observation is dropped — the sketch is unchanged
+  // and stays consistent — and the injected Status is returned so the
+  // caller can count the drop.
+  Status TryRecord(const SliceQuery& query, double weight = 1.0);
+
+  struct Entry {
+    SliceQuery query;
+    double weight = 0.0;   // sum of recorded weights
+    uint64_t count = 0;    // number of TryRecord calls
+  };
+
+  // All entries sorted by query (deterministic regardless of insertion
+  // order). Safe to call concurrently with TryRecord; the result is a
+  // consistent per-shard snapshot.
+  std::vector<Entry> Snapshot() const;
+
+  // Number of successful TryRecord calls since construction / Clear().
+  uint64_t TotalCount() const;
+  // Sum of recorded weights.
+  double TotalWeight() const;
+  // Number of distinct queries observed.
+  size_t DistinctQueries() const;
+
+  // The observed workload: one WeightedQuery per distinct observed query,
+  // frequency = accumulated weight, in Snapshot() order.
+  Workload ToWorkload() const;
+
+  // Drops every observation (the per-epoch reset after a drift check).
+  void Clear();
+
+  // Reinstates a journaled entry exactly (weight AND count), accumulating
+  // onto any existing entry. No fault point — journal restore must be
+  // able to rebuild the pre-crash sketch bit-identically even while fault
+  // plans are armed. Not for live observation paths; use TryRecord.
+  void RestoreEntry(const SliceQuery& query, double weight, uint64_t count);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // key = (group_by mask << 32) | selection mask -> (weight, count)
+    std::map<uint64_t, std::pair<double, uint64_t>> entries;
+  };
+
+  static uint64_t KeyOf(const SliceQuery& query);
+  size_t ShardFor(uint64_t key) const;
+
+  // unique_ptr because Shard (holding a mutex) is immovable and the shard
+  // count is a runtime parameter.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Kullback–Leibler divergence D(P ‖ Q) in nats between the query
+// distributions of two sketches, with add-`smoothing` regularization over
+// the union support (so a query seen in P but never in Q contributes a
+// large-but-finite term instead of infinity). Symmetric in neither
+// argument: P is the current epoch, Q the baseline. Returns 0 when either
+// sketch is empty (no evidence of drift).
+double KlDivergence(const FrequencySketch& current,
+                    const FrequencySketch& baseline, double smoothing = 0.5);
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_WORKLOAD_FREQUENCY_SKETCH_H_

@@ -1,5 +1,7 @@
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -9,6 +11,8 @@
 #include "common/format.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/backoff.h"
+#include "common/journal.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 
@@ -266,6 +270,138 @@ TEST(ThreadPoolTest, PoolSurvivesRepeatedFailures) {
                   .ok());
   EXPECT_EQ(total.load(), 10);
   // Destructor joins cleanly at scope exit (deadlock would hang the test).
+}
+
+TEST(ThreadPoolTest, TwoFailingChunksLowestWinsEveryRun) {
+  // The deterministic-failure contract: with chunks 2 and 5 both failing,
+  // the reported Status is chunk 2's on every run, regardless of which
+  // worker thread reaches which chunk first.
+  ThreadPool pool(8);
+  for (int round = 0; round < 100; ++round) {
+    Status s = pool.TryParallelFor(64, [](size_t, size_t, size_t chunk) {
+      if (chunk == 2 || chunk == 5) {
+        return Status::Unavailable("chunk " + std::to_string(chunk));
+      }
+      return Status::Ok();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "chunk 2") << "round " << round;
+  }
+}
+
+TEST(BackoffTest, RetriesTransientFailuresThenSucceeds) {
+  int calls = 0;
+  size_t retries = 0;
+  std::vector<int64_t> delays;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, Deadline::Infinite(),
+      [&]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      },
+      &retries, [&](int64_t micros) { delays.push_back(micros); });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  // The schedule is deterministic: base, then base * multiplier.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_EQ(delays[0], 200);
+  EXPECT_EQ(delays[1], 400);
+}
+
+TEST(BackoffTest, NonTransientFailuresAreNotRetried) {
+  int calls = 0;
+  size_t retries = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, Deadline::Infinite(),
+      [&]() {
+        ++calls;
+        return Status::InvalidArgument("caller bug");
+      },
+      &retries, [](int64_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(BackoffTest, AttemptBudgetReturnsLastTransientStatus) {
+  int calls = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, Deadline::Infinite(),
+      [&]() {
+        ++calls;
+        return Status::Unavailable("still down");
+      },
+      nullptr, [](int64_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);  // max_attempts
+}
+
+TEST(BackoffTest, ExpiredDeadlineShortCircuits) {
+  int calls = 0;
+  Status s = RetryWithBackoff(
+      RetryPolicy{}, Deadline::AfterMillis(0),
+      [&]() {
+        ++calls;
+        return Status::Ok();
+      },
+      nullptr, [](int64_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(JournalTest, HashHexRoundTrip) {
+  for (uint64_t h : {0ull, 1ull, 0xdeadbeefcafef00dull, ~0ull}) {
+    std::string hex = HashToHex(h);
+    EXPECT_EQ(hex.size(), 16u);
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseHexHash(hex, &parsed)) << hex;
+    EXPECT_EQ(parsed, h);
+  }
+  uint64_t out = 0;
+  EXPECT_FALSE(ParseHexHash("", &out));
+  EXPECT_FALSE(ParseHexHash("abc", &out));                  // too short
+  EXPECT_FALSE(ParseHexHash("00000000000000zz", &out));     // not hex
+  EXPECT_FALSE(ParseHexHash("00000000000000000", &out));    // too long
+}
+
+TEST(JournalTest, AtomicWriteThenReadRoundTrips) {
+  std::string path = ::testing::TempDir() + "olapidx_journal_rt.txt";
+  std::remove(path.c_str());
+  EXPECT_EQ(ReadFileToString(path).status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(AtomicWriteFile(path, "first\ncontents\n").ok());
+  StatusOr<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "first\ncontents\n");
+
+  // Overwrite is atomic too: the new content fully replaces the old.
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "second");
+  EXPECT_TRUE(FileExists(path));
+  std::remove(path.c_str());
+}
+
+TEST(StatusTest, ExitCodesAreDistinctAndLeaveUsageCodesFree) {
+  EXPECT_EQ(StatusExitCode(Status::Ok()), 0);
+  std::vector<Status> failures = {
+      Status::InvalidArgument("x"), Status::NotFound("x"),
+      Status::AlreadyExists("x"),   Status::FailedPrecondition("x"),
+      Status::ResourceExhausted("x"), Status::DeadlineExceeded("x"),
+      Status::Cancelled("x"),       Status::Unavailable("x"),
+      Status::DataLoss("x"),        Status::Internal("x"),
+      Status::Unimplemented("x")};
+  std::vector<int> seen;
+  for (const Status& s : failures) {
+    int code = StatusExitCode(s);
+    // 1 (generic shell failure) and 2 (usage errors) stay reserved.
+    EXPECT_GE(code, 3) << StatusCodeName(s.code());
+    EXPECT_LE(code, 13) << StatusCodeName(s.code());
+    for (int prior : seen) EXPECT_NE(code, prior);
+    seen.push_back(code);
+  }
 }
 
 }  // namespace

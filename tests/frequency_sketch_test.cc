@@ -1,0 +1,194 @@
+// FrequencySketch: concurrent determinism (the snapshot depends only on
+// the observed multiset, not insertion order, thread interleaving, or
+// shard count), the exactness of the per-query totals, journal-grade
+// RestoreEntry, and the KL drift score's basic shape.
+
+#include "workload/frequency_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lattice/attribute_set.h"
+#include "workload/slice_query.h"
+
+namespace olapidx {
+namespace {
+
+SliceQuery Q(uint32_t group_mask, uint32_t selection_mask = 0) {
+  return SliceQuery(AttributeSet::FromMask(group_mask),
+                    AttributeSet::FromMask(selection_mask));
+}
+
+TEST(FrequencySketchTest, AccumulatesWeightAndCountPerQuery) {
+  FrequencySketch sketch;
+  ASSERT_TRUE(sketch.TryRecord(Q(0b001), 2.0).ok());
+  ASSERT_TRUE(sketch.TryRecord(Q(0b001), 3.0).ok());
+  ASSERT_TRUE(sketch.TryRecord(Q(0b010, 0b100)).ok());
+
+  EXPECT_EQ(sketch.TotalCount(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.TotalWeight(), 6.0);
+  EXPECT_EQ(sketch.DistinctQueries(), 2u);
+
+  std::vector<FrequencySketch::Entry> entries = sketch.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, Q(0b001));
+  EXPECT_DOUBLE_EQ(entries[0].weight, 5.0);
+  EXPECT_EQ(entries[0].count, 2u);
+  EXPECT_EQ(entries[1].query, Q(0b010, 0b100));
+  EXPECT_EQ(entries[1].count, 1u);
+}
+
+TEST(FrequencySketchTest, RejectsNonPositiveWeight) {
+  FrequencySketch sketch;
+  EXPECT_EQ(sketch.TryRecord(Q(1), 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sketch.TryRecord(Q(1), -1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sketch.TotalCount(), 0u);
+}
+
+TEST(FrequencySketchTest, SnapshotIndependentOfShardCountAndOrder) {
+  // The same multiset of observations, inserted in different orders into
+  // sketches with different shard counts, must snapshot identically.
+  std::vector<std::pair<SliceQuery, double>> observations;
+  for (uint32_t g = 1; g < 16; ++g) {
+    observations.push_back({Q(g), static_cast<double>(g)});
+    observations.push_back({Q(g, (~g) & 0xF), 1.0});
+  }
+  FrequencySketch a(1), b(7);
+  for (const auto& [q, w] : observations) {
+    ASSERT_TRUE(a.TryRecord(q, w).ok());
+  }
+  for (auto it = observations.rbegin(); it != observations.rend(); ++it) {
+    ASSERT_TRUE(b.TryRecord(it->first, it->second).ok());
+  }
+  std::vector<FrequencySketch::Entry> ea = a.Snapshot();
+  std::vector<FrequencySketch::Entry> eb = b.Snapshot();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].query, eb[i].query);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);  // bit-exact: same additions
+    EXPECT_EQ(ea[i].count, eb[i].count);
+  }
+}
+
+TEST(FrequencySketchTest, ConcurrentInsertsLoseNothing) {
+  FrequencySketch sketch(4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint32_t mask = static_cast<uint32_t>((t * 31 + i) % 8) + 1;
+        ASSERT_TRUE(sketch.TryRecord(Q(mask)).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sketch.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(sketch.TotalWeight(),
+                   static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(FrequencySketchTest, RestoreEntryRebuildsExactly) {
+  FrequencySketch original;
+  ASSERT_TRUE(original.TryRecord(Q(0b11), 2.5).ok());
+  ASSERT_TRUE(original.TryRecord(Q(0b11), 0.5).ok());
+  ASSERT_TRUE(original.TryRecord(Q(0b100, 0b10), 7.0).ok());
+
+  FrequencySketch restored;
+  for (const FrequencySketch::Entry& e : original.Snapshot()) {
+    restored.RestoreEntry(e.query, e.weight, e.count);
+  }
+  std::vector<FrequencySketch::Entry> ea = original.Snapshot();
+  std::vector<FrequencySketch::Entry> eb = restored.Snapshot();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].query, eb[i].query);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);
+    EXPECT_EQ(ea[i].count, eb[i].count);
+  }
+}
+
+TEST(FrequencySketchTest, ToWorkloadCarriesAccumulatedWeights) {
+  FrequencySketch sketch;
+  ASSERT_TRUE(sketch.TryRecord(Q(1), 3.0).ok());
+  ASSERT_TRUE(sketch.TryRecord(Q(2), 1.0).ok());
+  ASSERT_TRUE(sketch.TryRecord(Q(1), 1.0).ok());
+  Workload w = sketch.ToWorkload();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.queries()[0].query, Q(1));
+  EXPECT_DOUBLE_EQ(w.queries()[0].frequency, 4.0);
+}
+
+TEST(FrequencySketchTest, ClearDropsEverything) {
+  FrequencySketch sketch;
+  ASSERT_TRUE(sketch.TryRecord(Q(1)).ok());
+  sketch.Clear();
+  EXPECT_EQ(sketch.TotalCount(), 0u);
+  EXPECT_TRUE(sketch.Snapshot().empty());
+}
+
+TEST(KlDivergenceTest, IdenticalDistributionsScoreZero) {
+  FrequencySketch a, b;
+  for (uint32_t g = 1; g <= 4; ++g) {
+    ASSERT_TRUE(a.TryRecord(Q(g), static_cast<double>(g)).ok());
+    ASSERT_TRUE(b.TryRecord(Q(g), static_cast<double>(g)).ok());
+  }
+  EXPECT_DOUBLE_EQ(KlDivergence(a, b), 0.0);
+}
+
+TEST(KlDivergenceTest, EmptySketchMeansNoEvidence) {
+  FrequencySketch a, b;
+  ASSERT_TRUE(a.TryRecord(Q(1)).ok());
+  EXPECT_DOUBLE_EQ(KlDivergence(a, b), 0.0);  // empty baseline
+  EXPECT_DOUBLE_EQ(KlDivergence(b, a), 0.0);  // empty current
+}
+
+TEST(KlDivergenceTest, DisjointSupportScoresHigherThanOverlap) {
+  FrequencySketch base;
+  for (uint32_t g = 1; g <= 3; ++g) {
+    ASSERT_TRUE(base.TryRecord(Q(g), 10.0).ok());
+  }
+  // Same support, same weights: no drift.
+  FrequencySketch same;
+  for (uint32_t g = 1; g <= 3; ++g) {
+    ASSERT_TRUE(same.TryRecord(Q(g), 10.0).ok());
+  }
+  // Shifted mass within the same support: some drift.
+  FrequencySketch shifted;
+  ASSERT_TRUE(shifted.TryRecord(Q(1), 25.0).ok());
+  ASSERT_TRUE(shifted.TryRecord(Q(2), 4.0).ok());
+  ASSERT_TRUE(shifted.TryRecord(Q(3), 1.0).ok());
+  // Entirely new queries: the most drift.
+  FrequencySketch disjoint;
+  for (uint32_t g = 4; g <= 6; ++g) {
+    ASSERT_TRUE(disjoint.TryRecord(Q(g), 10.0).ok());
+  }
+  double none = KlDivergence(same, base);
+  double some = KlDivergence(shifted, base);
+  double lots = KlDivergence(disjoint, base);
+  EXPECT_LT(none, some);
+  EXPECT_LT(some, lots);
+  EXPECT_GT(lots, 0.5);
+}
+
+TEST(KlDivergenceTest, DeterministicAcrossShardLayouts) {
+  FrequencySketch a1(1), a8(8), b1(1), b8(8);
+  for (uint32_t g = 1; g <= 12; ++g) {
+    double w = static_cast<double>(g % 5 + 1);
+    ASSERT_TRUE(a1.TryRecord(Q(g), w).ok());
+    ASSERT_TRUE(a8.TryRecord(Q(g), w).ok());
+    double v = static_cast<double>(13 - g);
+    ASSERT_TRUE(b1.TryRecord(Q(g), v).ok());
+    ASSERT_TRUE(b8.TryRecord(Q(g), v).ok());
+  }
+  EXPECT_EQ(KlDivergence(a1, b1), KlDivergence(a8, b8));  // bit-exact
+}
+
+}  // namespace
+}  // namespace olapidx

@@ -184,5 +184,96 @@ TEST_F(SerializeTest, CheckpointRejectsMalformedInput) {
           .ok());
 }
 
+TEST_F(SerializeTest, CheckpointFingerprintRoundTripsBitExactly) {
+  SelectionCheckpoint checkpoint;
+  checkpoint.algorithm = "1-greedy";
+  checkpoint.space_budget = 42.0;
+  checkpoint.stages = 1;
+  checkpoint.graph_fingerprint = 0x6b6f2a9c01e4d357ull;
+  RecommendedStructure view;
+  view.view = AttributeSet::Of({0});
+  checkpoint.picks = {view};
+  checkpoint.pick_benefits = {7.5};
+
+  std::string text = SerializeCheckpoint(checkpoint, schema_);
+  EXPECT_NE(text.find("graph 6b6f2a9c01e4d357"), std::string::npos) << text;
+  StatusOr<SelectionCheckpoint> parsed = ParseCheckpoint(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph_fingerprint, checkpoint.graph_fingerprint);
+}
+
+TEST_F(SerializeTest, CheckpointWithoutFingerprintStaysLegacy) {
+  // A checkpoint that was never stamped serializes with no 'graph' line
+  // and parses back with fingerprint 0 — the not-stamped sentinel.
+  SelectionCheckpoint checkpoint;
+  checkpoint.algorithm = "1-greedy";
+  checkpoint.space_budget = 42.0;
+  checkpoint.stages = 0;
+
+  std::string text = SerializeCheckpoint(checkpoint, schema_);
+  EXPECT_EQ(text.find("graph "), std::string::npos) << text;
+  StatusOr<SelectionCheckpoint> parsed = ParseCheckpoint(text, schema_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->graph_fingerprint, 0u);
+}
+
+TEST_F(SerializeTest, CheckpointRejectsBadFingerprintLines) {
+  const char* prefix =
+      "olapidx-checkpoint v1\nalgorithm a\nbudget 5\nstages 0\n";
+  // Not 16 hex digits.
+  Status s = ParseCheckpoint(std::string(prefix) + "graph xyz\n", schema_)
+                 .status();
+  EXPECT_NE(s.message().find("bad graph fingerprint"), std::string::npos)
+      << s.ToString();
+  // Zero is the "no fingerprint" sentinel; writing it out is malformed.
+  EXPECT_FALSE(ParseCheckpoint(
+                   std::string(prefix) + "graph 0000000000000000\n",
+                   schema_)
+                   .ok());
+  // Duplicate line.
+  EXPECT_FALSE(ParseCheckpoint(std::string(prefix) +
+                                   "graph 00000000000000ff\n"
+                                   "graph 00000000000000ff\n",
+                               schema_)
+                   .ok());
+}
+
+TEST_F(SerializeTest, AdvisorRejectsCheckpointFromDifferentGraph) {
+  CubeLattice lattice(schema_);
+  CubeGraphOptions opts;
+  opts.raw_scan_penalty = 2.0;
+  Advisor advisor(schema_, TpcdPaperSizes(), AllSliceQueries(lattice),
+                  opts);
+  AdvisorConfig config;
+  config.algorithm = Algorithm::kOneGreedy;
+  config.space_budget = kTpcdExampleBudget;
+  config.control.max_steps = 1;
+  Recommendation partial = advisor.Recommend(config);
+  ASSERT_FALSE(partial.completed);
+  SelectionCheckpoint checkpoint = partial.ToCheckpoint(config);
+  ASSERT_EQ(checkpoint.graph_fingerprint, advisor.graph_fingerprint());
+  ASSERT_NE(checkpoint.graph_fingerprint, 0u);
+
+  // Same schema, different sizes -> different graph -> rejected resume.
+  ViewSizes other_sizes = TpcdPaperSizes();
+  other_sizes.Set(AttributeSet::Of({0}), 999);
+  Advisor other(schema_, other_sizes, AllSliceQueries(lattice), opts);
+  ASSERT_NE(other.graph_fingerprint(), advisor.graph_fingerprint());
+  AdvisorConfig resume_config = config;
+  resume_config.control = RunControl{};
+  resume_config.resume = &checkpoint;
+  Recommendation rejected = other.Recommend(resume_config);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status.message().find("different query-view graph"),
+            std::string::npos)
+      << rejected.status.ToString();
+
+  // Clearing the fingerprint opts into the cross-graph warm start.
+  checkpoint.graph_fingerprint = 0;
+  Recommendation accepted = other.Recommend(resume_config);
+  EXPECT_TRUE(accepted.status.ok() || accepted.status.IsInterruption())
+      << accepted.status.ToString();
+}
+
 }  // namespace
 }  // namespace olapidx
