@@ -14,6 +14,7 @@
 //               [--sparse] [--top-queries N] [--query-mass F]
 //               [--max-views N] [--beam B]
 //               [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]
+//               [--cost-model paper|calibrated:FILE]
 //   advisor_cli --csv facts.csv --budget 10000 [...]
 //   advisor_cli --hierarchy store:400/60/8,day:365/12 --rows 3000000
 //               --budget 50000 [...]
@@ -27,6 +28,13 @@
 // workload must be explicit: --workload FILE or --zipf-queries N (a
 // sampled Zipf(--zipf-skew) workload of N distinct slice queries,
 // deterministic in --zipf-seed).
+//
+// --cost-model picks the edge-cost model behind the CostModel seam:
+// "paper" (the default |C|/|E| linear model) or "calibrated:FILE", an
+// "olapidx-costmodel v1" file fitted by the calibration pipeline (write
+// one with bench_calibration --save-model=FILE). A missing or malformed
+// model file exits with the InvalidArgument exit code. Works in all three
+// modes (flat, --sparse, --hierarchy).
 //
 // --hierarchy switches to the hierarchical lattice: each dimension lists
 // its per-level cardinalities finest→coarsest (store:400/60/8 = 400
@@ -80,6 +88,7 @@
 #include "common/trace.h"
 #include "core/advisor.h"
 #include "core/serialize.h"
+#include "cost/calibrated_cost_model.h"
 #include "hierarchy/hierarchical_advisor.h"
 #include "cost/analytical_model.h"
 #include "data/csv_loader.h"
@@ -106,7 +115,8 @@ using namespace olapidx;
       "       [--metrics-json FILE] [--trace-json FILE]\n"
       "       [--sparse] [--top-queries N] [--query-mass F] "
       "[--max-views N] [--beam B]\n"
-      "       [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]\n");
+      "       [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]\n"
+      "       [--cost-model paper|calibrated:FILE]\n");
   std::exit(2);
 }
 
@@ -136,6 +146,7 @@ std::string ReadFileOrDie(const std::string& path) {
 int RunHierarchy(const std::string& hierarchy_arg, double rows,
                  double budget, const AdvisorConfig& config,
                  double raw_penalty, double maintenance, long threads,
+                 std::shared_ptr<const CostModel> cost_model,
                  const std::string& metrics_json_path,
                  const std::string& trace_json_path) {
   std::vector<HierarchicalDimension> dims;
@@ -178,6 +189,7 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
   gopts.raw_scan_penalty = raw_penalty;
   gopts.maintenance_per_row = maintenance;
   gopts.num_threads = static_cast<size_t>(threads);
+  gopts.cost_model = std::move(cost_model);
   if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
   std::vector<WeightedHQuery> workload = UniformHWorkload(schema);
   StatusOr<HierarchicalAdvisor> advisor_or =
@@ -196,6 +208,9 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
 
   std::printf("algorithm: %s (hierarchical lattice)\n",
               AlgorithmName(config.algorithm));
+  if (gopts.cost_model != nullptr) {
+    std::printf("cost model: %s\n", gopts.cost_model->name());
+  }
   if (!rec.completed) {
     std::printf("note: selection interrupted (%s) after %llu stage(s); "
                 "the design below is the valid best-so-far prefix\n",
@@ -254,6 +269,7 @@ int main(int argc, char** argv) {
   long zipf_queries = 0;   // 0 = no sampled workload
   double zipf_skew = 1.0;
   long zipf_seed = 42;
+  std::string cost_model_arg = "paper";
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -339,6 +355,8 @@ int main(int argc, char** argv) {
       if (!(zipf_skew >= 0.0)) Usage("--zipf-skew must be >= 0");
     } else if (flag == "--zipf-seed") {
       zipf_seed = std::atol(next().c_str());
+    } else if (flag == "--cost-model") {
+      cost_model_arg = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -385,6 +403,28 @@ int main(int argc, char** argv) {
     config.control.max_steps = static_cast<size_t>(max_stages);
   }
 
+  // The cost model behind the graph builders' CostModel seam: the paper's
+  // linear model (null, the builders' default) or a calibrated model
+  // loaded from an "olapidx-costmodel v1" file.
+  std::shared_ptr<const CostModel> cost_model;
+  if (cost_model_arg != "paper") {
+    const std::string prefix = "calibrated:";
+    if (cost_model_arg.rfind(prefix, 0) != 0 ||
+        cost_model_arg.size() == prefix.size()) {
+      Usage("--cost-model must be 'paper' or 'calibrated:FILE'");
+    }
+    const std::string model_path = cost_model_arg.substr(prefix.size());
+    StatusOr<CalibratedCostModel> loaded =
+        CalibratedCostModel::Load(model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error in %s: %s\n", model_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return StatusExitCode(loaded.status());
+    }
+    cost_model =
+        std::make_shared<CalibratedCostModel>(std::move(loaded).value());
+  }
+
   if (!hierarchy_arg.empty()) {
     if (!dims_arg.empty() || !csv_path.empty() || !sizes_path.empty() ||
         !workload_path.empty() || !out_path.empty() ||
@@ -395,8 +435,8 @@ int main(int argc, char** argv) {
             "--checkpoint/--resume/--sparse/--zipf-queries)");
     }
     return RunHierarchy(hierarchy_arg, rows, budget, config, raw_penalty,
-                        maintenance, threads, metrics_json_path,
-                        trace_json_path);
+                        maintenance, threads, std::move(cost_model),
+                        metrics_json_path, trace_json_path);
   }
 
   // Schema and sizes: from the CSV data, or from --dims plus --rows/--sizes.
@@ -500,6 +540,7 @@ int main(int argc, char** argv) {
       sopts.raw_scan_penalty = raw_penalty;
       sopts.maintenance_per_row = maintenance;
       sopts.num_threads = static_cast<size_t>(threads);
+      sopts.cost_model = cost_model;
       return Advisor::CreateSparse(schema, sizes, workload, sopts);
     }
     if (top_queries > 0 || query_mass < 1.0 || max_views > 0) {
@@ -509,6 +550,7 @@ int main(int argc, char** argv) {
     gopts.raw_scan_penalty = raw_penalty;
     gopts.maintenance_per_row = maintenance;
     gopts.num_threads = static_cast<size_t>(threads);
+    gopts.cost_model = cost_model;
     return Advisor::Create(schema, sizes, workload, gopts);
   }();
   if (!advisor_or.ok()) {
@@ -525,6 +567,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("algorithm: %s\n", AlgorithmName(config.algorithm));
+  if (cost_model != nullptr) {
+    std::printf("cost model: %s\n", cost_model->name());
+  }
   if (!rec.completed) {
     std::printf("note: selection interrupted (%s) after %llu stage(s); "
                 "the design below is the valid best-so-far prefix\n",

@@ -87,7 +87,8 @@ Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
       sizes_(sizes),
       workload_(workload),
       cube_graph_(BuildCubeGraph(schema, sizes, workload, options)),
-      graph_fingerprint_(cube_graph_.graph.Fingerprint()) {}
+      graph_fingerprint_(cube_graph_.graph.Fingerprint()),
+      cost_model_(options.cost_model) {}
 
 Advisor::Advisor(const CubeSchema& schema, const ViewSizes& sizes,
                  const Workload& workload, CubeGraph cube_graph)
@@ -106,7 +107,9 @@ StatusOr<Advisor> Advisor::Create(const CubeSchema& schema,
   if (!cube_graph.ok()) {
     return cube_graph.status().WithContext("building the query-view graph");
   }
-  return Advisor(schema, sizes, workload, *std::move(cube_graph));
+  Advisor advisor(schema, sizes, workload, *std::move(cube_graph));
+  advisor.cost_model_ = options.cost_model;
+  return advisor;
 }
 
 StatusOr<Advisor> Advisor::CreateSparse(const CubeSchema& schema,
@@ -120,6 +123,7 @@ StatusOr<Advisor> Advisor::CreateSparse(const CubeSchema& schema,
   }
   Advisor advisor(schema, sizes, workload, std::move(sparse->cube));
   advisor.sparse_stats_ = std::move(sparse->stats);
+  advisor.cost_model_ = options.cost_model;
   return advisor;
 }
 
@@ -237,8 +241,12 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
     rec.structures.push_back(std::move(r));
   }
 
-  // Best access path per query, over the selected structures.
-  LinearCostModel cost(&sizes_);
+  // Best access path per query, over the selected structures, costed by
+  // the same model the graph's edges were built with. A plain view scan
+  // goes through ScanCost (for the paper model that equals the historical
+  // |C| / |∅| division: the apex has one row); an index path charges
+  // IndexCost through its longest selection-only prefix.
+  const CostModel& model = cost_model();
   for (size_t qi = 0; qi < cube_graph_.queries.size(); ++qi) {
     const SliceQuery& query = cube_graph_.queries[qi];
     QueryPlan plan;
@@ -253,7 +261,13 @@ Recommendation Advisor::Recommend(const AdvisorConfig& config) const {
       if (!s.is_view()) {
         key = cube_graph_.index_keys[s.view][static_cast<size_t>(s.index)];
       }
-      double c = cost.QueryCost(query, view_attrs, key);
+      const double view_rows = sizes_.SizeOf(view_attrs);
+      const double c =
+          key.empty()
+              ? model.ScanCost(view_rows)
+              : model.IndexCost(view_rows,
+                                sizes_.SizeOf(key.LongestSelectionPrefix(
+                                    query.selection())));
       if (c < plan.estimated_cost) {
         plan.estimated_cost = c;
         plan.use_raw = false;

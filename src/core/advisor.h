@@ -8,6 +8,7 @@
 #ifndef OLAPIDX_CORE_ADVISOR_H_
 #define OLAPIDX_CORE_ADVISOR_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -155,6 +156,11 @@ class Advisor {
   const CubeGraph& cube_graph() const { return cube_graph_; }
   const CubeSchema& schema() const { return schema_; }
   const ViewSizes& sizes() const { return sizes_; }
+  // The model edges and plans were costed with (the paper's linear model
+  // when the construction options left cost_model unset).
+  const CostModel& cost_model() const {
+    return cost_model_ ? *cost_model_ : PaperCostModel::Instance();
+  }
   // Pruning/build telemetry of CreateSparse; nullptr for dense advisors.
   const SparseBuildStats* sparse_stats() const {
     return sparse_stats_ ? &*sparse_stats_ : nullptr;
@@ -175,6 +181,7 @@ class Advisor {
   CubeGraph cube_graph_;
   uint64_t graph_fingerprint_ = 0;
   std::optional<SparseBuildStats> sparse_stats_;
+  std::shared_ptr<const CostModel> cost_model_;
 };
 
 }  // namespace olapidx

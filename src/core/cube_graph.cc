@@ -97,7 +97,7 @@ struct CubeLatticeProvider {
                              const double* view_size, Emit&& emit) const {
     const int m = AttributeSet::FromMask(v).size();
     auto cost_emit = [&](int64_t rb, int64_t re, uint32_t prefix) {
-      emit(rb, re, view_size[v] / view_size[prefix]);
+      emit(rb, re, view_size[prefix]);  // |E| rows; the builder applies the model
     };
     if (options->fat_indexes_only) {
       WalkPrefixClasses(v, m, m, ctx.sel, 0, cost_emit);
@@ -148,6 +148,7 @@ StatusOr<CubeGraph> TryBuildCubeGraph(const CubeSchema& schema,
   build.raw_scan_penalty = options.raw_scan_penalty;
   build.maintenance_per_row = options.maintenance_per_row;
   build.num_threads = options.num_threads;
+  build.cost_model = options.cost_model.get();
   BuildLatticeGraph(provider, build, out.graph);
   return out;
 }

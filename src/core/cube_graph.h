@@ -7,10 +7,12 @@
 #define OLAPIDX_CORE_CUBE_GRAPH_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/query_view_graph.h"
+#include "cost/cost_model.h"
 #include "cost/linear_cost_model.h"
 #include "cost/view_sizes.h"
 #include "lattice/cube_lattice.h"
@@ -49,6 +51,12 @@ struct CubeGraphOptions {
   // builds with a dedicated pool of that size. The resulting graph is
   // identical for every thread count.
   size_t num_threads = 0;
+
+  // Cost model charging every edge. Null means the paper's linear model
+  // (bit-identical to the historical hard-coded |C|/|E| path). Shared so
+  // long-lived holders (Advisor, service) keep the model alive past the
+  // options struct.
+  std::shared_ptr<const CostModel> cost_model = nullptr;
 };
 
 // A cube-instantiated query-view graph plus the metadata needed to map graph

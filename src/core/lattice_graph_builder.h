@@ -34,9 +34,12 @@
 //       // per class instead of one per query)
 //   void     ForEachIndexCostClass(Ctx& ctx, uint32_t v,
 //                                  const double* view_size, Emit&& emit) const;
-//       // emit(rank_begin, rank_end, cost): one call per prefix-equivalence
-//       // class of v's index family, covering the contiguous rank range
-//       // [rank_begin, rank_end) of index positions that share `cost`
+//       // emit(rank_begin, rank_end, prefix_rows): one call per
+//       // prefix-equivalence class of v's index family, covering the
+//       // contiguous rank range [rank_begin, rank_end) of index positions
+//       // whose longest selection-only key prefix has `prefix_rows`
+//       // distinct values (the paper's |E|; the builder turns it into a
+//       // cost through the CostModel seam)
 
 #ifndef OLAPIDX_CORE_LATTICE_GRAPH_BUILDER_H_
 #define OLAPIDX_CORE_LATTICE_GRAPH_BUILDER_H_
@@ -51,6 +54,7 @@
 #include "common/trace.h"
 #include "core/graph_build_metrics.h"
 #include "core/query_view_graph.h"
+#include "cost/cost_model.h"
 #include "lattice/attribute_set.h"
 
 namespace olapidx {
@@ -70,6 +74,11 @@ struct LatticeGraphOptions {
   // value > 0 builds with a dedicated pool of that size. The resulting
   // graph is identical for every thread count.
   size_t num_threads = 0;
+  // Cost model charging every edge (scan, index, and default). Null means
+  // the paper's linear model, whose arithmetic matches the historical
+  // hard-coded |C|/|E| path bit for bit. The model is read concurrently
+  // from worker threads and must outlive the build.
+  const CostModel* cost_model = nullptr;
 };
 
 namespace lattice_build {
@@ -155,12 +164,13 @@ void WalkPrefixClasses(uint32_t view_mask, int m, int r, uint32_t sel,
 // builders are tested equivalent to it): an index edge is emitted iff its
 // class cost beats a plain scan of the same view, cost < scan. Classes at
 // cost == scan are useless (the k = 0 view edge already provides that
-// cost), and the cost model c(Q,V,J) = |V| / |E| can never beat a scan
-// through an empty selection-only prefix (|E| is then the apex/all-ALL
+// cost), and under the paper model c(Q,V,J) = |V| / |E| can never beat a
+// scan through an empty selection-only prefix (|E| is then the apex/all-ALL
 // size; when that is 1 the cost *equals* a scan and is pruned — the
 // hierarchical apex always has exactly one row, which is why the old
 // serial hierarchical builder's `if (prefix.empty()) continue` was the
-// same rule in disguise).
+// same rule in disguise). A calibrated model may additionally prune
+// classes whose per-node traversal overhead outweighs the row savings.
 template <typename Provider>
 void BuildLatticeGraph(const Provider& provider,
                        const LatticeGraphOptions& options, QueryViewGraph& g,
@@ -169,6 +179,9 @@ void BuildLatticeGraph(const Provider& provider,
   const auto build_start = std::chrono::steady_clock::now();
   graph_build_metrics::BuildStats stats;
 
+  const CostModel& model = options.cost_model != nullptr
+                               ? *options.cost_model
+                               : PaperCostModel::Instance();
   const uint32_t nv = provider.num_views();
   // Hoisted size lookups: one per view, shared by view space, index space,
   // maintenance, scan costs, and every prefix-class evaluation (a class's
@@ -194,7 +207,8 @@ void BuildLatticeGraph(const Provider& provider,
   const double default_cost =
       options.default_query_cost > 0.0
           ? options.default_query_cost
-          : options.raw_scan_penalty * view_size[provider.BaseView()];
+          : model.ScanCost(options.raw_scan_penalty *
+                           view_size[provider.BaseView()]);
   const size_t nq = provider.num_queries();
   for (size_t qi = 0; qi < nq; ++qi) {
     provider.AddQuery(g, qi, default_cost);
@@ -222,7 +236,7 @@ void BuildLatticeGraph(const Provider& provider,
         const uint32_t q = static_cast<uint32_t>(qi);
         provider.BeginQuery(ctx, qi);
         provider.ForEachAnsweringView(ctx, [&](uint32_t v) {
-          const double scan = view_size[v];
+          const double scan = model.ScanCost(view_size[v]);
           runs.push_back(EdgeRun{q, v, StructureRef::kNoIndex,
                                  StructureRef::kNoIndex, scan});
           ++cc.view_pairs;
@@ -230,8 +244,10 @@ void BuildLatticeGraph(const Provider& provider,
           if (col == 0) return;  // the view has no indexes
           provider.ForEachIndexCostClass(
               ctx, v, view_size.data(),
-              [&](int64_t rb, int64_t re, double cost) {
+              [&](int64_t rb, int64_t re, double prefix_rows) {
                 ++cc.prefix_classes;
+                const double cost =
+                    model.IndexCost(view_size[v], prefix_rows);
                 if (cost < scan) {
                   runs.push_back(EdgeRun{q, v, static_cast<int32_t>(rb),
                                          static_cast<int32_t>(re), cost,

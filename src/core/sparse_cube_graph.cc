@@ -136,7 +136,7 @@ struct SparseLatticeProvider {
       const int m = std::popcount(mask);
       WalkPrefixClasses(mask, m, m, ctx.sel, 0,
                         [&](int64_t rb, int64_t re, uint32_t prefix) {
-                          emit(rb, re, sz[mask] / sz[prefix]);
+                          emit(rb, re, sz[prefix]);
                         });
       return;
     }
@@ -145,7 +145,7 @@ struct SparseLatticeProvider {
       const uint32_t prefix =
           keys[k].LongestSelectionPrefix(ctx.query->selection()).mask();
       emit(static_cast<int64_t>(k), static_cast<int64_t>(k) + 1,
-           sz[mask] / sz[prefix]);
+           sz[prefix]);
     }
   }
 };
@@ -319,6 +319,7 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
   build.raw_scan_penalty = options.raw_scan_penalty;
   build.maintenance_per_row = options.maintenance_per_row;
   build.num_threads = options.num_threads;
+  build.cost_model = options.cost_model.get();
   BuildLatticeGraph(provider, build, out.graph, &stats.build);
 
   graph_build_metrics::SparseStats metric;

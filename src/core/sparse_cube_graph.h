@@ -38,9 +38,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "common/status.h"
 #include "core/cube_graph.h"
+#include "cost/cost_model.h"
 #include "core/graph_build_metrics.h"
 #include "cost/view_sizes.h"
 #include "lattice/schema.h"
@@ -77,6 +79,7 @@ struct SparseCubeGraphOptions {
   double raw_scan_penalty = 1.0;
   double maintenance_per_row = 0.0;
   size_t num_threads = 0;
+  std::shared_ptr<const CostModel> cost_model = nullptr;
 };
 
 struct SparseBuildStats {

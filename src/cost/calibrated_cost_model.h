@@ -1,0 +1,120 @@
+// CalibratedCostModel: the measured-engine counterpart of the paper's
+// linear model, behind the same CostModel seam.
+//
+// The paper costs a plan purely by rows touched (c = |C|/|E|). The real
+// executor also pays per B-tree node it traverses and a fixed per-query
+// overhead (planning, group-accumulator setup), so the calibrated model is
+// the affine form
+//
+//     cost = per_row · touched_rows + per_node · node_touches + fixed
+//
+// with coefficients fitted by deterministic least squares over a
+// calibration dataset of measured probes (calibration/calibrator.h). The
+// features the model needs at *planning* time are estimated from the same
+// quantities the builders already hoist: touched_rows = |C|/|E| and an
+// analytic B-tree node-touch estimate (descend one node per level, then
+// scan touched/fanout leaves). With per_node = fixed = 0 and per_row = 1
+// the model degrades to the paper's — that is also the graceful fallback
+// when metrics are compiled out and the node-touch column is degenerate.
+//
+// The fitter lives here too: plain normal equations solved by Gaussian
+// elimination with partial pivoting, no external dependencies, bitwise
+// deterministic for a fixed input. Rank-deficient inputs either fail with
+// FailedPrecondition (strict) or drop the degenerate columns and refit
+// (drop_degenerate_columns), never returning NaNs.
+
+#ifndef OLAPIDX_COST_CALIBRATED_COST_MODEL_H_
+#define OLAPIDX_COST_CALIBRATED_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+
+namespace olapidx {
+
+// ---------------------------------------------------------------------------
+// Deterministic least squares.
+// ---------------------------------------------------------------------------
+
+struct LeastSquaresOptions {
+  // When a feature column is (near-)linearly dependent on the others —
+  // all-zero node touches with metrics compiled out being the canonical
+  // case — drop it (coefficient 0, recorded in dropped_columns) and refit
+  // instead of failing. Off = strict: such inputs return
+  // FailedPrecondition.
+  bool drop_degenerate_columns = false;
+  // Relative pivot threshold below which a column counts as degenerate.
+  double pivot_epsilon = 1e-9;
+};
+
+struct LeastSquaresFit {
+  // One coefficient per input feature column; dropped columns get 0.
+  std::vector<double> coefficients;
+  // Ascending indices of columns dropped as degenerate (empty in strict
+  // mode, which fails instead).
+  std::vector<int> dropped_columns;
+  // Residual sum of squares and R² against the fitted targets.
+  double rss = 0.0;
+  double r_squared = 0.0;
+};
+
+// Fits targets ≈ rows · coefficients by normal equations. Every row must
+// have the same number of columns and every value must be finite; at least
+// one row and one column are required (InvalidArgument otherwise). The
+// result is identical across platforms for identical input bits: the
+// elimination order is fixed and no randomness is involved.
+StatusOr<LeastSquaresFit> FitLeastSquares(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    const LeastSquaresOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// The fitted model.
+// ---------------------------------------------------------------------------
+
+struct CalibrationCoefficients {
+  double per_row = 1.0;   // cost per row touched
+  double per_node = 0.0;  // cost per B-tree node traversed
+  double fixed = 0.0;     // per-query overhead
+};
+
+class CalibratedCostModel final : public CostModel {
+ public:
+  // `btree_fanout` must match the engine's B-trees (engine/btree.h defaults
+  // to 64) — it drives the analytic node-touch estimate.
+  explicit CalibratedCostModel(CalibrationCoefficients coefficients,
+                               int btree_fanout = 64);
+
+  double ScanCost(double view_rows) const override;
+  double IndexCost(double view_rows, double prefix_rows) const override;
+  const char* name() const override { return "calibrated"; }
+
+  const CalibrationCoefficients& coefficients() const {
+    return coefficients_;
+  }
+  int btree_fanout() const { return btree_fanout_; }
+
+  // Analytic node touches of probing a view of `view_rows` rows through a
+  // key prefix with `prefix_rows` distinct values: one node per tree level
+  // on the descent, then one leaf per `btree_fanout` rows retrieved.
+  double EstimatedNodeTouches(double view_rows, double prefix_rows) const;
+
+  // ---- Persistence: "olapidx-costmodel v1" (see core/serialize.h for the
+  // repo's line-format conventions). Doubles are written as C99 hexfloats
+  // (%a), so Serialize → Parse reproduces every coefficient bit for bit.
+  std::string Serialize() const;
+  static StatusOr<CalibratedCostModel> Parse(const std::string& text);
+  Status Save(const std::string& path) const;
+  // InvalidArgument for unreadable or malformed files.
+  static StatusOr<CalibratedCostModel> Load(const std::string& path);
+
+ private:
+  CalibrationCoefficients coefficients_;
+  int btree_fanout_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COST_CALIBRATED_COST_MODEL_H_

@@ -1,0 +1,63 @@
+// The cost-model seam: graph builders and the advisor's plan coster charge
+// each candidate access path through this interface instead of hard-coding
+// the paper's |C|/|E| division. Two implementations exist:
+//
+//   * PaperCostModel — the Section 4 linear model, c = |C|/|E| rows. Its
+//     arithmetic is exactly the expressions the builders used to inline
+//     (one double division per prefix class), so a build under it is
+//     bit-identical to the historical hard-coded path — pinned by the
+//     equivalence tests.
+//   * CalibratedCostModel (cost/calibrated_cost_model.h) — coefficients
+//     fitted by least squares to the measured engine.
+//
+// The interface is deliberately narrow: both the lattice builders and the
+// executor's planner reduce every access path to "scan R rows" or "probe an
+// index on a view of R rows through a prefix of P distinct values", so two
+// hooks cover every call site. Implementations must be immutable after
+// construction — the builders invoke them concurrently from worker threads.
+
+#ifndef OLAPIDX_COST_COST_MODEL_H_
+#define OLAPIDX_COST_COST_MODEL_H_
+
+namespace olapidx {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Cost of answering a query by scanning `view_rows` rows (a view scan, or
+  // the raw fact table when the caller passes the penalized base size).
+  virtual double ScanCost(double view_rows) const = 0;
+
+  // Cost of answering a query from a view of `view_rows` rows through an
+  // index whose longest selection-only key prefix has `prefix_rows`
+  // distinct values (|E| in the paper; 1 for a useless index, which must
+  // degrade to ScanCost-or-worse so the builders' pruning rule stays sound).
+  virtual double IndexCost(double view_rows, double prefix_rows) const = 0;
+
+  // Short stable identifier ("paper", "calibrated") for reports and logs.
+  virtual const char* name() const = 0;
+};
+
+// Section 4's linear model behind the seam: ScanCost is the row count
+// itself and IndexCost is the |C|/|E| division, evaluated in exactly the
+// order the builders historically inlined.
+class PaperCostModel final : public CostModel {
+ public:
+  double ScanCost(double view_rows) const override { return view_rows; }
+  double IndexCost(double view_rows, double prefix_rows) const override {
+    return view_rows / prefix_rows;
+  }
+  const char* name() const override { return "paper"; }
+
+  // Shared immutable instance; the default whenever an options struct
+  // leaves its cost_model unset.
+  static const PaperCostModel& Instance() {
+    static const PaperCostModel kInstance;
+    return kInstance;
+  }
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_COST_COST_MODEL_H_

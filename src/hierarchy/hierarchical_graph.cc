@@ -300,8 +300,8 @@ struct HierarchicalLatticeProvider {
   }
 
   template <typename Emit>
-  void ForEachIndexCostClass(Ctx& ctx, uint32_t v, const double* view_size,
-                             Emit&& emit) const {
+  void ForEachIndexCostClass(Ctx& ctx, uint32_t /*v*/,
+                             const double* view_size, Emit&& emit) const {
     // Map the view's active dimensions to local bits 0..m-1 (ascending
     // dimension order — the rank order of FatIndexOrders/AllIndexOrders)
     // and walk the arrangement tree once per prefix-equivalence class.
@@ -326,7 +326,7 @@ struct HierarchicalLatticeProvider {
         denom_id += ctx.local_delta[static_cast<size_t>(
             std::countr_zero(rest))];
       }
-      emit(rb, re, view_size[v] / view_size[denom_id]);
+      emit(rb, re, view_size[denom_id]);
     };
     if (options->fat_indexes_only) {
       WalkPrefixClasses(full, m, m, sel_local, 0, cost_emit);
@@ -497,6 +497,7 @@ StatusOr<HierarchicalCubeGraph> TryBuildHierarchicalCubeGraph(
   build.raw_scan_penalty = options.raw_scan_penalty;
   build.maintenance_per_row = options.maintenance_per_row;
   build.num_threads = options.num_threads;
+  build.cost_model = options.cost_model.get();
   BuildLatticeGraph(provider, build, out.graph);
   return out;
 }

@@ -18,10 +18,12 @@
 #define OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/query_view_graph.h"
+#include "cost/cost_model.h"
 #include "hierarchy/hierarchical_cube.h"
 
 namespace olapidx {
@@ -44,6 +46,9 @@ struct HierarchicalGraphOptions {
   // Threads for the edge-enumeration phase of the fast builder (0 = shared
   // pool). The resulting graph is identical for every thread count.
   size_t num_threads = 0;
+  // Cost model charging every edge; null = the paper's linear model (see
+  // CubeGraphOptions::cost_model).
+  std::shared_ptr<const CostModel> cost_model = nullptr;
 };
 
 // Hierarchical lattices overflow much earlier than flat cubes (the view

@@ -1,0 +1,35 @@
+#include "workload/calibration_workload.h"
+
+#include "lattice/attribute_set.h"
+
+namespace olapidx {
+
+std::vector<SliceQuery> CalibrationSweep(
+    const CubeSchema& schema, const CalibrationWorkloadOptions& options) {
+  const int n = schema.num_dimensions();
+  OLAPIDX_CHECK(n >= 1 && n <= kMaxDimensions);
+  std::vector<SliceQuery> all;
+  const uint32_t num_masks = 1u << n;
+  for (uint32_t mentioned = 0; mentioned < num_masks; ++mentioned) {
+    for (uint32_t sel = 0; sel <= mentioned; ++sel) {
+      if ((sel & mentioned) != sel) continue;  // sel ⊆ mentioned only
+      if (options.skip_empty && mentioned == 0) continue;
+      all.emplace_back(AttributeSet::FromMask(mentioned & ~sel),
+                       AttributeSet::FromMask(sel));
+    }
+  }
+  if (options.max_queries == 0 || all.size() <= options.max_queries) {
+    return all;
+  }
+  // Even stride through the canonical order: query i of the thinned sweep
+  // is all[floor(i * |all| / cap)] — first shape always kept, coverage
+  // spread across the whole (mentioned, selection) range.
+  std::vector<SliceQuery> thinned;
+  thinned.reserve(options.max_queries);
+  for (size_t i = 0; i < options.max_queries; ++i) {
+    thinned.push_back(all[i * all.size() / options.max_queries]);
+  }
+  return thinned;
+}
+
+}  // namespace olapidx

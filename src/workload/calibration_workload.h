@@ -1,0 +1,43 @@
+// Calibration workload: a deterministic sweep over slice-query *shapes*.
+//
+// The cost-model calibration pipeline (calibration/calibrator.h) needs
+// probes that vary along the axes the model must explain: selection arity
+// (how long an index prefix can get), group-by arity (result width), and —
+// via the runner's catalog phases — covered vs non-covered index access.
+// A plain workload sampler (workload.h) draws from a frequency
+// distribution; this sweep instead enumerates every (group_by, selection)
+// partition of the schema's attributes, each attribute taking one of
+// {group, select, absent} — 3^n shapes — in a canonical order, optionally
+// thinned to a cap by an even deterministic stride. Same schema + same
+// options → the same queries, always; that determinism is what lets the
+// golden calibration test pin the extracted feature columns.
+
+#ifndef OLAPIDX_WORKLOAD_CALIBRATION_WORKLOAD_H_
+#define OLAPIDX_WORKLOAD_CALIBRATION_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lattice/schema.h"
+#include "workload/slice_query.h"
+
+namespace olapidx {
+
+struct CalibrationWorkloadOptions {
+  // Keep at most this many queries (0 = all 3^n). Thinning picks an even
+  // stride through the canonical order, preserving shape diversity.
+  size_t max_queries = 0;
+  // Drop the no-op shape γ_∅ σ_∅ (it measures fixed overhead only; the
+  // fitter usually wants it, so it is kept by default).
+  bool skip_empty = false;
+};
+
+// All (group_by, selection) shapes over `schema`'s attributes, in canonical
+// order: ascending mentioned-attribute mask, then ascending selection
+// submask within it.
+std::vector<SliceQuery> CalibrationSweep(
+    const CubeSchema& schema, const CalibrationWorkloadOptions& options = {});
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_WORKLOAD_CALIBRATION_WORKLOAD_H_

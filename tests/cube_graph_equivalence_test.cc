@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,33 @@ TEST(CubeGraphEquivalenceTest, SubsetWorkloadsAndDuplicateQueries) {
 TEST(CubeGraphEquivalenceTest, EmptyWorkloadStillBuildsStructures) {
   SyntheticCube cube = UniformSyntheticCube(3, 16, 0.5);
   CheckEquivalence(cube, Workload(), CubeGraphOptions{}, "empty workload");
+}
+
+TEST(CubeGraphEquivalenceTest, ExplicitPaperModelSeamIsBitIdentical) {
+  // Routing costs through the CostModel seam with an explicit
+  // PaperCostModel must reproduce both the default (nullptr) build and
+  // the hard-coded |C|/|E| reference, division for division.
+  for (uint64_t seed : {uint64_t{1}, uint64_t{5}}) {
+    SyntheticCube cube = RandomSyntheticCube(4, 6, 2000, 0.1, seed);
+    CubeLattice lattice(cube.schema);
+    Workload workload = ZipfSliceQueries(lattice, 1.0, seed);
+    CubeGraphOptions defaults;
+    defaults.raw_scan_penalty = 2.0;
+    CubeGraphOptions seamed = defaults;
+    seamed.cost_model = std::make_shared<PaperCostModel>();
+
+    StatusOr<CubeGraph> base =
+        TryBuildCubeGraph(cube.schema, cube.sizes, workload, defaults);
+    StatusOr<CubeGraph> via_seam =
+        TryBuildCubeGraph(cube.schema, cube.sizes, workload, seamed);
+    ASSERT_TRUE(base.ok() && via_seam.ok());
+    ExpectIdenticalGraphs(*via_seam, *base,
+                          "seam vs default seed=" + std::to_string(seed));
+    CubeGraph ref =
+        BuildCubeGraphReference(cube.schema, cube.sizes, workload, defaults);
+    ExpectIdenticalGraphs(*via_seam, ref,
+                          "seam vs reference seed=" + std::to_string(seed));
+  }
 }
 
 }  // namespace

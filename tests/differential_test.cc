@@ -20,11 +20,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/cube_graph.h"
+#include "cost/calibrated_cost_model.h"
 #include "core/guarantees.h"
 #include "core/inner_greedy.h"
 #include "core/optimal.h"
@@ -219,6 +221,47 @@ TEST_P(DifferentialTest, GreedyTauDominatedByOptimalOnSmallCubes) {
   // unit-graph test above. The relative slack on that space keeps the
   // solver from rejecting greedy's own pick set when its depth-first
   // summation order rounds one ulp above greedy's incremental sum.
+  auto baseline_space = [](const SelectionResult& run) {
+    return run.space_used * (1.0 + 1e-12);
+  };
+  for (double frac : {0.15, 0.4, 0.8}) {
+    double budget = frac * total;
+    for (int r = 1; r <= 2; ++r) {
+      SelectionResult greedy =
+          RGreedy(cg.graph, budget, RGreedyOptions{.r = r});
+      SelectionResult opt =
+          BranchAndBoundOptimal(cg.graph, baseline_space(greedy));
+      ASSERT_TRUE(opt.proven_optimal) << "frac " << frac;
+      EXPECT_LE(opt.final_cost,
+                greedy.final_cost + 1e-9 * (1.0 + greedy.final_cost))
+          << "r " << r << " frac " << frac << " seed " << seed;
+    }
+    SelectionResult inner = InnerLevelGreedy(cg.graph, budget);
+    SelectionResult opt =
+        BranchAndBoundOptimal(cg.graph, baseline_space(inner));
+    ASSERT_TRUE(opt.proven_optimal) << "frac " << frac;
+    EXPECT_LE(opt.final_cost,
+              inner.final_cost + 1e-9 * (1.0 + inner.final_cost))
+        << "frac " << frac << " seed " << seed;
+  }
+}
+
+TEST_P(DifferentialTest, GreedyTauDominatedByOptimalUnderCalibratedModel) {
+  // Same domination oracle, but with the edge costs produced by a
+  // calibrated model through the CostModel seam: greedy-vs-exhaustive
+  // domination is a property of the resulting graph and must survive any
+  // monotone cost model, not just the paper's |C|/|E|.
+  uint64_t seed = GetParam();
+  SyntheticCube cube = RandomSyntheticCube(2, 3, 50, 0.2, seed);
+  CubeLattice lattice(cube.schema);
+  CubeGraphOptions opts;
+  opts.raw_scan_penalty = 2.0;
+  opts.cost_model = std::make_shared<CalibratedCostModel>(
+      CalibrationCoefficients{5.0, 120.0, 800.0});
+  CubeGraph cg = BuildCubeGraph(cube.schema, cube.sizes,
+                                AllSliceQueries(lattice), opts);
+  double total = cube.sizes.TotalViewSpace() +
+                 cube.sizes.TotalFatIndexSpace();
   auto baseline_space = [](const SelectionResult& run) {
     return run.space_used * (1.0 + 1e-12);
   };

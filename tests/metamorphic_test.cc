@@ -19,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/cube_graph.h"
+#include "cost/calibrated_cost_model.h"
 #include "core/inner_greedy.h"
 #include "core/r_greedy.h"
 #include "data/synthetic.h"
@@ -246,6 +248,110 @@ TEST_P(MetamorphicTest, WorkloadPermutationInvariance) {
     ExpectSamePicks(a, c, "shuffled, algo " + std::to_string(algo));
     EXPECT_EQ(a.final_cost, b.final_cost) << "algo " << algo;
     EXPECT_EQ(a.final_cost, c.final_cost) << "algo " << algo;
+    EXPECT_EQ(a.space_used, b.space_used) << "algo " << algo;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The same invariances under the calibrated cost model (the CostModel
+// seam): dyadic coefficients keep every cost term exact in floating
+// point, so the bit-exact contracts carry over unchanged.
+// ---------------------------------------------------------------------------
+
+// per_row, per_node, and fixed all powers of two: with power-of-two view
+// sizes every ScanCost/IndexCost is a dyadic rational computed exactly.
+std::shared_ptr<const CalibratedCostModel> DyadicModel(double scale = 1.0) {
+  return std::make_shared<CalibratedCostModel>(CalibrationCoefficients{
+      2.0 * scale, 128.0 * scale, 1024.0 * scale});
+}
+
+TEST_P(MetamorphicTest, CalibratedModelPermutationInvariance) {
+  constexpr int kDims = 3;
+  std::vector<Dimension> dims;
+  for (int a = 0; a < kDims; ++a) {
+    dims.push_back(Dimension{std::string(1, static_cast<char>('a' + a)),
+                             16});
+  }
+  CubeSchema schema(dims);
+  CubeLattice lattice(schema);
+  ViewSizes sizes(kDims);
+  for (uint32_t v = 0; v < lattice.num_views(); ++v) {
+    AttributeSet attrs = lattice.AttrsOf(v);
+    sizes.Set(attrs, static_cast<double>(
+                         uint64_t{1} << (4 * attrs.ToVector().size())));
+  }
+  std::vector<WeightedQuery> weighted;
+  Workload all = AllSliceQueries(lattice);
+  for (const WeightedQuery& wq : all.queries()) {
+    weighted.push_back(WeightedQuery{
+        wq.query,
+        1.0 + static_cast<double>(wq.query.AllAttributes().ToVector()
+                                      .size())});
+  }
+  Workload forward{weighted};
+  Pcg32 rng(GetParam());
+  for (size_t i = weighted.size(); i > 1; --i) {
+    std::swap(weighted[i - 1],
+              weighted[rng.NextBounded(static_cast<uint32_t>(i))]);
+  }
+  Workload shuffled{weighted};
+
+  CubeGraphOptions opts;
+  opts.raw_scan_penalty = 2.0;
+  opts.cost_model = DyadicModel();
+  CubeGraph fwd = BuildCubeGraph(schema, sizes, forward, opts);
+  CubeGraph shuf = BuildCubeGraph(schema, sizes, shuffled, opts);
+  double budget = 0.25 * (sizes.TotalViewSpace() +
+                          sizes.TotalFatIndexSpace());
+  for (int algo = 0; algo < 3; ++algo) {
+    SelectionResult a = RunAlgo(algo, fwd.graph, budget);
+    SelectionResult c = RunAlgo(algo, shuf.graph, budget);
+    ASSERT_TRUE(a.status.ok());
+    EXPECT_FALSE(a.picks.empty()) << "algo " << algo;
+    ExpectSamePicks(a, c, "calibrated shuffled, algo " +
+                              std::to_string(algo));
+    EXPECT_EQ(a.final_cost, c.final_cost) << "algo " << algo;
+    EXPECT_EQ(a.space_used, c.space_used) << "algo " << algo;
+  }
+}
+
+TEST_P(MetamorphicTest, CalibratedCoefficientScalingInvariance) {
+  // Scaling all three coefficients by one power of two scales every edge
+  // cost (and the default cost) by exactly that factor while spaces stay
+  // put, so the pick sequence is bit-identical and τ scales exactly.
+  SyntheticCube cube = RandomSyntheticCube(3, 5, 512, 0.1, GetParam());
+  // Power-of-two sizes keep the dyadic-exactness argument airtight.
+  CubeLattice lattice(cube.schema);
+  for (uint32_t v = 0; v < lattice.num_views(); ++v) {
+    AttributeSet attrs = lattice.AttrsOf(v);
+    cube.sizes.Set(attrs, static_cast<double>(
+                              uint64_t{1}
+                              << (3 * attrs.ToVector().size())));
+  }
+  Workload workload = AllSliceQueries(lattice);
+  constexpr double kScale = 8.0;
+
+  CubeGraphOptions unit_opts;
+  unit_opts.raw_scan_penalty = 2.0;
+  unit_opts.cost_model = DyadicModel();
+  CubeGraphOptions scaled_opts = unit_opts;
+  scaled_opts.cost_model = DyadicModel(kScale);
+  CubeGraph unit = BuildCubeGraph(cube.schema, cube.sizes, workload,
+                                  unit_opts);
+  CubeGraph scaled = BuildCubeGraph(cube.schema, cube.sizes, workload,
+                                    scaled_opts);
+  double budget = 0.25 * (cube.sizes.TotalViewSpace() +
+                          cube.sizes.TotalFatIndexSpace());
+  for (int algo = 0; algo < 3; ++algo) {
+    SelectionResult a = RunAlgo(algo, unit.graph, budget);
+    SelectionResult b = RunAlgo(algo, scaled.graph, budget);
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_FALSE(a.picks.empty()) << "algo " << algo;
+    ExpectSamePicks(a, b, "coefficient scaling, algo " +
+                              std::to_string(algo));
+    EXPECT_DOUBLE_EQ(b.final_cost, kScale * a.final_cost)
+        << "algo " << algo;
     EXPECT_EQ(a.space_used, b.space_used) << "algo " << algo;
   }
 }

@@ -1,7 +1,10 @@
 #include "core/serialize.h"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
+#include "cost/calibrated_cost_model.h"
 #include "data/tpcd.h"
 
 namespace olapidx {
@@ -273,6 +276,76 @@ TEST_F(SerializeTest, AdvisorRejectsCheckpointFromDifferentGraph) {
   Recommendation accepted = other.Recommend(resume_config);
   EXPECT_TRUE(accepted.status.ok() || accepted.status.IsInterruption())
       << accepted.status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// "olapidx-costmodel v1" (cost/calibrated_cost_model.h).
+// ---------------------------------------------------------------------------
+
+TEST(CostModelSerializeTest, SerializeParseRoundTripIsBitIdentical) {
+  // Coefficients with no short decimal representation: hexfloat output
+  // must reproduce every bit.
+  CalibrationCoefficients coefficients;
+  coefficients.per_row = 1.0 / 3.0;
+  coefficients.per_node = 0.1 + 0.2;
+  coefficients.fixed = 12345.6789e-3;
+  CalibratedCostModel model(coefficients, /*btree_fanout=*/128);
+
+  std::string text = model.Serialize();
+  StatusOr<CalibratedCostModel> parsed = CalibratedCostModel::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->coefficients().per_row, coefficients.per_row);
+  EXPECT_EQ(parsed->coefficients().per_node, coefficients.per_node);
+  EXPECT_EQ(parsed->coefficients().fixed, coefficients.fixed);
+  EXPECT_EQ(parsed->btree_fanout(), 128);
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST(CostModelSerializeTest, SaveLoadRoundTripIsBitIdentical) {
+  CalibratedCostModel model({3.14159e-2, 271.828, 0.0});
+  const std::string path =
+      ::testing::TempDir() + "/serialize_test_costmodel.txt";
+  ASSERT_TRUE(model.Save(path).ok());
+  StatusOr<CalibratedCostModel> loaded = CalibratedCostModel::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Serialize(), model.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(CostModelSerializeTest, ParseRejectsMalformedInput) {
+  auto code = [](const std::string& text) {
+    return CalibratedCostModel::Parse(text).status().code();
+  };
+  EXPECT_EQ(code(""), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("olapidx-design v1\n"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("olapidx-costmodel v2\nfanout 64\nper_row 1\n"
+                 "per_node 0\nfixed 0\n"),
+            StatusCode::kInvalidArgument);
+  // Missing a line.
+  EXPECT_EQ(code("olapidx-costmodel v1\nfanout 64\nper_row 1\n"),
+            StatusCode::kInvalidArgument);
+  // Wrong key order.
+  EXPECT_EQ(code("olapidx-costmodel v1\nfanout 64\nper_node 0\n"
+                 "per_row 1\nfixed 0\n"),
+            StatusCode::kInvalidArgument);
+  // Fanout must be an integer >= 2.
+  EXPECT_EQ(code("olapidx-costmodel v1\nfanout 1\nper_row 1\n"
+                 "per_node 0\nfixed 0\n"),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(code("olapidx-costmodel v1\nfanout 6.5\nper_row 1\n"
+                 "per_node 0\nfixed 0\n"),
+            StatusCode::kInvalidArgument);
+  // Non-finite coefficient.
+  EXPECT_EQ(code("olapidx-costmodel v1\nfanout 64\nper_row inf\n"
+                 "per_node 0\nfixed 0\n"),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CostModelSerializeTest, LoadMissingFileIsInvalidArgument) {
+  StatusOr<CalibratedCostModel> loaded = CalibratedCostModel::Load(
+      ::testing::TempDir() + "/serialize_test_no_such_model.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace
