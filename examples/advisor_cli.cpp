@@ -29,6 +29,14 @@
 // sampled Zipf(--zipf-skew) workload of N distinct slice queries,
 // deterministic in --zipf-seed).
 //
+// --replay FILE replays a saved workload (query-log format, counts
+// expanded into repeated requests) through the batched serving path
+// (engine/batch_executor.h) against the recommended design — views
+// compressed to columnar stores — and prints the measured totals next to
+// the model-predicted cost of the same workload on the same design. The
+// replay runs on the --csv facts when given, else on synthetic Zipf facts
+// sized from --rows (capped at 250K rows). Incompatible with --hierarchy.
+//
 // --cost-model picks the edge-cost model behind the CostModel seam:
 // "paper" (the default |C|/|E| linear model) or "calibrated:FILE", an
 // "olapidx-costmodel v1" file fitted by the calibration pipeline (write
@@ -83,15 +91,18 @@
 #include <string>
 #include <utility>
 
+#include "calibration/calibrator.h"
 #include "common/format.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/advisor.h"
 #include "core/serialize.h"
 #include "cost/calibrated_cost_model.h"
+#include "cost/cost_model.h"
 #include "hierarchy/hierarchical_advisor.h"
 #include "cost/analytical_model.h"
 #include "data/csv_loader.h"
+#include "data/fact_generator.h"
 #include "data/size_estimation.h"
 #include "workload/query_log.h"
 
@@ -116,7 +127,7 @@ using namespace olapidx;
       "       [--sparse] [--top-queries N] [--query-mass F] "
       "[--max-views N] [--beam B]\n"
       "       [--zipf-queries N] [--zipf-skew S] [--zipf-seed SEED]\n"
-      "       [--cost-model paper|calibrated:FILE]\n");
+      "       [--cost-model paper|calibrated:FILE] [--replay FILE]\n");
   std::exit(2);
 }
 
@@ -270,6 +281,7 @@ int main(int argc, char** argv) {
   double zipf_skew = 1.0;
   long zipf_seed = 42;
   std::string cost_model_arg = "paper";
+  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -357,6 +369,8 @@ int main(int argc, char** argv) {
       zipf_seed = std::atol(next().c_str());
     } else if (flag == "--cost-model") {
       cost_model_arg = next();
+    } else if (flag == "--replay") {
+      replay_path = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else {
@@ -429,10 +443,11 @@ int main(int argc, char** argv) {
     if (!dims_arg.empty() || !csv_path.empty() || !sizes_path.empty() ||
         !workload_path.empty() || !out_path.empty() ||
         !dump_sizes_path.empty() || !checkpoint_path.empty() ||
-        !resume_path.empty() || sparse || zipf_queries > 0) {
+        !resume_path.empty() || sparse || zipf_queries > 0 ||
+        !replay_path.empty()) {
       Usage("--hierarchy is incompatible with the flat-cube inputs "
             "(--dims/--csv/--sizes/--workload/--out/--dump-sizes/"
-            "--checkpoint/--resume/--sparse/--zipf-queries)");
+            "--checkpoint/--resume/--sparse/--zipf-queries/--replay)");
     }
     return RunHierarchy(hierarchy_arg, rows, budget, config, raw_penalty,
                         maintenance, threads, std::move(cost_model),
@@ -622,6 +637,79 @@ int main(int argc, char** argv) {
                     rec.raw.candidates_truncated));
   }
   std::printf("\n%s", SerializeDesign(rec.structures, schema).c_str());
+
+  if (!replay_path.empty()) {
+    Workload replay_workload;
+    std::string error;
+    if (!ParseQueryLog(ReadFileOrDie(replay_path), schema, &replay_workload,
+                       &error)) {
+      std::fprintf(stderr, "error in %s: %s\n", replay_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (replay_workload.empty()) {
+      std::fprintf(stderr, "error: replay file has no queries\n");
+      return 2;
+    }
+    // The measured side needs real rows: the CSV facts when given, else
+    // synthetic Zipf facts at the advertised row count (capped so a
+    // warehouse-scale --rows doesn't stall the CLI).
+    std::optional<FactTable> synthetic;
+    const FactTable* fact = nullptr;
+    if (csv.has_value()) {
+      fact = &csv->fact;
+    } else {
+      if (rows < 1.0) Usage("--replay without --csv requires --rows");
+      const size_t replay_rows =
+          static_cast<size_t>(std::min(rows, 250'000.0));
+      synthetic.emplace(GenerateZipfFacts(schema, replay_rows, zipf_skew,
+                                          static_cast<uint64_t>(zipf_seed)));
+      fact = &*synthetic;
+    }
+    StatusOr<BatchReplayResult> measured = ReplayDesignBatched(
+        *fact, rec.structures, replay_workload, /*batch_size=*/256,
+        /*num_threads=*/threads > 0 ? static_cast<size_t>(threads) : 1);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "error replaying %s: %s\n", replay_path.c_str(),
+                   measured.status().ToString().c_str());
+      return StatusExitCode(measured.status());
+    }
+    // Model-predicted cost of the same workload against the same design,
+    // under whichever model drove selection.
+    const CostModel& model = cost_model != nullptr
+                                 ? *cost_model
+                                 : PaperCostModel::Instance();
+    DesignCost predicted = DesignCostUnderModel(
+        schema, sizes, replay_workload, rec.structures, model, raw_penalty);
+    const BatchReplayResult& m = *measured;
+    const double wall_ms = static_cast<double>(m.wall_ns) / 1e6;
+    const double qps = wall_ms > 0.0
+                           ? 1e3 * static_cast<double>(m.requests) / wall_ms
+                           : 0.0;
+    std::printf("\nreplay of %s (%zu distinct queries) on %zu fact rows, "
+                "batched serving path:\n",
+                replay_path.c_str(), replay_workload.size(),
+                fact->num_rows());
+    std::printf("  requests: %llu in %llu batch(es), %llu unique after "
+                "coalescing\n",
+                static_cast<unsigned long long>(m.requests),
+                static_cast<unsigned long long>(m.batches),
+                static_cast<unsigned long long>(m.unique_requests));
+    std::printf("  model cost:    %s rows/query average (%s total)\n",
+                FormatRowCount(predicted.average).c_str(),
+                FormatRowCount(predicted.total).c_str());
+    std::printf("  measured:      %s rows/query serial-equivalent; "
+                "%s physical rows decoded (%.1fx shared)\n",
+                FormatRowCount(
+                    static_cast<double>(m.logical_rows) /
+                    static_cast<double>(std::max<uint64_t>(1, m.requests)))
+                    .c_str(),
+                FormatRowCount(static_cast<double>(m.rows_decoded)).c_str(),
+                static_cast<double>(m.logical_rows) /
+                    std::max(1.0, static_cast<double>(m.rows_decoded)));
+    std::printf("  throughput:    %.0f queries/s (%.1f ms wall)\n", qps,
+                wall_ms);
+  }
 
   if (!out_path.empty()) {
     std::ofstream out(out_path);

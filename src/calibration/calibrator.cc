@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "engine/batch_executor.h"
 #include "engine/catalog.h"
 #include "engine/executor.h"
 #include "workload/calibration_workload.h"
@@ -342,6 +344,84 @@ StatusOr<ReplayResult> ReplayDesign(
     ++out.queries;
     out.rows_processed += stats.rows_processed;
     out.wall_ns += t1 - t0;
+  }
+  return out;
+}
+
+StatusOr<BatchReplayResult> ReplayDesignBatched(
+    const FactTable& fact, const std::vector<RecommendedStructure>& design,
+    const Workload& workload, size_t batch_size, size_t num_threads,
+    uint64_t seed) {
+  if (fact.num_rows() == 0) {
+    return Status::InvalidArgument("replay: the fact table has no rows");
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("replay: batch_size must be positive");
+  }
+  Catalog catalog(&fact);
+  for (const RecommendedStructure& s : design) {
+    catalog.MaterializeView(s.view);
+  }
+  for (const RecommendedStructure& s : design) {
+    if (s.is_view()) continue;
+    Status built = catalog.BuildIndex(s.view, s.index);
+    if (!built.ok()) return built.WithContext("replay index build");
+  }
+  catalog.CompressAllViews();
+
+  // Expand frequencies into a request stream: the log's count means the
+  // same slice was asked that many times, so repeats share one value
+  // draw. Thin proportionally past the cap to bound replay time.
+  constexpr uint64_t kMaxReplayRequests = 65'536;
+  double total_frequency = 0.0;
+  for (const WeightedQuery& wq : workload.queries()) {
+    total_frequency += std::max(1.0, wq.frequency);
+  }
+  const double thin =
+      total_frequency > static_cast<double>(kMaxReplayRequests)
+          ? static_cast<double>(kMaxReplayRequests) / total_frequency
+          : 1.0;
+  Pcg32 rng(seed);
+  std::vector<SliceQuery> stream_queries;
+  std::vector<std::vector<uint32_t>> stream_values;
+  for (const WeightedQuery& wq : workload.queries()) {
+    const size_t row = rng.NextBounded(
+        static_cast<uint32_t>(std::min<size_t>(fact.num_rows(), ~0u)));
+    const std::vector<uint32_t> values =
+        SelectionValuesFromRow(fact, wq.query, row);
+    const uint64_t repeats = static_cast<uint64_t>(
+        std::max(1.0, std::floor(std::max(1.0, wq.frequency) * thin)));
+    for (uint64_t r = 0; r < repeats; ++r) {
+      stream_queries.push_back(wq.query);
+      stream_values.push_back(values);
+    }
+  }
+
+  BatchExecutor executor(&catalog, num_threads);
+  BatchReplayResult out;
+  for (size_t begin = 0; begin < stream_queries.size();
+       begin += batch_size) {
+    const size_t end =
+        std::min(stream_queries.size(), begin + batch_size);
+    const std::vector<SliceQuery> queries(
+        stream_queries.begin() +
+            static_cast<std::ptrdiff_t>(begin),
+        stream_queries.begin() + static_cast<std::ptrdiff_t>(end));
+    const std::vector<std::vector<uint32_t>> values(
+        stream_values.begin() + static_cast<std::ptrdiff_t>(begin),
+        stream_values.begin() + static_cast<std::ptrdiff_t>(end));
+    BatchStats bstats;
+    const uint64_t t0 = NowNs();
+    std::vector<GroupedResult> results =
+        executor.ExecuteBatch(queries, values, nullptr, &bstats);
+    const uint64_t t1 = NowNs();
+    out.wall_ns += t1 - t0;
+    ++out.batches;
+    out.requests += bstats.queries;
+    out.unique_requests += bstats.unique_queries;
+    out.rows_decoded += bstats.rows_decoded;
+    out.logical_rows += bstats.logical_rows;
+    out.bytes_scanned += bstats.bytes_scanned;
   }
   return out;
 }

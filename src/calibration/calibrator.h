@@ -199,6 +199,31 @@ StatusOr<ReplayResult> ReplayDesign(
     const FactTable& fact, const std::vector<RecommendedStructure>& design,
     const Workload& workload, uint64_t seed = 42);
 
+struct BatchReplayResult {
+  uint64_t requests = 0;        // replayed requests (frequencies expanded)
+  uint64_t unique_requests = 0; // after the batch's identical-request
+                                // coalescing, summed over batches
+  uint64_t batches = 0;
+  uint64_t rows_decoded = 0;    // physical rows the batched path touched
+  uint64_t logical_rows = 0;    // what serial execution would have touched
+  uint64_t bytes_scanned = 0;
+  uint64_t wall_ns = 0;
+};
+
+// The serving-path counterpart of ReplayDesign: materializes `design`,
+// compresses every view to its columnar store, expands each workload
+// query to round(frequency) identical requests (at least one; the stream
+// is proportionally thinned when it would exceed 65536 requests), and
+// executes the stream through BatchExecutor in batches of `batch_size`.
+// Selection values are drawn once per distinct query, from fact rows —
+// the repeats model the same logged slice asked again, which is exactly
+// what the batch path coalesces. advisor_cli --replay prints this next
+// to the model-predicted design cost.
+StatusOr<BatchReplayResult> ReplayDesignBatched(
+    const FactTable& fact, const std::vector<RecommendedStructure>& design,
+    const Workload& workload, size_t batch_size = 256,
+    size_t num_threads = 1, uint64_t seed = 42);
+
 }  // namespace olapidx
 
 #endif  // OLAPIDX_CALIBRATION_CALIBRATOR_H_

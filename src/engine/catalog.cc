@@ -85,6 +85,35 @@ const std::vector<ViewIndex>& Catalog::indexes(AttributeSet attrs) const {
   return e->indexes;
 }
 
+Status Catalog::CompressView(AttributeSet attrs,
+                             const ColumnStoreOptions& options) {
+  Entry* e = Find(attrs);
+  if (e == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot compress unmaterialized view '" +
+        attrs.ToString(schema().names()) + "'");
+  }
+  e->column_store = std::make_unique<ColumnStore>(
+      ColumnStore::FromView(*e->view, options));
+  e->column_store_options = options;
+  return Status::Ok();
+}
+
+size_t Catalog::CompressAllViews(const ColumnStoreOptions& options) {
+  size_t built = 0;
+  for (AttributeSet attrs : order_) {
+    OLAPIDX_CHECK(CompressView(attrs, options).ok());
+    ++built;
+  }
+  return built;
+}
+
+const ColumnStore* Catalog::column_store(AttributeSet attrs) const {
+  const Entry* e = Find(attrs);
+  OLAPIDX_CHECK(e != nullptr);
+  return e->column_store.get();
+}
+
 Catalog::RefreshStats Catalog::RefreshAfterAppend() {
   RefreshStats stats;
   size_t now = fact_->num_rows();
@@ -102,6 +131,11 @@ Catalog::RefreshStats Catalog::RefreshAfterAppend() {
       ++stats.indexes_rebuilt;
       stats.index_entries_rebuilt +=
           static_cast<double>(index.num_entries());
+    }
+    // A columnar store is a snapshot of the view's rows; re-encode it.
+    if (e.column_store != nullptr) {
+      e.column_store = std::make_unique<ColumnStore>(
+          ColumnStore::FromView(*e.view, e.column_store_options));
     }
   }
   return stats;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/column_store.h"
 #include "engine/fact_table.h"
 #include "engine/materialized_view.h"
 #include "engine/view_index.h"
@@ -49,6 +50,22 @@ class Catalog {
     return order_;
   }
 
+  // ---- Compressed columnar representation ----
+  //
+  // A view can additionally carry a ColumnStore — a second, compressed
+  // representation of the same rows. The row store stays authoritative
+  // (roll-ups, deltas, and index row ids all reference it); executors
+  // that scan the whole view read the store instead when attached.
+
+  // Builds (or rebuilds) the columnar store for a materialized view.
+  // Fails with FailedPrecondition when the view is not materialized.
+  Status CompressView(AttributeSet attrs,
+                      const ColumnStoreOptions& options = {});
+  // Compresses every materialized view; returns how many were built.
+  size_t CompressAllViews(const ColumnStoreOptions& options = {});
+  // The view's columnar store, or nullptr when none is attached.
+  const ColumnStore* column_store(AttributeSet attrs) const;
+
   // Space in the paper's units: Σ view rows + Σ index leaf entries.
   double TotalSpaceRows() const;
 
@@ -74,6 +91,9 @@ class Catalog {
   struct Entry {
     std::unique_ptr<MaterializedView> view;
     std::vector<ViewIndex> indexes;
+    // Optional compressed columnar representation (see CompressView).
+    std::unique_ptr<ColumnStore> column_store;
+    ColumnStoreOptions column_store_options;
     // Fact rows incorporated into this view so far.
     size_t built_through = 0;
   };

@@ -3,64 +3,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
-#include <unordered_map>
 
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "cost/analytical_model.h"
-#include "engine/key_codec.h"
+#include "engine/group_accumulator.h"
 
 namespace olapidx {
 
 namespace {
-
-// Accumulates (group key → aggregate state) pairs and emits a
-// GroupedResult sorted by encoded group key.
-class GroupAccumulator {
- public:
-  GroupAccumulator(const CubeSchema& schema, AttributeSet group_by)
-      : attrs_(group_by.ToVector()), codec_(schema, attrs_) {}
-
-  // `value_of(attr)` returns the current row's value of `attr`.
-  template <typename ValueFn>
-  void Add(ValueFn&& value_of, const AggregateState& state) {
-    scratch_.resize(attrs_.size());
-    for (size_t i = 0; i < attrs_.size(); ++i) {
-      scratch_[i] = value_of(attrs_[i]);
-    }
-    groups_[codec_.EncodePrefix(scratch_)].Merge(state);
-  }
-
-  GroupedResult Finish() const {
-    GroupedResult out;
-    out.group_attrs = attrs_;
-    std::vector<uint64_t> keys;
-    keys.reserve(groups_.size());
-    for (const auto& [key, state] : groups_) {
-      (void)state;
-      keys.push_back(key);
-    }
-    std::sort(keys.begin(), keys.end());
-    for (uint64_t key : keys) {
-      std::vector<uint32_t> row(attrs_.size());
-      for (size_t i = 0; i < attrs_.size(); ++i) {
-        row[i] = codec_.Decode(key, static_cast<int>(i));
-      }
-      out.keys.push_back(std::move(row));
-      const AggregateState& state = groups_.find(key)->second;
-      out.sums.push_back(state.sum);
-      out.aggregates.push_back(state);
-    }
-    return out;
-  }
-
- private:
-  std::vector<int> attrs_;
-  KeyCodec codec_;
-  std::unordered_map<uint64_t, AggregateState> groups_;
-  std::vector<uint32_t> scratch_;
-};
 
 // Estimated number of distinct combinations of `attrs` within a table of
 // `rows` rows (independence assumption; exact when the catalog happens to
@@ -71,7 +23,44 @@ double EstimateDistinct(const CubeSchema& schema, AttributeSet attrs,
   return ExpectedDistinct(schema.DomainSize(attrs), rows);
 }
 
+// One hoisted selection predicate: the raw column, resolved once per
+// query, and the constant it must equal.
+struct SelPred {
+  const uint32_t* col;
+  uint32_t value;
+};
+
 }  // namespace
+
+PlannedAccess PlanAccess(const Catalog& catalog, const SliceQuery& query) {
+  const CubeSchema& schema = catalog.schema();
+  PlannedAccess plan;
+  plan.estimated_cost = static_cast<double>(catalog.fact().num_rows());
+
+  for (AttributeSet view_attrs : catalog.materialized_views()) {
+    if (!query.AnswerableFrom(view_attrs)) continue;
+    const MaterializedView& view = catalog.view(view_attrs);
+    double view_rows = static_cast<double>(view.num_rows());
+    if (view_rows < plan.estimated_cost) {
+      plan = PlannedAccess{false, view_attrs, nullptr, AttributeSet(),
+                           view_rows};
+    }
+    for (const ViewIndex& index : catalog.indexes(view_attrs)) {
+      AttributeSet prefix =
+          index.key().LongestSelectionPrefix(query.selection());
+      if (prefix.empty()) continue;
+      double distinct = catalog.HasView(prefix)
+                            ? static_cast<double>(
+                                  catalog.view(prefix).num_rows())
+                            : EstimateDistinct(schema, prefix, view_rows);
+      double est = view_rows / std::max(1.0, distinct);
+      if (est < plan.estimated_cost) {
+        plan = PlannedAccess{false, view_attrs, &index, prefix, est};
+      }
+    }
+  }
+  return plan;
+}
 
 Executor::Executor(const Catalog* catalog) : catalog_(catalog) {
   OLAPIDX_CHECK(catalog != nullptr);
@@ -90,83 +79,121 @@ GroupedResult Executor::Execute(
   for (size_t i = 0; i < sel_attrs.size(); ++i) {
     sel_value[static_cast<size_t>(sel_attrs[i])] = selection_values[i];
   }
+  const std::vector<int> group_attrs = query.group_by().ToVector();
 
-  // ---- Plan: pick the cheapest access path. ----
-  struct Plan {
-    bool use_raw = true;
-    AttributeSet view;
-    const ViewIndex* index = nullptr;
-    double estimated_cost = 0.0;
-  };
-  Plan plan;
-  plan.estimated_cost = static_cast<double>(catalog_->fact().num_rows());
-
-  for (AttributeSet view_attrs : catalog_->materialized_views()) {
-    if (!query.AnswerableFrom(view_attrs)) continue;
-    const MaterializedView& view = catalog_->view(view_attrs);
-    double view_rows = static_cast<double>(view.num_rows());
-    if (view_rows < plan.estimated_cost) {
-      plan = Plan{false, view_attrs, nullptr, view_rows};
-    }
-    for (const ViewIndex& index : catalog_->indexes(view_attrs)) {
-      AttributeSet prefix =
-          index.key().LongestSelectionPrefix(query.selection());
-      if (prefix.empty()) continue;
-      double distinct = catalog_->HasView(prefix)
-                            ? static_cast<double>(
-                                  catalog_->view(prefix).num_rows())
-                            : EstimateDistinct(schema, prefix, view_rows);
-      double est = view_rows / std::max(1.0, distinct);
-      if (est < plan.estimated_cost) {
-        plan = Plan{false, view_attrs, &index, est};
-      }
-    }
-  }
+  PlannedAccess plan = PlanAccess(*catalog_, query);
 
   // ---- Execute the chosen path. ----
+  //
+  // Selection predicates and group-by columns are resolved to raw column
+  // pointers once per query, not once per row — the scan loops below
+  // touch no per-row indirection beyond the columns themselves.
   GroupAccumulator acc(schema, query.group_by());
   uint64_t rows_processed = 0;
-
-  auto matches_selection = [&](auto&& value_of) {
-    for (int a : sel_attrs) {
-      if (value_of(a) != sel_value[static_cast<size_t>(a)]) return false;
-    }
-    return true;
-  };
+  uint64_t bytes_scanned = 0;
+  bool used_columnar = false;
 
   if (plan.use_raw) {
     const FactTable& fact = catalog_->fact();
-    for (size_t r = 0; r < fact.num_rows(); ++r) {
+    std::vector<SelPred> preds;
+    preds.reserve(sel_attrs.size());
+    for (size_t i = 0; i < sel_attrs.size(); ++i) {
+      preds.push_back({fact.column_data(sel_attrs[i]), selection_values[i]});
+    }
+    std::vector<const uint32_t*> gcols;
+    gcols.reserve(group_attrs.size());
+    for (int a : group_attrs) gcols.push_back(fact.column_data(a));
+    const double* measures = fact.measure_data();
+    const size_t n = fact.num_rows();
+    for (size_t r = 0; r < n; ++r) {
       ++rows_processed;
-      auto value_of = [&](int a) { return fact.dim(r, a); };
-      if (!matches_selection(value_of)) continue;
-      acc.Add(value_of, AggregateState::OfMeasure(fact.measure(r)));
+      bool match = true;
+      for (const SelPred& p : preds) {
+        if (p.col[r] != p.value) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      acc.AddRow(gcols.data(), r, AggregateState::OfMeasure(measures[r]));
+    }
+    bytes_scanned = rows_processed *
+                    (static_cast<uint64_t>(schema.num_dimensions()) * 4 + 8);
+  } else if (plan.index == nullptr) {
+    const MaterializedView& view = catalog_->view(plan.view);
+    const ColumnStore* store =
+        use_column_store_ ? catalog_->column_store(plan.view) : nullptr;
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(view.attrs().ToVector().size()) * 4 +
+        sizeof(AggregateState);
+    if (store != nullptr) {
+      used_columnar = true;
+      store->Scan([&](size_t r, const uint32_t* dims,
+                      const AggregateState& state) {
+        (void)r;
+        ++rows_processed;
+        for (int a : sel_attrs) {
+          if (dims[a] != sel_value[static_cast<size_t>(a)]) return;
+        }
+        acc.AddDims(dims, state);
+      });
+      bytes_scanned = store->CompressedBytes();
+    } else {
+      std::vector<SelPred> preds;
+      preds.reserve(sel_attrs.size());
+      for (size_t i = 0; i < sel_attrs.size(); ++i) {
+        preds.push_back(
+            {view.column_data(sel_attrs[i]), selection_values[i]});
+      }
+      std::vector<const uint32_t*> gcols;
+      gcols.reserve(group_attrs.size());
+      for (int a : group_attrs) gcols.push_back(view.column_data(a));
+      const AggregateState* states = view.aggregate_data();
+      const size_t n = view.num_rows();
+      for (size_t r = 0; r < n; ++r) {
+        ++rows_processed;
+        bool match = true;
+        for (const SelPred& p : preds) {
+          if (p.col[r] != p.value) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        acc.AddRow(gcols.data(), r, states[r]);
+      }
+      bytes_scanned = rows_processed * row_bytes;
     }
   } else {
     const MaterializedView& view = catalog_->view(plan.view);
-    if (plan.index == nullptr) {
-      for (size_t r = 0; r < view.num_rows(); ++r) {
-        ++rows_processed;
-        auto value_of = [&](int a) { return view.dim(r, a); };
-        if (!matches_selection(value_of)) continue;
-        acc.Add(value_of, view.aggregate(r));
-      }
-    } else {
-      // Prefix values in index-key order for the matched prefix.
-      AttributeSet prefix =
-          plan.index->key().LongestSelectionPrefix(query.selection());
-      std::vector<uint32_t> prefix_values;
-      for (int a : plan.index->key().attrs()) {
-        if (!prefix.Contains(a)) break;
-        prefix_values.push_back(sel_value[static_cast<size_t>(a)]);
-      }
-      rows_processed += plan.index->ScanPrefix(
-          prefix_values, [&](uint32_t r) {
-            auto value_of = [&](int a) { return view.dim(r, a); };
-            if (!matches_selection(value_of)) return;
-            acc.Add(value_of, view.aggregate(r));
-          });
+    // Prefix values in index-key order for the matched prefix; rows the
+    // probe returns already satisfy the prefix attributes, so only the
+    // residual selection is re-checked.
+    std::vector<uint32_t> prefix_values;
+    std::vector<SelPred> preds;
+    for (int a : plan.index->key().attrs()) {
+      if (!plan.index_prefix.Contains(a)) break;
+      prefix_values.push_back(sel_value[static_cast<size_t>(a)]);
     }
+    for (size_t i = 0; i < sel_attrs.size(); ++i) {
+      if (plan.index_prefix.Contains(sel_attrs[i])) continue;
+      preds.push_back({view.column_data(sel_attrs[i]), selection_values[i]});
+    }
+    std::vector<const uint32_t*> gcols;
+    gcols.reserve(group_attrs.size());
+    for (int a : group_attrs) gcols.push_back(view.column_data(a));
+    const AggregateState* states = view.aggregate_data();
+    rows_processed += plan.index->ScanPrefix(
+        prefix_values, [&](uint32_t r) {
+          for (const SelPred& p : preds) {
+            if (p.col[r] != p.value) return;
+          }
+          acc.AddRow(gcols.data(), r, states[r]);
+        });
+    bytes_scanned =
+        rows_processed *
+        (static_cast<uint64_t>(view.attrs().ToVector().size()) * 4 +
+         sizeof(AggregateState));
   }
 
   // One registry update per query (not per row): the row counts were
@@ -184,6 +211,10 @@ GroupedResult Executor::Execute(
     OLAPIDX_METRIC_COUNTER(view_rows, "executor.rows_view_scanned");
     view_plans.Add(1);
     view_rows.Add(rows_processed);
+    if (used_columnar) {
+      OLAPIDX_METRIC_COUNTER(columnar_plans, "executor.plans_columnar_scan");
+      columnar_plans.Add(1);
+    }
   } else {
     OLAPIDX_METRIC_COUNTER(index_plans, "executor.plans_index");
     OLAPIDX_METRIC_COUNTER(index_rows, "executor.rows_index_probed");
@@ -191,13 +222,18 @@ GroupedResult Executor::Execute(
     index_rows.Add(rows_processed);
   }
 
-  if (stats != nullptr) {
-    stats->rows_processed = rows_processed;
-    stats->used_raw = plan.use_raw;
-    stats->view = plan.use_raw ? AttributeSet() : plan.view;
-    stats->index = plan.index != nullptr ? plan.index->key() : IndexKey();
-    stats->estimated_cost = plan.estimated_cost;
-  }
+  ExecutionStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  stats->rows_processed = rows_processed;
+  stats->used_raw = plan.use_raw;
+  stats->view = plan.use_raw ? AttributeSet() : plan.view;
+  stats->index = plan.index != nullptr ? plan.index->key() : IndexKey();
+  stats->used_columnar = used_columnar;
+  stats->bytes_scanned = bytes_scanned;
+  stats->estimated_cost = plan.estimated_cost;
+  // Both entry points notify here, so the observed-workload sketch sees
+  // traffic regardless of which variant drove the engine.
+  if (observer_) observer_(query, *stats);
   return acc.Finish();
 }
 
@@ -214,10 +250,7 @@ Status Executor::TryExecute(const SliceQuery& query,
         " attribute(s) but " + std::to_string(selection_values.size()) +
         " selection value(s) were supplied");
   }
-  ExecutionStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
   *out = Execute(query, selection_values, stats);
-  if (observer_) observer_(query, *stats);
   return Status::Ok();
 }
 

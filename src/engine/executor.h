@@ -24,9 +24,32 @@ struct ExecutionStats {
   bool used_raw = true;
   AttributeSet view;  // meaningful when !used_raw
   IndexKey index;     // empty = plain scan
+  // The scan read the view's compressed columnar store rather than its
+  // row store (only possible for plain view scans).
+  bool used_columnar = false;
+  // Storage bytes the scan read: row-store row width × rows processed,
+  // or the store's compressed payload for a columnar scan.
+  uint64_t bytes_scanned = 0;
   // The planner's cost estimate for the chosen path.
   double estimated_cost = 0.0;
 };
+
+// The planner's chosen access path for a query — extracted from the
+// executor so BatchExecutor groups queries by the *identical* plan the
+// serial path would run. `index_prefix` is the matched selection prefix
+// when an index probe was chosen.
+struct PlannedAccess {
+  bool use_raw = true;
+  AttributeSet view;
+  const ViewIndex* index = nullptr;
+  AttributeSet index_prefix;
+  double estimated_cost = 0.0;
+};
+
+// Cheapest access path under the linear cost model: raw scan, view scan,
+// or index probe — the first minimum wins ties, matching Explain()'s
+// stable sort front.
+PlannedAccess PlanAccess(const Catalog& catalog, const SliceQuery& query);
 
 // A group-by result: one row per group, sorted by group key. Carries the
 // full distributive aggregate state per group; `sums` mirrors the SUM
@@ -57,24 +80,31 @@ class Executor {
   // Status-returning variant for service boundaries: rejects a
   // selection-value count that does not match the query (instead of
   // aborting) and crosses the "executor.execute" fault point. On success
-  // stores the result in *out and notifies the query observer (if set).
+  // stores the result in *out.
   Status TryExecute(const SliceQuery& query,
                     const std::vector<uint32_t>& selection_values,
                     GroupedResult* out,
                     ExecutionStats* stats = nullptr) const;
 
-  // Called after every successful TryExecute with the executed query and
-  // its stats — the hook a resident advisor uses to learn the observed
-  // workload without the engine depending on the service layer. The
-  // observer must be thread-safe if TryExecute is called from multiple
-  // threads, must not call back into this Executor, and must outlive it.
-  // Execute() (the aborting variant) does not notify: it predates the
-  // service surface and tests drive it directly.
+  // Called after every executed query — Execute and TryExecute share the
+  // notification path, so the frequency sketch sees all traffic no matter
+  // which entry point drove the engine. The hook a resident advisor uses
+  // to learn the observed workload without the engine depending on the
+  // service layer. The observer must be thread-safe if the executor is
+  // driven from multiple threads, must not call back into this Executor,
+  // and must outlive it.
   using QueryObserver =
       std::function<void(const SliceQuery&, const ExecutionStats&)>;
   void SetQueryObserver(QueryObserver observer) {
     observer_ = std::move(observer);
   }
+
+  // When on (the default), plain view scans read the view's compressed
+  // columnar store whenever the catalog has one attached; off forces the
+  // row store everywhere. Index probes and raw scans always use row
+  // storage (index row ids reference the view's row order).
+  void set_use_column_store(bool use) { use_column_store_ = use; }
+  bool use_column_store() const { return use_column_store_; }
 
   // Reference implementation that always scans the raw fact table; used by
   // tests to validate Execute's answers.
@@ -101,6 +131,7 @@ class Executor {
  private:
   const Catalog* catalog_;
   QueryObserver observer_;
+  bool use_column_store_ = true;
 };
 
 }  // namespace olapidx

@@ -32,6 +32,13 @@ class FactTable {
     return measure_[row];
   }
 
+  // Raw column of dimension `attr`, for scan loops that resolve the
+  // column once per query instead of once per row. Invalidated by Append.
+  const uint32_t* column_data(int attr) const {
+    return columns_[static_cast<size_t>(attr)].data();
+  }
+  const double* measure_data() const { return measure_.data(); }
+
   // All dimension values of one row (indexed by attribute id).
   std::vector<uint32_t> RowDims(size_t row) const;
 

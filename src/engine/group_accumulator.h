@@ -1,0 +1,93 @@
+// GroupAccumulator: accumulates (group key → aggregate state) pairs and
+// emits a GroupedResult sorted by encoded group key. Shared by the serial
+// Executor and the BatchExecutor so both produce byte-identical results —
+// the per-group merge order is the row visit order, so two scans of the
+// same storage in the same order agree bitwise.
+
+#ifndef OLAPIDX_ENGINE_GROUP_ACCUMULATOR_H_
+#define OLAPIDX_ENGINE_GROUP_ACCUMULATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/key_codec.h"
+
+namespace olapidx {
+
+class GroupAccumulator {
+ public:
+  GroupAccumulator(const CubeSchema& schema, AttributeSet group_by)
+      : attrs_(group_by.ToVector()), codec_(schema, attrs_) {}
+
+  // `value_of(attr)` returns the current row's value of `attr`.
+  template <typename ValueFn>
+  void Add(ValueFn&& value_of, const AggregateState& state) {
+    scratch_.resize(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      scratch_[i] = value_of(attrs_[i]);
+    }
+    groups_[codec_.EncodePrefix(scratch_)].Merge(state);
+  }
+
+  // Hoisted-column variant: `cols[i]` is the raw column of group-by
+  // attribute i (ascending attribute order), resolved once per query
+  // instead of once per row.
+  void AddRow(const uint32_t* const* cols, size_t row,
+              const AggregateState& state) {
+    scratch_.resize(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      scratch_[i] = cols[i][row];
+    }
+    groups_[codec_.EncodePrefix(scratch_)].Merge(state);
+  }
+
+  // Decoded-row variant for columnar scans: `dims` is indexed by
+  // attribute id (ColumnStore::Scan's row image).
+  void AddDims(const uint32_t* dims, const AggregateState& state) {
+    scratch_.resize(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      scratch_[i] = dims[static_cast<size_t>(attrs_[i])];
+    }
+    groups_[codec_.EncodePrefix(scratch_)].Merge(state);
+  }
+
+  GroupedResult Finish() const {
+    GroupedResult out;
+    out.group_attrs = attrs_;
+    // Sort (key, state) pairs once instead of sorting keys and re-probing
+    // the hash map per key — Finish dominates large-rollup queries.
+    std::vector<std::pair<uint64_t, const AggregateState*>> entries;
+    entries.reserve(groups_.size());
+    for (const auto& [key, state] : groups_) {
+      entries.emplace_back(key, &state);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.keys.reserve(entries.size());
+    out.sums.reserve(entries.size());
+    out.aggregates.reserve(entries.size());
+    for (const auto& [key, state] : entries) {
+      std::vector<uint32_t> row(attrs_.size());
+      for (size_t i = 0; i < attrs_.size(); ++i) {
+        row[i] = codec_.Decode(key, static_cast<int>(i));
+      }
+      out.keys.push_back(std::move(row));
+      out.sums.push_back(state->sum);
+      out.aggregates.push_back(*state);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> attrs_;
+  KeyCodec codec_;
+  std::unordered_map<uint64_t, AggregateState> groups_;
+  std::vector<uint32_t> scratch_;
+};
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_ENGINE_GROUP_ACCUMULATOR_H_

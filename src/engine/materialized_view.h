@@ -42,6 +42,16 @@ class MaterializedView {
   double sum(size_t row) const { return states_[row].sum; }
   const AggregateState& aggregate(size_t row) const { return states_[row]; }
 
+  // Raw column of attribute `attr` (which must be in attrs()), for scan
+  // loops that resolve the column once per query instead of once per row.
+  // Invalidated by ApplyDelta.
+  const uint32_t* column_data(int attr) const {
+    int col = column_of_[static_cast<size_t>(attr)];
+    OLAPIDX_DCHECK(col >= 0);
+    return columns_[static_cast<size_t>(col)].data();
+  }
+  const AggregateState* aggregate_data() const { return states_.data(); }
+
   // All group-by attribute values of one row, in ascending attribute order.
   std::vector<uint32_t> RowKey(size_t row) const;
 

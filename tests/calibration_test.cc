@@ -346,5 +346,46 @@ TEST_F(CalibrationPipelineTest, ReplayDesignExecutesWholeWorkload) {
   EXPECT_GT(replay->rows_processed, 0u);
 }
 
+TEST_F(CalibrationPipelineTest, ReplayDesignBatchedExpandsAndCoalesces) {
+  FactTable fact = MakeFact();
+  const CubeSchema& schema = fact.schema();
+  ViewSizes sizes = ExactViewSizes(fact);
+  CubeLattice lattice(schema);
+  // Integer counts, as a parsed query log would carry: each query's
+  // frequency expands into that many identical replay requests.
+  const Workload source = ZipfSliceQueries(lattice, 1.0, 7);
+  Workload workload;
+  uint64_t expected_requests = 0;
+  size_t rank = 0;
+  for (const WeightedQuery& wq : source.queries()) {
+    const double count = static_cast<double>(1 + (rank++ % 5));
+    workload.Add(wq.query, count);
+    expected_requests += static_cast<uint64_t>(count);
+  }
+  AdvisorConfig config;
+  config.space_budget = 2.0 * sizes.SizeOf(schema.AllAttributes());
+  auto model =
+      std::make_shared<CalibratedCostModel>(CalibrationCoefficients{});
+  StatusOr<PairedSelectionResult> paired =
+      RunPairedSelection(schema, sizes, workload, config, model);
+  ASSERT_TRUE(paired.ok());
+  StatusOr<BatchReplayResult> replay = ReplayDesignBatched(
+      fact, paired->calibrated_design, workload, /*batch_size=*/64);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->requests, expected_requests);
+  EXPECT_EQ(replay->batches, (expected_requests + 63) / 64);
+  // Repeats of the same logged query coalesce inside each batch.
+  EXPECT_LT(replay->unique_requests, replay->requests);
+  EXPECT_GT(replay->logical_rows, 0u);
+  EXPECT_LE(replay->rows_decoded, replay->logical_rows);
+
+  // Invalid inputs are rejected up front.
+  EXPECT_EQ(ReplayDesignBatched(fact, paired->calibrated_design, workload,
+                                /*batch_size=*/0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace olapidx
