@@ -26,6 +26,7 @@
 #ifndef OLAPIDX_BENCH_BENCH_JSON_H_
 #define OLAPIDX_BENCH_BENCH_JSON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -220,6 +221,31 @@ inline Status ValidateBenchJson(const Json& doc) {
 // "--max-dim=7" and "--max-dim 7"); anything unregistered prints usage
 // and exits(2) — no more hand-rolled argv peeling per bench. (Exception:
 // bench_perf_scaling forwards the rest to google-benchmark.)
+// Parsing is strict: a space-separated value may not itself start with
+// "--" (so "--queries --json" is a missing value, not a value named
+// "--json"), repeating a flag is an error rather than a silent
+// first-one-wins, and GetInt/GetDouble reject non-numeric values.
+// Strict whole-string numeric parsing behind GetInt/GetDouble (and unit
+// tested directly): trailing junk, an empty string, or overflow is a
+// parse failure, never a silent 0.
+inline bool ParseLongStrict(const std::string& text, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+inline bool ParseDoubleStrict(const std::string& text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
 struct BenchArgs {
   bool json = false;
   std::string json_path;  // set iff json
@@ -233,66 +259,112 @@ struct BenchArgs {
     }
     return nullptr;
   }
+  // Both accessors parse strictly — a CI invocation with a typoed value
+  // must fail loudly (exit 2), not run with a default.
   long GetInt(const std::string& name, long fallback) const {
     const std::string* raw = Get(name);
-    return raw != nullptr ? std::atol(raw->c_str()) : fallback;
+    if (raw == nullptr) return fallback;
+    long value = 0;
+    if (!ParseLongStrict(*raw, &value)) {
+      std::fprintf(stderr, "error: --%s wants an integer, got '%s'\n",
+                   name.c_str(), raw->c_str());
+      std::exit(2);
+    }
+    return value;
   }
   double GetDouble(const std::string& name, double fallback) const {
     const std::string* raw = Get(name);
-    return raw != nullptr ? std::atof(raw->c_str()) : fallback;
+    if (raw == nullptr) return fallback;
+    double value = 0.0;
+    if (!ParseDoubleStrict(*raw, &value)) {
+      std::fprintf(stderr, "error: --%s wants a number, got '%s'\n",
+                   name.c_str(), raw->c_str());
+      std::exit(2);
+    }
+    return value;
   }
 };
 
-inline BenchArgs ParseBenchArgs(int argc, char** argv,
-                                const std::string& bench_name,
-                                const std::vector<std::string>& extra_flags =
-                                    {}) {
-  BenchArgs out;
+// The exit-free parsing core (unit tested directly): `argv` excludes the
+// program name. Returns false and sets *error on any malformed input —
+// unknown flag, missing or flag-shaped value, empty "--flag=" value, or
+// a repeated flag.
+inline bool TryParseBenchArgs(const std::vector<std::string>& argv,
+                              const std::string& bench_name,
+                              const std::vector<std::string>& extra_flags,
+                              BenchArgs* out, std::string* error) {
+  *out = BenchArgs{};
   const std::string default_path = "BENCH_" + bench_name + ".json";
-  auto usage = [&]() {
-    std::string extras_text;
-    for (const std::string& flag : extra_flags) {
-      extras_text += " [--" + flag + "=V]";
-    }
-    std::fprintf(stderr, "usage: bench_%s [--json[=FILE]]%s\n",
-                 bench_name.c_str(), extras_text.c_str());
-    std::exit(2);
-  };
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--json") {
-      out.json = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        out.json_path = argv[++i];
-      } else {
-        out.json_path = default_path;
+  for (size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      if (out->json) {
+        *error = "duplicate --json";
+        return false;
       }
-      continue;
-    }
-    if (arg.rfind("--json=", 0) == 0) {
-      out.json = true;
-      out.json_path = arg.substr(7);
-      if (out.json_path.empty()) out.json_path = default_path;
+      out->json = true;
+      if (arg == "--json") {
+        out->json_path = (i + 1 < argv.size() && argv[i + 1][0] != '-')
+                             ? argv[++i]
+                             : default_path;
+      } else {
+        out->json_path = arg.substr(7);
+        if (out->json_path.empty()) out->json_path = default_path;
+      }
       continue;
     }
     bool matched = false;
     for (const std::string& flag : extra_flags) {
       const std::string prefix = "--" + flag;
-      if (arg.rfind(prefix + "=", 0) == 0) {
-        std::string value = arg.substr(prefix.size() + 1);
-        if (value.empty()) usage();
-        out.extras.emplace_back(flag, std::move(value));
-        matched = true;
-        break;
+      const bool inline_value = arg.rfind(prefix + "=", 0) == 0;
+      if (!inline_value && arg != prefix) continue;
+      std::string value;
+      if (inline_value) {
+        value = arg.substr(prefix.size() + 1);
+        if (value.empty()) {
+          *error = "missing value for --" + flag;
+          return false;
+        }
+      } else {
+        // The next argv entry is the value; another flag there means the
+        // value is missing, not that the value is "--whatever".
+        if (i + 1 >= argv.size() || argv[i + 1].rfind("--", 0) == 0) {
+          *error = "missing value for --" + flag;
+          return false;
+        }
+        value = argv[++i];
       }
-      if (arg == prefix) {
-        if (i + 1 >= argc) usage();
-        out.extras.emplace_back(flag, argv[++i]);
-        matched = true;
-        break;
+      if (out->Get(flag) != nullptr) {
+        *error = "duplicate --" + flag;
+        return false;
       }
+      out->extras.emplace_back(flag, std::move(value));
+      matched = true;
+      break;
     }
-    if (!matched) usage();
+    if (!matched) {
+      *error = "unknown flag " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const std::string& bench_name,
+                                const std::vector<std::string>& extra_flags =
+                                    {}) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  BenchArgs out;
+  std::string error;
+  if (!TryParseBenchArgs(args, bench_name, extra_flags, &out, &error)) {
+    std::string extras_text;
+    for (const std::string& flag : extra_flags) {
+      extras_text += " [--" + flag + "=V]";
+    }
+    std::fprintf(stderr, "error: %s\nusage: bench_%s [--json[=FILE]]%s\n",
+                 error.c_str(), bench_name.c_str(), extras_text.c_str());
+    std::exit(2);
   }
   return out;
 }

@@ -1,19 +1,25 @@
-// Experiment E14 — breaking the n ≤ 8 wall. The dense cube graph expands
-// a full cost column per (view, query) and enumerates all m! fat indexes
-// per view: at dimension 8 the cost table alone is ~2 GB, and 12–20
-// dimensions are out of reach entirely. This bench drives the
-// workload-pruned sparse path (core/sparse_cube_graph.h) with a sampled
-// Zipf workload across dims 10/12/16 — build wall time, peak build memory
-// (graph_build.peak_bytes model: edge runs + cost table), pruning
-// telemetry, and a beam-limited inner-level greedy selection with its
-// a-posteriori guarantee — and closes with a dense-vs-sparse peak-memory
-// comparison at dimension 8 (the last dim both paths can build), reported
-// as the "peak_reduction_dim8" scalar.
+// Experiments E14/E17 — breaking the n ≤ 8 wall. The dense cube graph
+// expands a full cost column per (view, query) and enumerates all m! fat
+// indexes per view: at dimension 8 the cost table alone is ~2 GB, and
+// 12–20 dimensions are out of reach entirely. This bench drives the
+// workload-pruned sparse path (core/sparse_cube_graph.h, streaming edge
+// sink on by default) with a sampled Zipf workload across dims
+// 10/12/16/20 — build wall time, peak build memory (graph_build.peak_bytes
+// model: edge-run sink + finalize scratch + cost table), pruning telemetry
+// (including views dropped by the --max-views cap), and a beam-limited
+// inner-level greedy selection with its a-posteriori guarantee — and
+// closes with a dense-vs-sparse peak-memory comparison at dimension 8
+// (the last dim both paths can build), reported as the
+// "peak_reduction_dim8" scalar. --peak-budget-mib=M turns the bench into
+// an assertion: exit 1 if any sparse build's peak exceeds M MiB (the CI
+// bench-smoke memory-regression gate).
 //
-//   bench_sparse_scale [--json[=FILE]] [--max-dim=16] [--queries=600]
-//                      [--skew=1.1] [--beam=64]
+//   bench_sparse_scale [--json[=FILE]] [--max-dim=20] [--queries=600]
+//                      [--skew=1.1] [--beam=64] [--peak-budget-mib=M]
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -49,8 +55,9 @@ CubeSchema MakeSchema(int n) {
   return CubeSchema(dims);
 }
 
-void RunSparseDim(bench::BenchJsonReporter& rep, int n, size_t num_queries,
-                  double skew, size_t beam) {
+// Returns the build's peak bytes so RunBench can enforce --peak-budget-mib.
+uint64_t RunSparseDim(bench::BenchJsonReporter& rep, int n,
+                      size_t num_queries, double skew, size_t beam) {
   CubeSchema schema = MakeSchema(n);
   const double raw_rows = 20e6;
   ViewSizes sizes = AnalyticalViewSizes(schema, raw_rows);
@@ -87,18 +94,21 @@ void RunSparseDim(bench::BenchJsonReporter& rep, int n, size_t num_queries,
        {"retained_queries",
         static_cast<double>(sparse.stats.retained_queries)},
        {"retained_views", static_cast<double>(sparse.stats.retained_views)},
+       {"views_dropped", static_cast<double>(sparse.stats.views_dropped)},
        {"candidate_indexes",
         static_cast<double>(sparse.stats.candidate_indexes)},
        {"beam_skipped", static_cast<double>(result.beam_skipped)},
        {"beam_stage_factor", result.beam_stage_factor}});
 
-  std::printf("%-4d %8zu %8zu %10llu %12.1f %12.1f %7llu %8.4f\n", n,
+  std::printf("%-4d %8zu %8zu %8llu %10llu %12.1f %12.1f %7llu %8.4f\n", n,
               sparse.stats.retained_queries, sparse.stats.retained_views,
+              static_cast<unsigned long long>(sparse.stats.views_dropped),
               static_cast<unsigned long long>(
                   sparse.cube.graph.num_structures()),
               build_ms, MiB(sparse.stats.build.peak_bytes),
               static_cast<unsigned long long>(result.beam_skipped),
               result.beam_stage_factor);
+  return sparse.stats.build.peak_bytes;
 }
 
 // Dense vs sparse peak build memory at dimension 8, full 3^8 workload.
@@ -156,16 +166,19 @@ double PeakReductionDim8(bench::BenchJsonReporter& rep) {
   return reduction;
 }
 
-void RunBench(bench::BenchJsonReporter& rep, int max_dim, size_t queries,
-              double skew, size_t beam) {
-  std::printf("%-4s %8s %8s %10s %12s %12s %7s %8s\n", "dim", "queries",
-              "views", "structures", "build_ms", "peak_MiB", "skipped",
-              "factor");
-  for (int n : {10, 12, 16}) {
+// Returns the largest sparse-build peak across the dims run, in bytes.
+uint64_t RunBench(bench::BenchJsonReporter& rep, int max_dim,
+                  size_t queries, double skew, size_t beam) {
+  std::printf("%-4s %8s %8s %8s %10s %12s %12s %7s %8s\n", "dim",
+              "queries", "views", "dropped", "structures", "build_ms",
+              "peak_MiB", "skipped", "factor");
+  uint64_t max_peak = 0;
+  for (int n : {10, 12, 16, 20}) {
     if (n > max_dim) break;
-    RunSparseDim(rep, n, queries, skew, beam);
+    max_peak = std::max(max_peak, RunSparseDim(rep, n, queries, skew, beam));
   }
   PeakReductionDim8(rep);
+  return max_peak;
 }
 
 }  // namespace
@@ -173,19 +186,33 @@ void RunBench(bench::BenchJsonReporter& rep, int max_dim, size_t queries,
 
 int main(int argc, char** argv) {
   olapidx::bench::BenchArgs args = olapidx::bench::ParseBenchArgs(
-      argc, argv, "sparse_scale", {"max-dim", "queries", "skew", "beam"});
-  const int max_dim = static_cast<int>(args.GetInt("max-dim", 16));
+      argc, argv, "sparse_scale",
+      {"max-dim", "queries", "skew", "beam", "peak-budget-mib"});
+  const int max_dim = static_cast<int>(args.GetInt("max-dim", 20));
   const long queries = args.GetInt("queries", 600);
   const double skew = args.GetDouble("skew", 1.1);
   const long beam = args.GetInt("beam", 64);
+  const double peak_budget_mib = args.GetDouble("peak-budget-mib", 0.0);
   if (max_dim < 8 || max_dim > 20 || queries <= 0 || beam < 0 ||
-      skew < 0.0) {
-    std::fprintf(stderr, "error: bad --max-dim/--queries/--skew/--beam\n");
+      skew < 0.0 || peak_budget_mib < 0.0) {
+    std::fprintf(stderr,
+                 "error: bad --max-dim/--queries/--skew/--beam/"
+                 "--peak-budget-mib\n");
     return 2;
   }
   olapidx::bench::BenchJsonReporter rep("sparse_scale");
-  olapidx::RunBench(rep, max_dim, static_cast<size_t>(queries), skew,
-                    static_cast<size_t>(beam));
+  const uint64_t max_peak =
+      olapidx::RunBench(rep, max_dim, static_cast<size_t>(queries), skew,
+                        static_cast<size_t>(beam));
   olapidx::bench::FinishBenchJson(rep, args);
+  if (peak_budget_mib > 0.0 &&
+      static_cast<double>(max_peak) > peak_budget_mib * 1024.0 * 1024.0) {
+    std::fprintf(stderr,
+                 "error: sparse build peak %.1f MiB exceeds "
+                 "--peak-budget-mib %.1f\n",
+                 static_cast<double>(max_peak) / (1024.0 * 1024.0),
+                 peak_budget_mib);
+    return 1;
+  }
   return 0;
 }

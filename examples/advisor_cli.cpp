@@ -48,12 +48,16 @@
 // its per-level cardinalities finest→coarsest (store:400/60/8 = 400
 // stores, 60 cities, 8 regions, plus the implicit ALL). Sizes come from
 // the analytical model (--rows is required), the workload is all
-// hierarchical slice queries, and the recommendation is printed as level
-// vectors plus index dimension orders. The flat-cube inputs (--dims,
-// --csv, --sizes, --workload, --out, --dump-sizes, --checkpoint,
-// --resume) do not apply in this mode; --algorithm, --budget,
-// --raw-penalty, --maintenance, --threads, --deadline-ms, --max-stages,
-// --metrics-json, and --trace-json all do.
+// hierarchical slice queries (or a sampled Zipf workload with
+// --zipf-queries), and the recommendation is printed as level vectors
+// plus index dimension orders. --sparse composes with --hierarchy: the
+// workload-pruned hierarchical build (--top-queries/--query-mass/
+// --max-views apply) with compressed cost columns and the streaming edge
+// sink, the only way past lattices whose dense census overflows. The
+// flat-cube inputs (--dims, --csv, --sizes, --workload, --out,
+// --dump-sizes, --checkpoint, --resume, --replay) do not apply in this
+// mode; --algorithm, --budget, --raw-penalty, --maintenance, --threads,
+// --deadline-ms, --max-stages, --metrics-json, and --trace-json all do.
 //
 // Dimension sizes come from --sizes (olapidx-sizes v1 file), from the
 // analytical model given --rows, or — with --csv — measured from the data
@@ -159,7 +163,9 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
                  double raw_penalty, double maintenance, long threads,
                  std::shared_ptr<const CostModel> cost_model,
                  const std::string& metrics_json_path,
-                 const std::string& trace_json_path) {
+                 const std::string& trace_json_path, bool sparse,
+                 long top_queries, double query_mass, long max_views,
+                 long zipf_queries, double zipf_skew, long zipf_seed) {
   std::vector<HierarchicalDimension> dims;
   std::istringstream in(hierarchy_arg);
   std::string item;
@@ -196,21 +202,72 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
   if (rows < 1.0) Usage("--hierarchy requires --rows");
   HierarchicalSchema schema(std::move(dims));
 
-  HierarchicalGraphOptions gopts;
-  gopts.raw_scan_penalty = raw_penalty;
-  gopts.maintenance_per_row = maintenance;
-  gopts.num_threads = static_cast<size_t>(threads);
-  gopts.cost_model = std::move(cost_model);
+  if (!sparse && (top_queries > 0 || query_mass < 1.0 || max_views > 0)) {
+    Usage("--top-queries/--query-mass/--max-views require --sparse");
+  }
   if (!trace_json_path.empty()) Tracer::Global().SetEnabled(true);
-  std::vector<WeightedHQuery> workload = UniformHWorkload(schema);
-  StatusOr<HierarchicalAdvisor> advisor_or =
-      HierarchicalAdvisor::Create(schema, rows, workload, gopts);
+
+  // Workload: all hierarchical slice queries, or a sampled Zipf workload.
+  // The full enumeration is Π_d (1 + 2·levels_d) queries — guard against
+  // schemas where that is infeasible.
+  double population = 1.0;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    population *= 1.0 + 2.0 * schema.num_levels(d);
+  }
+  const std::string cost_model_name =
+      cost_model != nullptr ? cost_model->name() : "";
+  std::vector<WeightedHQuery> workload;
+  if (zipf_queries > 0) {
+    if (static_cast<double>(zipf_queries) > population) {
+      Usage("--zipf-queries exceeds the schema's query population");
+    }
+    workload = SampledZipfHWorkload(schema,
+                                    static_cast<size_t>(zipf_queries),
+                                    zipf_skew,
+                                    static_cast<uint64_t>(zipf_seed));
+  } else if (population > 1e6) {
+    Usage("enumerating all hierarchical slice queries is infeasible for "
+          "this schema; provide --zipf-queries N");
+  } else {
+    workload = UniformHWorkload(schema);
+  }
+
+  StatusOr<HierarchicalAdvisor> advisor_or = [&]() {
+    if (sparse) {
+      SparseHierarchicalGraphOptions sopts;
+      sopts.top_queries = static_cast<size_t>(top_queries);
+      sopts.query_mass = query_mass;
+      if (max_views > 0) sopts.max_views = static_cast<size_t>(max_views);
+      sopts.raw_scan_penalty = raw_penalty;
+      sopts.maintenance_per_row = maintenance;
+      sopts.num_threads = static_cast<size_t>(threads);
+      sopts.cost_model = std::move(cost_model);
+      return HierarchicalAdvisor::CreateSparse(schema, rows, workload,
+                                               sopts);
+    }
+    HierarchicalGraphOptions gopts;
+    gopts.raw_scan_penalty = raw_penalty;
+    gopts.maintenance_per_row = maintenance;
+    gopts.num_threads = static_cast<size_t>(threads);
+    gopts.cost_model = std::move(cost_model);
+    return HierarchicalAdvisor::Create(schema, rows, workload, gopts);
+  }();
   if (!advisor_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  advisor_or.status().ToString().c_str());
     return StatusExitCode(advisor_or.status());
   }
   const HierarchicalAdvisor& advisor = *advisor_or;
+  if (const SparseBuildStats* ss = advisor.sparse_stats()) {
+    if (ss->view_cap_hit) {
+      std::fprintf(
+          stderr,
+          "warning: --max-views cap binds: %s%llu answering views "
+          "dropped; raise --max-views to recover them\n",
+          ss->views_dropped_truncated ? "at least " : "",
+          static_cast<unsigned long long>(ss->views_dropped));
+    }
+  }
   HRecommendation rec = advisor.TryRecommend(config);
   if (!rec.status.ok() && !rec.status.IsInterruption()) {
     std::fprintf(stderr, "error: %s\n", rec.status.ToString().c_str());
@@ -219,8 +276,8 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
 
   std::printf("algorithm: %s (hierarchical lattice)\n",
               AlgorithmName(config.algorithm));
-  if (gopts.cost_model != nullptr) {
-    std::printf("cost model: %s\n", gopts.cost_model->name());
+  if (!cost_model_name.empty()) {
+    std::printf("cost model: %s\n", cost_model_name.c_str());
   }
   if (!rec.completed) {
     std::printf("note: selection interrupted (%s) after %llu stage(s); "
@@ -231,6 +288,20 @@ int RunHierarchy(const std::string& hierarchy_arg, double rows,
   std::printf("views: %u   queries: %zu   structures considered: %u\n",
               advisor.cube_graph().graph.num_views(), workload.size(),
               advisor.cube_graph().graph.num_structures());
+  if (const SparseBuildStats* ss = advisor.sparse_stats()) {
+    std::printf(
+        "sparse graph: %zu/%zu queries retained (%.1f%% of mass), "
+        "%zu views (%zu with candidate index families, cap %s)\n",
+        ss->retained_queries, ss->workload_queries,
+        ss->total_mass > 0.0 ? 100.0 * ss->retained_mass / ss->total_mass
+                             : 100.0,
+        ss->retained_views, ss->candidate_views,
+        ss->view_cap_hit ? "hit" : "not hit");
+    std::printf("sparse graph peak memory: %.1f MiB (edge runs + cost "
+                "table)\n",
+                static_cast<double>(ss->build.peak_bytes) /
+                    (1024.0 * 1024.0));
+  }
   std::printf("space: %s of %s budget\n",
               FormatRowCount(rec.space_used).c_str(),
               FormatRowCount(budget).c_str());
@@ -443,15 +514,16 @@ int main(int argc, char** argv) {
     if (!dims_arg.empty() || !csv_path.empty() || !sizes_path.empty() ||
         !workload_path.empty() || !out_path.empty() ||
         !dump_sizes_path.empty() || !checkpoint_path.empty() ||
-        !resume_path.empty() || sparse || zipf_queries > 0 ||
-        !replay_path.empty()) {
+        !resume_path.empty() || !replay_path.empty()) {
       Usage("--hierarchy is incompatible with the flat-cube inputs "
             "(--dims/--csv/--sizes/--workload/--out/--dump-sizes/"
-            "--checkpoint/--resume/--sparse/--zipf-queries/--replay)");
+            "--checkpoint/--resume/--replay)");
     }
     return RunHierarchy(hierarchy_arg, rows, budget, config, raw_penalty,
                         maintenance, threads, std::move(cost_model),
-                        metrics_json_path, trace_json_path);
+                        metrics_json_path, trace_json_path, sparse,
+                        top_queries, query_mass, max_views, zipf_queries,
+                        zipf_skew, zipf_seed);
   }
 
   // Schema and sizes: from the CSV data, or from --dims plus --rows/--sizes.
@@ -574,6 +646,16 @@ int main(int argc, char** argv) {
     return StatusExitCode(advisor_or.status());
   }
   const Advisor& advisor = *advisor_or;
+  if (const SparseBuildStats* ss = advisor.sparse_stats()) {
+    if (ss->view_cap_hit) {
+      std::fprintf(
+          stderr,
+          "warning: --max-views cap binds: %s%llu answering views "
+          "dropped; raise --max-views to recover them\n",
+          ss->views_dropped_truncated ? "at least " : "",
+          static_cast<unsigned long long>(ss->views_dropped));
+    }
+  }
   Recommendation rec = advisor.Recommend(config);
 
   if (!rec.status.ok() && !rec.status.IsInterruption()) {

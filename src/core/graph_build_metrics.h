@@ -30,13 +30,19 @@ struct BuildStats {
   uint64_t enumerate_micros = 0;
   uint64_t finalize_micros = 0;
   uint64_t total_micros = 0;
-  // Allocation accounting (not RSS): bytes of buffered EdgeRuns across all
-  // shards, bytes of the finalized per-view cost tables, and the modeled
-  // peak — Finalize() holds the counting-sorted run copy alongside either
-  // the draining shard batches or the growing cost tables, whichever is
-  // larger.
+  // Allocation accounting (not RSS): bytes of EdgeRuns emitted across all
+  // shards (buffered at once in buffered mode, total streamed in streaming
+  // mode), bytes of the finalized per-view cost tables, Finalize()'s
+  // scratch high-water (class-id maps, query stamps, transient prototype
+  // expansion), the sum of the shards' spill-buffer high-waters (streaming
+  // mode only), and the modeled peak. Buffered: Finalize() holds the
+  // counting-sorted run copy alongside either the draining shard batches
+  // or the growing cost tables + scratch, whichever is larger. Streaming:
+  // the sink's tracked high-water plus the shard windows.
   uint64_t edge_run_bytes = 0;
   uint64_t cost_table_bytes = 0;
+  uint64_t finalize_scratch_bytes = 0;
+  uint64_t sink_shard_bytes = 0;
   uint64_t peak_bytes = 0;
 };
 
@@ -72,7 +78,8 @@ struct BuildStats {
   peak_bytes.Set(static_cast<int64_t>(stats.peak_bytes));
 }
 
-// One sparse build's pruning totals (core/sparse_cube_graph.cc).
+// One sparse build's pruning totals (core/pruning_policy.h consumers:
+// the flat and hierarchical sparse builders).
 struct SparseStats {
   uint64_t workload_queries = 0;
   uint64_t retained_queries = 0;
@@ -80,6 +87,9 @@ struct SparseStats {
   // integral).
   uint64_t retained_mass_permille = 0;
   uint64_t retained_views = 0;
+  // Superset-cone views the max_views cap excluded (0 when the cap did
+  // not bind; a lower bound when the post-cap sweep was truncated).
+  uint64_t views_dropped = 0;
   // Views whose index family was derived from the workload (too many
   // attributes for full fat-index enumeration) vs full fat families.
   uint64_t candidate_views = 0;
@@ -92,6 +102,7 @@ struct SparseStats {
   OLAPIDX_METRIC_COUNTER(retained_q, "graph_build.sparse.retained_queries");
   OLAPIDX_METRIC_COUNTER(dropped_q, "graph_build.sparse.dropped_queries");
   OLAPIDX_METRIC_COUNTER(retained_v, "graph_build.sparse.retained_views");
+  OLAPIDX_METRIC_COUNTER(dropped_v, "graph_build.sparse.views_dropped");
   OLAPIDX_METRIC_COUNTER(candidate_v, "graph_build.sparse.candidate_views");
   OLAPIDX_METRIC_COUNTER(candidate_i, "graph_build.sparse.candidate_indexes");
   OLAPIDX_METRIC_GAUGE(mass, "graph_build.sparse.retained_mass_permille");
@@ -100,6 +111,7 @@ struct SparseStats {
   retained_q.Add(stats.retained_queries);
   dropped_q.Add(stats.workload_queries - stats.retained_queries);
   retained_v.Add(stats.retained_views);
+  dropped_v.Add(stats.views_dropped);
   candidate_v.Add(stats.candidate_views);
   candidate_i.Add(stats.candidate_indexes);
   mass.Set(static_cast<int64_t>(stats.retained_mass_permille));

@@ -79,6 +79,15 @@ struct LatticeGraphOptions {
   // hard-coded |C|/|E| path bit for bit. The model is read concurrently
   // from worker threads and must outlive the build.
   const CostModel* cost_model = nullptr;
+  // Streaming spill window: when > 0, each enumeration shard flushes its
+  // EdgeRun buffer into the graph's streaming sink
+  // (QueryViewGraph::ConsumeEdgeRuns) at the first query boundary past
+  // this many buffered bytes, so peak build memory is bounded by the
+  // accumulated per-view tables plus (window × shards) instead of every
+  // run at once. 0 keeps the historical buffer-everything path. Both
+  // settings produce bit-identical graphs for any thread count (the
+  // sink's merge is order-independent; the equivalence tests pin this).
+  size_t sink_window_bytes = 0;
 };
 
 namespace lattice_build {
@@ -218,12 +227,16 @@ void BuildLatticeGraph(const Provider& provider,
   if (options.num_threads > 0) local_pool.emplace(options.num_threads);
   ThreadPool& pool = local_pool ? *local_pool : ThreadPool::Shared();
   const size_t num_chunks = pool.num_threads();
+  const bool streaming = options.sink_window_bytes > 0;
+  if (streaming) g.BeginStreamingEdges();
   std::vector<std::vector<EdgeRun>> shard(num_chunks);
   struct ChunkCounters {
     uint64_t view_pairs = 0;
     uint64_t prefix_classes = 0;
     uint64_t index_edges = 0;
     uint64_t perms_skipped = 0;
+    uint64_t flushed_bytes = 0;  // total EdgeRun bytes streamed to the sink
+    uint64_t max_buffered = 0;   // this shard's buffer high-water
   };
   std::vector<ChunkCounters> counters(num_chunks);
   {
@@ -232,6 +245,13 @@ void BuildLatticeGraph(const Provider& provider,
       std::vector<EdgeRun>& runs = shard[chunk];
       ChunkCounters& cc = counters[chunk];
       auto ctx = provider.MakeQueryContext();
+      auto flush = [&] {
+        const uint64_t bytes =
+            static_cast<uint64_t>(runs.size()) * sizeof(EdgeRun);
+        cc.max_buffered = std::max(cc.max_buffered, bytes);
+        cc.flushed_bytes += bytes;
+        g.ConsumeEdgeRuns(runs);  // drains; capacity kept for reuse
+      };
       for (size_t qi = begin; qi < end; ++qi) {
         const uint32_t q = static_cast<uint32_t>(qi);
         provider.BeginQuery(ctx, qi);
@@ -258,13 +278,25 @@ void BuildLatticeGraph(const Provider& provider,
                 }
               });
         });
+        // Spill only between queries: the sink requires a query's runs for
+        // a view to arrive in one batch.
+        if (streaming &&
+            runs.size() * sizeof(EdgeRun) >= options.sink_window_bytes) {
+          flush();
+        }
       }
+      if (streaming && !runs.empty()) flush();
     });
   }
   for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    stats.edge_run_bytes +=
-        static_cast<uint64_t>(shard[chunk].size()) * sizeof(EdgeRun);
-    g.AddEdgeRuns(std::move(shard[chunk]));
+    if (streaming) {
+      stats.edge_run_bytes += counters[chunk].flushed_bytes;
+      stats.sink_shard_bytes += counters[chunk].max_buffered;
+    } else {
+      stats.edge_run_bytes +=
+          static_cast<uint64_t>(shard[chunk].size()) * sizeof(EdgeRun);
+      g.AddEdgeRuns(std::move(shard[chunk]));
+    }
     stats.view_pairs += counters[chunk].view_pairs;
     stats.prefix_classes += counters[chunk].prefix_classes;
     stats.index_edges += counters[chunk].index_edges;
@@ -283,14 +315,24 @@ void BuildLatticeGraph(const Provider& provider,
   stats.structures = g.num_structures();
   stats.queries = g.num_queries();
   stats.total_micros = lattice_build::MicrosSince(build_start);
-  // Peak allocation model: Finalize() keeps the counting-sorted run copy
-  // (edge_run_bytes) alive while either draining the shard batches (another
-  // edge_run_bytes, freed incrementally) or writing the cost tables,
-  // whichever dominates.
   stats.cost_table_bytes = g.CostTableBytes();
-  stats.peak_bytes =
-      stats.edge_run_bytes +
-      std::max(stats.edge_run_bytes, stats.cost_table_bytes);
+  stats.finalize_scratch_bytes = g.FinalizeScratchBytes();
+  if (streaming) {
+    // The sink tracked its own high-water (accumulated tables, in-flight
+    // batches, and the Finalize conversion); add the other shards' spill
+    // windows, which live outside the sink. One window is double-counted
+    // (the in-flight batch at the sink's peak moment) — conservative.
+    stats.peak_bytes = g.StreamingPeakBytes() + stats.sink_shard_bytes;
+  } else {
+    // Peak allocation model: Finalize() keeps the counting-sorted run copy
+    // (edge_run_bytes) alive while either draining the shard batches
+    // (another edge_run_bytes, freed incrementally) or writing the cost
+    // tables plus its dedup/prototype scratch, whichever dominates.
+    stats.peak_bytes =
+        stats.edge_run_bytes +
+        std::max(stats.edge_run_bytes,
+                 stats.cost_table_bytes + stats.finalize_scratch_bytes);
+  }
   graph_build_metrics::RecordBuild(stats);
   if (stats_out != nullptr) *stats_out = stats;
 }

@@ -1,0 +1,50 @@
+#include "core/pruning_policy.h"
+
+#include <bit>
+#include <utility>
+
+namespace olapidx {
+
+QueryPruneResult PruneQueriesByMass(const std::vector<double>& frequency,
+                                    size_t top_queries, double query_mass) {
+  QueryPruneResult out;
+  for (double f : frequency) out.total_mass += f;
+  std::vector<uint32_t> order(frequency.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return frequency[a] > frequency[b];
+  });
+  size_t keep = order.size();
+  if (query_mass < 1.0 && out.total_mass > 0.0) {
+    const double target = query_mass * out.total_mass;
+    double acc = 0.0;
+    keep = 0;
+    while (keep < order.size() && acc < target) {
+      acc += frequency[order[keep]];
+      ++keep;
+    }
+  }
+  if (top_queries > 0 && top_queries < keep) {
+    keep = top_queries;
+  }
+  order.resize(keep);
+  // Restore input order so retained ids are a subsequence of the input's
+  // (and identical to it when nothing is dropped).
+  std::sort(order.begin(), order.end());
+  for (uint32_t qi : order) out.retained_mass += frequency[qi];
+  out.retained = std::move(order);
+  return out;
+}
+
+std::vector<int> CandidateKeyOrder(uint32_t prefix, uint32_t view_mask) {
+  std::vector<int> order;
+  for (uint32_t rest = prefix; rest != 0; rest &= rest - 1) {
+    order.push_back(std::countr_zero(rest));
+  }
+  for (uint32_t rest = view_mask & ~prefix; rest != 0; rest &= rest - 1) {
+    order.push_back(std::countr_zero(rest));
+  }
+  return order;
+}
+
+}  // namespace olapidx

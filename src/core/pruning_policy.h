@@ -1,0 +1,176 @@
+// The pruning-policy layer of the sparse build path: the lattice-agnostic
+// pieces of PR 6's workload pruning, extracted from the flat sparse builder
+// so the hierarchical builder composes the same policies over its own
+// lattice (hierarchy/hierarchical_graph.h, TryBuildSparseHierarchicalCubeGraph).
+//
+// One place states what each policy may drop:
+//
+//   * Query pruning (PruneQueriesByMass) drops the cold tail of the
+//     workload — queries outside the smallest hottest-first prefix
+//     reaching `query_mass` of the total frequency, and beyond the
+//     `top_queries` cap. Dropped queries contribute nothing to the built
+//     graph; their mass is recorded (SparseBuildStats::dropped_mass) so
+//     the quality loss is visible, never silent.
+//   * View retention (RetainSupersetViews) drops lattice views that either
+//     cannot answer any retained query (outside every superset cone — pure
+//     waste, no quality loss) or fall past the `max_views` soft cap
+//     (quality-trading; counted in views_dropped and flagged by
+//     view_cap_hit). The base view and each retained query's minimal
+//     answering view are exempt from the cap, so every retained query
+//     always keeps at least one answering view.
+//   * Candidate index families (CandidateKeyOrder + the per-lattice
+//     collectors) drop index permutations of wide views that no retained
+//     query's selection can use as a longest prefix; each retained query
+//     keeps a key realizing its best possible prefix, so per-query best
+//     costs are preserved exactly (pinned by test).
+//
+// Everything here is deterministic and arithmetic-free: the policies pick
+// *which* queries/views/keys exist; all costs still flow through the one
+// generic builder (core/lattice_graph_builder.h).
+
+#ifndef OLAPIDX_CORE_PRUNING_POLICY_H_
+#define OLAPIDX_CORE_PRUNING_POLICY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/graph_build_metrics.h"
+
+namespace olapidx {
+
+// Stats shared by every pruned (sparse) build, flat or hierarchical.
+struct SparseBuildStats {
+  size_t workload_queries = 0;
+  size_t retained_queries = 0;
+  double total_mass = 0.0;
+  double retained_mass = 0.0;
+  // Frequency mass of the dropped queries (= total_mass - retained_mass),
+  // recorded explicitly so the quality cost of pruning is never silent.
+  double dropped_mass = 0.0;
+  size_t retained_views = 0;
+  bool view_cap_hit = false;
+  // Superset-cone views the max_views cap excluded. Counting them exactly
+  // can cost as much as enumerating the cones, so the post-cap sweep is
+  // budgeted; views_dropped_truncated marks a saturated count (the true
+  // number is at least views_dropped).
+  uint64_t views_dropped = 0;
+  bool views_dropped_truncated = false;
+  // Views carrying the full fat family vs a workload-derived one.
+  size_t fat_views = 0;
+  size_t candidate_views = 0;
+  uint64_t candidate_indexes = 0;
+  // The generic builder's totals for this build (edge counts, timings,
+  // peak_bytes).
+  graph_build_metrics::BuildStats build;
+};
+
+// Query-pruning policy: hottest-first (stable on input order), keep the
+// smallest prefix reaching query_mass × total, cap at top_queries
+// (0 = uncapped), then restore input order — retained ids are an ascending
+// subsequence of the input, identical to it when nothing is dropped.
+struct QueryPruneResult {
+  std::vector<uint32_t> retained;  // original query indices, ascending
+  double total_mass = 0.0;
+  double retained_mass = 0.0;
+};
+QueryPruneResult PruneQueriesByMass(const std::vector<double>& frequency,
+                                    size_t top_queries, double query_mass);
+
+// View-retention policy over any lattice whose views have dense ids in
+// [0, lattice_views). Keeps `base_id`, every query's minimal answering
+// view (cap-exempt), then superset cones hottest-queries-first up to
+// `max_views`. Callbacks:
+//   minimal_of(q)    -> the query's minimal answering view id (its A ∪ B /
+//                       required-levels view)
+//   cone(q, visit)   -> call visit(view_id) for every lattice view able to
+//                       answer query q; stop early when visit returns false
+// `hot_order` lists retained query positions hottest-first (ties in input
+// order). The result's view ids are sorted ascending and id_of inverts
+// them (-1 / -2 = not retained), so unpruned lattices keep their original
+// ids.
+struct ViewRetentionResult {
+  std::vector<uint64_t> view_ids;  // retained lattice ids, ascending
+  std::vector<int32_t> id_of;      // lattice id -> dense id, < 0 if dropped
+  bool cap_hit = false;
+  uint64_t views_dropped = 0;
+  bool views_dropped_truncated = false;
+};
+
+template <typename MinimalFn, typename ConeFn>
+ViewRetentionResult RetainSupersetViews(uint64_t lattice_views,
+                                        uint64_t base_id,
+                                        const std::vector<uint32_t>& hot_order,
+                                        size_t max_views,
+                                        MinimalFn&& minimal_of,
+                                        ConeFn&& cone) {
+  ViewRetentionResult out;
+  out.id_of.assign(static_cast<size_t>(lattice_views), -1);
+  auto mark = [&](uint64_t id) {
+    if (out.id_of[static_cast<size_t>(id)] == -1) {
+      out.id_of[static_cast<size_t>(id)] = 0;  // real ids assigned below
+      out.view_ids.push_back(id);
+    }
+  };
+  mark(base_id);
+  for (uint32_t qi : hot_order) {
+    mark(minimal_of(qi));
+  }
+  // Post-cap, keep sweeping (within a budget) to count what the cap cost
+  // instead of breaking silently: every first-seen view past the cap is a
+  // dropped view (-2 marks it both counted and not-retained).
+  int64_t sweep_budget =
+      16 * static_cast<int64_t>(std::max<size_t>(max_views, 4096));
+  for (uint32_t qi : hot_order) {
+    if (out.view_ids.size() >= max_views && sweep_budget <= 0) break;
+    cone(qi, [&](uint64_t id) {
+      if (out.view_ids.size() < max_views) {
+        mark(id);
+        return true;
+      }
+      if (out.id_of[static_cast<size_t>(id)] == -1) {
+        out.cap_hit = true;
+        out.id_of[static_cast<size_t>(id)] = -2;
+        ++out.views_dropped;
+      }
+      return --sweep_budget > 0;
+    });
+  }
+  if (sweep_budget <= 0) out.views_dropped_truncated = true;
+  std::sort(out.view_ids.begin(), out.view_ids.end());
+  for (size_t v = 0; v < out.view_ids.size(); ++v) {
+    out.id_of[static_cast<size_t>(out.view_ids[v])] =
+        static_cast<int32_t>(v);
+  }
+  return out;
+}
+
+// Candidate-key policy: the dimension/attribute order of the one fat key
+// serving a distinct selection class `prefix` at a wide view: the prefix
+// bits ascending, then the view's remaining bits ascending. Bit i stands
+// for attribute/dimension i (the same convention as WalkPrefixClasses).
+std::vector<int> CandidateKeyOrder(uint32_t prefix, uint32_t view_mask);
+
+// Collects the distinct non-empty selection classes (selection ∩ view, as
+// bit masks) of the retained queries answerable at a wide view: call
+// class_of(q) for each retained query position; a return of 0 means "not
+// answerable or empty selection — no key". Sorted ascending, deduped, so
+// key families are deterministic in the workload.
+template <typename ClassOf>
+std::vector<uint32_t> CollectCandidateClasses(size_t num_queries,
+                                              ClassOf&& class_of) {
+  std::vector<uint32_t> classes;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const uint32_t p = class_of(q);
+    if (p != 0) classes.push_back(p);
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+}  // namespace olapidx
+
+#endif  // OLAPIDX_CORE_PRUNING_POLICY_H_

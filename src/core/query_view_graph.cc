@@ -3,8 +3,53 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
+#include <mutex>
+#include <numeric>
+#include <utility>
 
 namespace olapidx {
+
+// The streaming sink: per-view accumulation state that ConsumeEdgeRuns()
+// scatters shard buffers into, replacing the buffered run_batches_ path.
+// Everything here is order-independent — duplicate labels min-merge and
+// each class prototype belongs to its lowest query id — so the finalized
+// tables are bit-identical to the buffered merge for any flush order.
+struct QueryViewGraph::StreamView {
+  // Parallel per-(query, view) entries — the future ViewQueries /
+  // view-cost / column-class arrays, appended in arrival order and sorted
+  // once in FinalizeStreaming().
+  std::vector<uint32_t> entry_query;
+  std::vector<double> entry_cost;   // view-edge (scan) cost, min-merged
+  std::vector<int32_t> entry_slot;  // class slot, -1 = no index edges
+  // One slot per distinct column class seen at this view.
+  std::vector<uint64_t> slot_key;
+  std::vector<uint32_t> slot_owner;  // lowest query seen in the class
+  std::vector<double> slot_protos;   // [slot * num_indexes + k], min-merged
+};
+
+struct QueryViewGraph::StreamState {
+  std::mutex mu;
+  std::vector<StreamView> views;
+  uint64_t state_bytes = 0;  // logical bytes of the accumulation state
+  uint64_t peak_bytes = 0;   // high-water incl. in-flight batches
+};
+
+namespace {
+
+// Logical bytes charged per streaming entry / class slot (the parallel
+// array elements above; vector bookkeeping is covered by the per-view
+// sizeof(StreamView) charge).
+constexpr uint64_t kStreamEntryBytes =
+    sizeof(uint32_t) + sizeof(double) + sizeof(int32_t);
+constexpr uint64_t kStreamSlotBytes = sizeof(uint64_t) + sizeof(uint32_t);
+
+}  // namespace
+
+QueryViewGraph::QueryViewGraph() = default;
+QueryViewGraph::QueryViewGraph(QueryViewGraph&&) noexcept = default;
+QueryViewGraph& QueryViewGraph::operator=(QueryViewGraph&&) noexcept =
+    default;
+QueryViewGraph::~QueryViewGraph() = default;
 
 uint32_t QueryViewGraph::AddView(std::string name, double space) {
   OLAPIDX_CHECK(!finalized_);
@@ -139,14 +184,114 @@ void QueryViewGraph::AddIndexEdgeRun(uint32_t query, uint32_t view,
 
 void QueryViewGraph::AddEdgeRuns(std::vector<EdgeRun> runs) {
   OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(stream_ == nullptr);  // buffered and streaming are exclusive
   for (const EdgeRun& run : runs) {
     ValidateRun(run);
   }
   run_batches_.push_back(std::move(runs));
 }
 
+void QueryViewGraph::BeginStreamingEdges() {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(stream_ == nullptr);
+  OLAPIDX_CHECK(pending_.empty() && loose_runs_.empty() &&
+                run_batches_.empty());
+  stream_ = std::make_unique<StreamState>();
+  stream_->views.resize(views_.size());
+  stream_->state_bytes =
+      static_cast<uint64_t>(views_.size()) * sizeof(StreamView);
+  stream_->peak_bytes = stream_->state_bytes;
+}
+
+void QueryViewGraph::ConsumeEdgeRuns(std::vector<EdgeRun>& runs) {
+  OLAPIDX_CHECK(!finalized_);
+  OLAPIDX_CHECK(stream_ != nullptr);
+  for (const EdgeRun& run : runs) ValidateRun(run);
+  StreamState& st = *stream_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.peak_bytes =
+      std::max(st.peak_bytes,
+               st.state_bytes + runs.size() * sizeof(EdgeRun));
+  for (const EdgeRun& r : runs) {
+    StreamView& sv = st.views[r.view];
+    // Within one batch a view's entries arrive in ascending query order
+    // (shards walk their query range in order), so "same query as the
+    // last entry" is exactly "another run of the current (query, view)".
+    const bool same_query =
+        !sv.entry_query.empty() && sv.entry_query.back() == r.query;
+    if (r.index_begin == StructureRef::kNoIndex) {
+      if (same_query) {
+        double& slot = sv.entry_cost.back();
+        slot = std::min(slot, r.cost);
+      } else {
+        sv.entry_query.push_back(r.query);
+        sv.entry_cost.push_back(r.cost);
+        sv.entry_slot.push_back(-1);
+        st.state_bytes += kStreamEntryBytes;
+      }
+      continue;
+    }
+    const uint64_t key = r.col_class != 0
+                             ? static_cast<uint64_t>(r.col_class)
+                             : ((uint64_t{1} << 32) | r.query);
+    // Distinct classes per view are few; a linear probe beats a per-view
+    // hash map here.
+    const uint32_t nslots = static_cast<uint32_t>(sv.slot_key.size());
+    uint32_t slot = nslots;
+    for (uint32_t s = 0; s < nslots; ++s) {
+      if (sv.slot_key[s] == key) {
+        slot = s;
+        break;
+      }
+    }
+    const size_t ni = views_[r.view].index_spaces.size();
+    if (slot == nslots) {
+      sv.slot_key.push_back(key);
+      sv.slot_owner.push_back(r.query);
+      sv.slot_protos.resize(sv.slot_protos.size() + ni, kInfiniteCost);
+      st.state_bytes += kStreamSlotBytes + ni * sizeof(double);
+    } else if (r.query < sv.slot_owner[slot]) {
+      // A lower query id claims the class: its runs, not the old owner's,
+      // define the prototype (in the buffered path arrival order is
+      // globally ascending by query, making the lowest query the class's
+      // first-seen owner — this keeps the two paths bit-identical).
+      sv.slot_owner[slot] = r.query;
+      std::fill_n(sv.slot_protos.begin() +
+                      static_cast<std::ptrdiff_t>(slot * ni),
+                  ni, kInfiniteCost);
+    }
+    if (r.query == sv.slot_owner[slot]) {
+      double* row = sv.slot_protos.data() + static_cast<size_t>(slot) * ni;
+      for (int32_t k = r.index_begin; k < r.index_end; ++k) {
+        double& c = row[static_cast<size_t>(k)];
+        c = std::min(c, r.cost);
+      }
+    }
+    if (same_query) {
+      OLAPIDX_DCHECK(sv.entry_slot.back() == -1 ||
+                     sv.entry_slot.back() == static_cast<int32_t>(slot));
+      sv.entry_slot.back() = static_cast<int32_t>(slot);
+    } else {
+      sv.entry_query.push_back(r.query);
+      sv.entry_cost.push_back(kInfiniteCost);
+      sv.entry_slot.push_back(static_cast<int32_t>(slot));
+      st.state_bytes += kStreamEntryBytes;
+    }
+  }
+  st.peak_bytes = std::max(st.peak_bytes, st.state_bytes);
+  runs.clear();
+}
+
+uint64_t QueryViewGraph::StreamingPeakBytes() const {
+  return stream_ != nullptr ? stream_->peak_bytes : streaming_peak_bytes_;
+}
+
 void QueryViewGraph::Finalize() {
   OLAPIDX_CHECK(!finalized_);
+  if (stream_ != nullptr) {
+    FinalizeStreaming();
+    return;
+  }
   // Bucket every edge group by view with one counting-sort pass instead of
   // a global stable_sort: O(E) and shard-merge-friendly. Edge order within
   // a bucket is irrelevant to the result — duplicate labels are resolved
@@ -206,6 +351,14 @@ void QueryViewGraph::Finalize() {
   std::vector<uint32_t> col_owner(nkeys, 0);
   std::vector<double> protos;
   std::vector<int32_t> pid_of_pos;
+  // Scratch accounting for the build-peak model: the dedup arrays above
+  // live for the whole pass; in dense mode each view additionally holds a
+  // transient prototype table (in compressed mode the prototypes *are* the
+  // result and count as cost-table bytes instead).
+  finalize_scratch_bytes_ =
+      queries_.size() * (2 * sizeof(uint32_t)) +
+      nkeys * (3 * sizeof(uint32_t));
+  uint64_t transient_max = 0;
   uint32_t epoch = 0;
   for (uint32_t v = 0; v < nv; ++v) {
     const size_t b = offset[v];
@@ -273,6 +426,9 @@ void QueryViewGraph::Finalize() {
       vd.col_of_pos = std::move(pid_of_pos);
       continue;
     }
+    transient_max = std::max<uint64_t>(
+        transient_max, protos.size() * sizeof(double) +
+                           pid_of_pos.size() * sizeof(int32_t));
     // Pass C: the k-major table, written sequentially row by row; the
     // prototype reads for one k touch at most ndist cache lines. This
     // ordering is what makes large builds cheap — scattering each run
@@ -291,6 +447,128 @@ void QueryViewGraph::Finalize() {
   }
   by_view.clear();
   by_view.shrink_to_fit();
+  finalize_scratch_bytes_ += transient_max;
+  BuildQueryViews();
+  finalized_ = true;
+}
+
+void QueryViewGraph::FinalizeStreaming() {
+  StreamState& st = *stream_;
+  OLAPIDX_CHECK(pending_.empty() && loose_runs_.empty() &&
+                run_batches_.empty());
+  const size_t nv = views_.size();
+  std::vector<uint32_t> perm;       // entry sort permutation
+  std::vector<uint32_t> slot_perm;  // slot-by-owner sort permutation
+  std::vector<int32_t> pid_of_slot;
+  std::vector<double> protos;
+  std::vector<int32_t> pos_pid;
+  uint64_t running = st.state_bytes;  // sink state + finished tables
+  uint64_t scratch_max = 0;
+  for (uint32_t v = 0; v < nv; ++v) {
+    StreamView& sv = st.views[v];
+    ViewData& vd = views_[v];
+    const size_t ne = sv.entry_query.size();
+    const size_t nslots = sv.slot_key.size();
+    const size_t ni = vd.index_spaces.size();
+    const uint64_t sv_bytes = ne * kStreamEntryBytes +
+                              nslots * kStreamSlotBytes +
+                              sv.slot_protos.size() * sizeof(double);
+    if (ne != 0) {
+      // Entries arrived in per-batch query order; sort globally and merge
+      // the (rare outside tests) duplicates a multi-batch query produces.
+      perm.resize(ne);
+      std::iota(perm.begin(), perm.end(), 0u);
+      std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        return sv.entry_query[a] < sv.entry_query[b];
+      });
+      // Prototype ids in the buffered path follow first appearance in
+      // ascending-query arrival order, i.e. ascending class owner; sorting
+      // slots by owner reproduces that numbering exactly.
+      slot_perm.resize(nslots);
+      std::iota(slot_perm.begin(), slot_perm.end(), 0u);
+      std::stable_sort(slot_perm.begin(), slot_perm.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return sv.slot_owner[a] < sv.slot_owner[b];
+                       });
+      pid_of_slot.assign(nslots, -1);
+      for (size_t i = 0; i < nslots; ++i) {
+        pid_of_slot[slot_perm[i]] = static_cast<int32_t>(i);
+      }
+      protos.assign(nslots * ni, kInfiniteCost);
+      for (size_t s = 0; s < nslots; ++s) {
+        std::copy_n(sv.slot_protos.begin() +
+                        static_cast<std::ptrdiff_t>(s * ni),
+                    ni,
+                    protos.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            static_cast<size_t>(pid_of_slot[s]) * ni));
+      }
+      vd.queries.reserve(ne);
+      vd.view_cost.reserve(ne);
+      pos_pid.clear();
+      pos_pid.reserve(ne);
+      for (uint32_t idx : perm) {
+        const uint32_t q = sv.entry_query[idx];
+        const double cost = sv.entry_cost[idx];
+        const int32_t slot = sv.entry_slot[idx];
+        const int32_t pid = slot < 0 ? -1 : pid_of_slot[static_cast<size_t>(
+                                                slot)];
+        if (!vd.queries.empty() && vd.queries.back() == q) {
+          vd.view_cost.back() = std::min(vd.view_cost.back(), cost);
+          if (pid >= 0) pos_pid.back() = pid;
+          continue;
+        }
+        vd.queries.push_back(q);
+        vd.view_cost.push_back(cost);
+        pos_pid.push_back(pid);
+      }
+      const size_t nq = vd.queries.size();
+      uint64_t transient = 0;
+      if (compressed_) {
+        vd.col_protos = std::move(protos);
+        vd.col_of_pos = std::move(pos_pid);
+        protos = {};
+        pos_pid = {};
+      } else {
+        vd.index_cost.resize(ni * nq);
+        double* table = vd.index_cost.data();
+        for (size_t k = 0; k < ni; ++k) {
+          double* dst = table + k * nq;
+          for (size_t pos = 0; pos < nq; ++pos) {
+            const int32_t pid = pos_pid[pos];
+            dst[pos] = pid < 0 ? kInfiniteCost
+                               : protos[static_cast<size_t>(pid) * ni + k];
+          }
+        }
+        transient = protos.size() * sizeof(double) +
+                    pos_pid.size() * sizeof(int32_t);
+      }
+      const uint64_t table_bytes =
+          (vd.view_cost.size() + vd.index_cost.size() +
+           vd.col_protos.size()) *
+              sizeof(double) +
+          vd.queries.size() * sizeof(uint32_t) +
+          vd.col_of_pos.size() * sizeof(int32_t);
+      running += table_bytes;
+      const uint64_t scratch =
+          transient + (perm.size() + slot_perm.size()) * sizeof(uint32_t) +
+          pid_of_slot.size() * sizeof(int32_t);
+      scratch_max = std::max(scratch_max, scratch);
+      st.peak_bytes = std::max(st.peak_bytes, running + scratch);
+    }
+    // Free this view's sink state before moving on — the conversion never
+    // holds more than one view's worth of both representations.
+    sv = StreamView{};
+    running -= sv_bytes;
+  }
+  finalize_scratch_bytes_ = scratch_max;
+  streaming_peak_bytes_ = st.peak_bytes;
+  stream_.reset();
+  BuildQueryViews();
+  finalized_ = true;
+}
+
+void QueryViewGraph::BuildQueryViews() {
   // Invert the view→queries adjacency. Views are visited in ascending
   // order, so each query's view list comes out sorted.
   query_views_.assign(queries_.size(), {});
@@ -299,7 +577,6 @@ void QueryViewGraph::Finalize() {
       query_views_[q].push_back(v);
     }
   }
-  finalized_ = true;
 }
 
 namespace {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,7 +68,11 @@ class QueryViewGraph {
   static constexpr double kInfiniteCost =
       std::numeric_limits<double>::infinity();
 
-  QueryViewGraph() = default;
+  // Out of line: the streaming sink state is an incomplete type here.
+  QueryViewGraph();
+  QueryViewGraph(QueryViewGraph&&) noexcept;
+  QueryViewGraph& operator=(QueryViewGraph&&) noexcept;
+  ~QueryViewGraph();
 
   // ---- Construction (call Finalize() when done) ----
 
@@ -116,6 +121,37 @@ class QueryViewGraph {
   // Finalize(); each is validated here and freed as soon as its runs have
   // been scattered into the per-view tables.
   void AddEdgeRuns(std::vector<EdgeRun> runs);
+
+  // ---- Streaming construction (bounded-memory builder path) ----
+  //
+  // BeginStreamingEdges() switches edge ingestion from buffer-everything
+  // (AddEdgeRuns + Finalize merge) to a bounded sink: ConsumeEdgeRuns()
+  // drains each shard buffer straight into per-view accumulation state —
+  // the future query lists, view-cost columns, and per-class prototype
+  // columns — so peak memory during construction is the finished tables
+  // plus the in-flight shard windows, not every EdgeRun at once. The
+  // accumulation is order-independent (duplicate labels min-merge; each
+  // class's prototype is owned by its lowest query id and rebuilt if a
+  // lower owner arrives), so any flush interleaving finalizes into a graph
+  // bit-identical to the buffered path — the equivalence tests pin this.
+  //
+  // Contract: call after every AddView / AddIndexes* / AddQuery and before
+  // Finalize(); a query's runs for one view must all arrive within a
+  // single ConsumeEdgeRuns() call (the builder flushes only at query
+  // boundaries). Streaming and buffered ingestion are mutually exclusive.
+  void BeginStreamingEdges();
+  bool streaming_edges() const { return stream_ != nullptr; }
+  // Thread-safe; drains and clears `runs`, keeping its capacity for reuse.
+  void ConsumeEdgeRuns(std::vector<EdgeRun>& runs);
+  // High-water mark (bytes) of the sink state, including in-flight batches
+  // and the Finalize() conversion into the final tables. 0 in buffered
+  // mode.
+  uint64_t StreamingPeakBytes() const;
+
+  // Scratch high-water of the last Finalize(): class-id dedup maps, query
+  // stamps, and the per-view transient prototype expansion — the part of
+  // the true build peak graph_build.peak_bytes historically missed.
+  uint64_t FinalizeScratchBytes() const { return finalize_scratch_bytes_; }
 
   // Optional maintenance (refresh) cost charged once when the structure is
   // selected; the algorithms maximize benefit *net* of maintenance. The
@@ -292,7 +328,12 @@ class QueryViewGraph {
     double cost;
   };
 
+  struct StreamView;
+  struct StreamState;
+
   void ValidateRun(const EdgeRun& run) const;
+  void FinalizeStreaming();
+  void BuildQueryViews();
 
   std::vector<ViewData> views_;
   std::vector<QueryData> queries_;
@@ -302,6 +343,9 @@ class QueryViewGraph {
   std::vector<PendingEdge> pending_;
   std::vector<EdgeRun> loose_runs_;                 // AddIndexEdgeRun
   std::vector<std::vector<EdgeRun>> run_batches_;   // AddEdgeRuns shards
+  std::unique_ptr<StreamState> stream_;             // BeginStreamingEdges
+  uint64_t streaming_peak_bytes_ = 0;
+  uint64_t finalize_scratch_bytes_ = 0;
   uint32_t num_structures_ = 0;
   bool finalized_ = false;
   bool compressed_ = false;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/lattice_graph_builder.h"
+#include "core/pruning_policy.h"
 #include "lattice/cube_lattice.h"
 #include "lattice/index_key.h"
 
@@ -181,85 +182,62 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
   stats.workload_queries = workload.size();
   stats.total_mass = workload.TotalFrequency();
 
-  // --- 1. Query pruning: hottest-first order, mass threshold, top-k cap.
-  std::vector<uint32_t> order(workload.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return workload[a].frequency > workload[b].frequency;
-  });
-  size_t keep = order.size();
-  if (options.query_mass < 1.0 && stats.total_mass > 0.0) {
-    const double target = options.query_mass * stats.total_mass;
-    double acc = 0.0;
-    keep = 0;
-    while (keep < order.size() && acc < target) {
-      acc += workload[order[keep]].frequency;
-      ++keep;
-    }
+  // --- 1. Query pruning (policy layer): hottest-first order, mass
+  // threshold, top-k cap.
+  std::vector<double> frequency;
+  frequency.reserve(workload.size());
+  for (const WeightedQuery& wq : workload.queries()) {
+    frequency.push_back(wq.frequency);
   }
-  if (options.top_queries > 0 && options.top_queries < keep) {
-    keep = options.top_queries;
-  }
-  order.resize(keep);
-  // Restore workload order so query ids are a subsequence of the input's
-  // (and identical to it when nothing is dropped).
-  std::sort(order.begin(), order.end());
+  QueryPruneResult pruned = PruneQueriesByMass(
+      frequency, options.top_queries, options.query_mass);
   Workload retained;
-  for (uint32_t qi : order) {
+  for (uint32_t qi : pruned.retained) {
     retained.Add(workload[qi].query, workload[qi].frequency);
-    stats.retained_mass += workload[qi].frequency;
   }
+  stats.retained_mass = pruned.retained_mass;
+  stats.dropped_mass = stats.total_mass - stats.retained_mass;
   stats.retained_queries = retained.size();
 
-  // --- 2. View pruning: the base view plus every retained query's
-  // superset cone, hottest queries first so the soft cap favors the hot
-  // region of the lattice. Minimal views (A ∪ B) are exempt from the cap —
-  // without them a query's own smallest view would be missing while
-  // *larger* ones survive.
+  // --- 2. View pruning (policy layer): the base view plus every retained
+  // query's superset cone, hottest queries first so the soft cap favors
+  // the hot region of the lattice. Minimal views (A ∪ B) are exempt from
+  // the cap — without them a query's own smallest view would be missing
+  // while *larger* ones survive.
   const AttributeSet full = AttributeSet::Full(n);
-  std::vector<int32_t> id_of_mask(size_t{1} << n, -1);
-  std::vector<uint32_t> view_masks;
-  auto mark = [&](uint32_t mask) {
-    if (id_of_mask[mask] < 0) {
-      id_of_mask[mask] = 0;  // real ids assigned after the sort below
-      view_masks.push_back(mask);
-    }
-  };
-  mark(full.mask());
   std::vector<uint32_t> hot_order(retained.size());
   std::iota(hot_order.begin(), hot_order.end(), 0u);
   std::stable_sort(hot_order.begin(), hot_order.end(),
                    [&](uint32_t a, uint32_t b) {
                      return retained[a].frequency > retained[b].frequency;
                    });
-  for (uint32_t qi : hot_order) {
-    mark(retained[qi].query.AllAttributes().mask());
-  }
-  for (uint32_t qi : hot_order) {
-    if (view_masks.size() >= options.max_views) break;
-    for (AttributeSet cset :
-         retained[qi].query.AllAttributes().SupersetsWithin(full)) {
-      if (view_masks.size() >= options.max_views) {
-        if (id_of_mask[cset.mask()] < 0) stats.view_cap_hit = true;
-        break;
-      }
-      mark(cset.mask());
-    }
-  }
-  std::sort(view_masks.begin(), view_masks.end());
-  for (uint32_t v = 0; v < view_masks.size(); ++v) {
-    id_of_mask[view_masks[v]] = static_cast<int32_t>(v);
-  }
+  ViewRetentionResult retention = RetainSupersetViews(
+      uint64_t{1} << n, full.mask(), hot_order, options.max_views,
+      [&](uint32_t qi) {
+        return retained[qi].query.AllAttributes().mask();
+      },
+      [&](uint32_t qi, auto&& visit) {
+        for (AttributeSet cset :
+             retained[qi].query.AllAttributes().SupersetsWithin(full)) {
+          if (!visit(cset.mask())) break;
+        }
+      });
+  std::vector<uint32_t> view_masks(retention.view_ids.begin(),
+                                   retention.view_ids.end());
+  const std::vector<int32_t>& id_of_mask = retention.id_of;
   stats.retained_views = view_masks.size();
+  stats.view_cap_hit = retention.cap_hit;
+  stats.views_dropped = retention.views_dropped;
+  stats.views_dropped_truncated = retention.views_dropped_truncated;
   const uint32_t base_id =
       static_cast<uint32_t>(id_of_mask[full.mask()]);
 
-  // --- 3. Index families for wide views: one fat key per distinct
-  // selection ∩ view over the retained answerable queries, selection
-  // attributes leading (ascending), remaining view attributes trailing
-  // (ascending). Such a key serves its whole class at the best possible
-  // prefix; keys from different classes may collide, so dedupe the final
-  // sequences.
+  // --- 3. Index families for wide views (policy layer): one fat key per
+  // distinct selection ∩ view over the retained answerable queries,
+  // selection attributes leading (ascending), remaining view attributes
+  // trailing (ascending). Such a key serves its whole class at the best
+  // possible prefix; keys from different classes may collide, so dedupe
+  // the final sequences.
   CubeLattice lattice(schema);
   std::vector<std::vector<IndexKey>> candidate_keys(view_masks.size());
   std::vector<std::pair<uint32_t, uint32_t>> query_masks;  // (A∪B, B)
@@ -268,7 +246,6 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
     query_masks.emplace_back(wq.query.AllAttributes().mask(),
                              wq.query.selection().mask());
   }
-  std::vector<uint32_t> prefixes;
   for (uint32_t v = 0; v < view_masks.size(); ++v) {
     const uint32_t mask = view_masks[v];
     if (std::popcount(mask) <= options.max_fat_dim) {
@@ -276,23 +253,16 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
       continue;
     }
     ++stats.candidate_views;
-    prefixes.clear();
-    for (const auto& [need, sel] : query_masks) {
-      if ((need & ~mask) != 0) continue;
-      const uint32_t p = sel & mask;
-      if (p != 0) prefixes.push_back(p);
-    }
-    std::sort(prefixes.begin(), prefixes.end());
-    prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
-                   prefixes.end());
+    const std::vector<uint32_t> classes = CollectCandidateClasses(
+        query_masks.size(), [&](size_t q) -> uint32_t {
+          const auto& [need, sel] = query_masks[q];
+          if ((need & ~mask) != 0) return 0;  // not answerable here
+          return sel & mask;
+        });
     std::vector<IndexKey>& keys = candidate_keys[v];
-    keys.reserve(prefixes.size());
-    for (uint32_t p : prefixes) {
-      std::vector<int> attrs = AttributeSet::FromMask(p).ToVector();
-      for (int a : AttributeSet::FromMask(mask & ~p).ToVector()) {
-        attrs.push_back(a);
-      }
-      keys.emplace_back(std::move(attrs));
+    keys.reserve(classes.size());
+    for (uint32_t p : classes) {
+      keys.emplace_back(CandidateKeyOrder(p, mask));
     }
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
@@ -320,6 +290,7 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
   build.maintenance_per_row = options.maintenance_per_row;
   build.num_threads = options.num_threads;
   build.cost_model = options.cost_model.get();
+  build.sink_window_bytes = options.sink_window_bytes;
   BuildLatticeGraph(provider, build, out.graph, &stats.build);
 
   graph_build_metrics::SparseStats metric;
@@ -331,6 +302,7 @@ StatusOr<SparseCubeGraph> TryBuildSparseCubeGraph(
                                   stats.total_mass)
           : 1000;
   metric.retained_views = stats.retained_views;
+  metric.views_dropped = stats.views_dropped;
   metric.candidate_views = stats.candidate_views;
   metric.candidate_indexes = stats.candidate_indexes;
   graph_build_metrics::RecordSparseBuild(metric);

@@ -42,8 +42,8 @@
 
 #include "common/status.h"
 #include "core/cube_graph.h"
+#include "core/pruning_policy.h"
 #include "cost/cost_model.h"
-#include "core/graph_build_metrics.h"
 #include "cost/view_sizes.h"
 #include "lattice/schema.h"
 #include "workload/workload.h"
@@ -74,6 +74,14 @@ struct SparseCubeGraphOptions {
   // tables. Off only for A/B comparisons; the values are identical.
   bool compress_cost_columns = true;
 
+  // Streaming spill window per enumeration shard (bytes of buffered edge
+  // runs); see LatticeGraphOptions::sink_window_bytes. The default streams
+  // — peak build memory is bounded by the finished compressed tables plus
+  // a few hundred KiB per shard instead of scaling with retained-view ×
+  // class count. 0 buffers everything (the historical path); both settings
+  // build bit-identical graphs.
+  size_t sink_window_bytes = size_t{1} << 18;
+
   // Same meaning as in CubeGraphOptions.
   double default_query_cost = 0.0;
   double raw_scan_penalty = 1.0;
@@ -82,21 +90,8 @@ struct SparseCubeGraphOptions {
   std::shared_ptr<const CostModel> cost_model = nullptr;
 };
 
-struct SparseBuildStats {
-  size_t workload_queries = 0;
-  size_t retained_queries = 0;
-  double total_mass = 0.0;
-  double retained_mass = 0.0;
-  size_t retained_views = 0;
-  bool view_cap_hit = false;
-  // Views carrying the full fat family vs a workload-derived one.
-  size_t fat_views = 0;
-  size_t candidate_views = 0;
-  uint64_t candidate_indexes = 0;
-  // The generic builder's totals for this build (edge counts, timings,
-  // peak_bytes).
-  graph_build_metrics::BuildStats build;
-};
+// SparseBuildStats lives in core/pruning_policy.h (shared with the
+// hierarchical sparse builder).
 
 struct SparseCubeGraph {
   // Reuses the dense result type so the advisor, checkpoints, and plan

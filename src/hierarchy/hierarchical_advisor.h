@@ -10,6 +10,7 @@
 #ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
 #define OLAPIDX_HIERARCHY_HIERARCHICAL_ADVISOR_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,20 @@ class HierarchicalAdvisor {
       const std::vector<WeightedHQuery>& workload,
       const HierarchicalGraphOptions& options = {});
 
+  // Workload-pruned construction (TryBuildSparseHierarchicalCubeGraph):
+  // the same recommendation surface over a pruned lattice. Recommendations
+  // and plans cover the *retained* query set; sparse_stats() reports what
+  // was dropped.
+  static StatusOr<HierarchicalAdvisor> CreateSparse(
+      const HierarchicalSchema& schema, double raw_rows,
+      const std::vector<WeightedHQuery>& workload,
+      const SparseHierarchicalGraphOptions& options = {});
+
+  // Pruning/build telemetry of CreateSparse; nullptr for dense advisors.
+  const SparseBuildStats* sparse_stats() const {
+    return sparse_stats_ ? &*sparse_stats_ : nullptr;
+  }
+
   const HierarchicalCubeGraph& cube_graph() const { return cube_graph_; }
   const HierarchicalSchema& schema() const { return schema_; }
   // QueryViewGraph::Fingerprint() of this advisor's graph, computed once
@@ -113,6 +128,7 @@ class HierarchicalAdvisor {
   HierarchicalSchema schema_;
   HierarchicalCubeGraph cube_graph_;
   uint64_t graph_fingerprint_ = 0;
+  std::optional<SparseBuildStats> sparse_stats_;
 };
 
 }  // namespace olapidx

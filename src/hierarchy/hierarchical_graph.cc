@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <numeric>
+#include <set>
 #include <string>
 #include <utility>
 
+#include "common/rng.h"
 #include "core/lattice_graph_builder.h"
+#include "core/pruning_policy.h"
 
 namespace olapidx {
 
@@ -119,15 +123,23 @@ struct NamerState {
   std::vector<int> radices;
   std::vector<int> all_levels;
   bool fat_indexes_only = true;
+  // Sparse builds only: graph view id -> lattice id (empty = identity) and
+  // per-view candidate key orders (an empty per-view family = canonical
+  // fat enumeration, decoded on demand).
+  std::vector<uint64_t> view_ids;
+  std::vector<std::vector<std::vector<int>>> orders;
 };
 
 std::function<std::string(uint32_t, int32_t)> MakeIndexNamer(
     const HierarchicalSchema& schema, const HierarchicalLattice& lattice,
-    bool fat_indexes_only) {
+    bool fat_indexes_only, std::vector<uint64_t> view_ids = {},
+    std::vector<std::vector<std::vector<int>>> orders = {}) {
   auto state = std::make_shared<NamerState>();
   const int n = schema.num_dimensions();
   state->fat_indexes_only = fat_indexes_only;
   state->all_levels = AllLevelsOf(schema);
+  state->view_ids = std::move(view_ids);
+  state->orders = std::move(orders);
   for (int d = 0; d < n; ++d) {
     state->dim_names.push_back(schema.dimension(d).name);
     std::vector<std::string> names;
@@ -139,12 +151,15 @@ std::function<std::string(uint32_t, int32_t)> MakeIndexNamer(
     state->radices.push_back(schema.radix(d));
   }
   return [state](uint32_t v, int32_t k) {
+    const uint64_t id = state->view_ids.empty()
+                            ? static_cast<uint64_t>(v)
+                            : state->view_ids[v];
     const int nd = static_cast<int>(state->dim_names.size());
     std::vector<int> levels(static_cast<size_t>(nd));
     std::vector<int> active;
     for (int d = 0; d < nd; ++d) {
       const int level = static_cast<int>(
-          (v / state->strides[static_cast<size_t>(d)]) %
+          (id / state->strides[static_cast<size_t>(d)]) %
           static_cast<uint64_t>(state->radices[static_cast<size_t>(d)]));
       levels[static_cast<size_t>(d)] = level;
       if (level != state->all_levels[static_cast<size_t>(d)]) {
@@ -152,7 +167,9 @@ std::function<std::string(uint32_t, int32_t)> MakeIndexNamer(
       }
     }
     std::vector<int> order =
-        DecodeOrder(active, k, state->fat_indexes_only);
+        !state->orders.empty() && !state->orders[v].empty()
+            ? state->orders[v][static_cast<size_t>(k)]
+            : DecodeOrder(active, k, state->fat_indexes_only);
     std::string name = "I_";
     for (int d : order) {
       name += state->dim_names[static_cast<size_t>(d)] + "." +
@@ -342,6 +359,41 @@ struct HierarchicalLatticeProvider {
   }
 };
 
+// Shared external-input validation of a hierarchical workload (dense and
+// sparse builders): role vectors must match the schema and mentioned
+// dimensions must sit at proper levels.
+Status ValidateHierarchicalWorkload(
+    const HierarchicalSchema& schema,
+    const std::vector<WeightedHQuery>& workload) {
+  const int n = schema.num_dimensions();
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const WeightedHQuery& wq = workload[qi];
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("workload query " +
+                                     std::to_string(qi + 1) + ": " + message);
+    };
+    if (static_cast<int>(wq.query.roles().size()) != n) {
+      return fail("has " + std::to_string(wq.query.roles().size()) +
+                  " dimension roles, schema has " + std::to_string(n) +
+                  " dimensions");
+    }
+    if (wq.frequency < 0.0) {
+      return fail("negative frequency " + std::to_string(wq.frequency));
+    }
+    for (int d = 0; d < n; ++d) {
+      const HDimRole& role = wq.query.role(d);
+      if (role.kind == HDimRole::kAbsent) continue;
+      if (role.level < 0 || role.level >= schema.num_levels(d)) {
+        return fail("dimension '" + schema.dimension(d).name +
+                    "' mentioned at level " + std::to_string(role.level) +
+                    ", outside its proper levels [0, " +
+                    std::to_string(schema.num_levels(d) - 1) + "]");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::vector<int> HierarchicalCubeGraph::ActiveDimensionsOf(
@@ -358,7 +410,11 @@ std::vector<int> HierarchicalCubeGraph::ActiveDimensionsOf(
 
 std::vector<int> HierarchicalCubeGraph::IndexOrderOf(uint32_t v,
                                                      int32_t k) const {
-  if (!index_orders.empty()) {
+  // A non-empty per-view family is authoritative (the reference builder's
+  // canonical enumeration, or a sparse build's candidate family). Views
+  // with an empty per-view vector — every view of a fast dense build, and
+  // the fat views of a sparse one — decode the canonical family on demand.
+  if (!index_orders.empty() && !index_orders[v].empty()) {
     return index_orders[v][static_cast<size_t>(k)];
   }
   return DecodeOrder(ActiveDimensionsOf(v), k, fat_indexes_only);
@@ -366,6 +422,17 @@ std::vector<int> HierarchicalCubeGraph::IndexOrderOf(uint32_t v,
 
 int32_t HierarchicalCubeGraph::IndexPositionOf(
     uint32_t v, const std::vector<int>& order) const {
+  // Candidate families are sparse subsets of the canonical enumeration, so
+  // their ranks are positional, not combinatorial — search the stored
+  // family. (Reference builds store the canonical family, for which the
+  // search agrees with OrderRank.)
+  if (!index_orders.empty() && !index_orders[v].empty()) {
+    const std::vector<std::vector<int>>& family = index_orders[v];
+    for (size_t k = 0; k < family.size(); ++k) {
+      if (family[k] == order) return static_cast<int32_t>(k);
+    }
+    return -1;
+  }
   const int64_t rank =
       OrderRank(ActiveDimensionsOf(v), order, fat_indexes_only);
   return rank < 0 ? -1 : static_cast<int32_t>(rank);
@@ -451,30 +518,8 @@ StatusOr<HierarchicalCubeGraph> TryBuildHierarchicalCubeGraph(
           "levels");
     }
   }
-  for (size_t qi = 0; qi < workload.size(); ++qi) {
-    const WeightedHQuery& wq = workload[qi];
-    auto fail = [&](const std::string& message) {
-      return Status::InvalidArgument("workload query " +
-                                     std::to_string(qi + 1) + ": " + message);
-    };
-    if (static_cast<int>(wq.query.roles().size()) != n) {
-      return fail("has " + std::to_string(wq.query.roles().size()) +
-                  " dimension roles, schema has " + std::to_string(n) +
-                  " dimensions");
-    }
-    if (wq.frequency < 0.0) {
-      return fail("negative frequency " + std::to_string(wq.frequency));
-    }
-    for (int d = 0; d < n; ++d) {
-      const HDimRole& role = wq.query.role(d);
-      if (role.kind == HDimRole::kAbsent) continue;
-      if (role.level < 0 || role.level >= schema.num_levels(d)) {
-        return fail("dimension '" + schema.dimension(d).name +
-                    "' mentioned at level " + std::to_string(role.level) +
-                    ", outside its proper levels [0, " +
-                    std::to_string(schema.num_levels(d) - 1) + "]");
-      }
-    }
+  if (Status s = ValidateHierarchicalWorkload(schema, workload); !s.ok()) {
+    return s;
   }
 
   HierarchicalLattice lattice(&schema);
@@ -598,6 +643,511 @@ HierarchicalCubeGraph BuildHierarchicalCubeGraphReference(
   }
   g.Finalize();
   return out;
+}
+
+std::vector<WeightedHQuery> SampledZipfHWorkload(
+    const HierarchicalSchema& schema, size_t num_queries, double skew,
+    uint64_t seed) {
+  const int n = schema.num_dimensions();
+  // Population: each dimension independently absent, grouped at one of its
+  // levels, or selected at one of its levels. Counted in doubles — the
+  // product overflows uint64 long before rejection sampling struggles.
+  double total = 1.0;
+  for (int d = 0; d < n; ++d) {
+    total *= 1.0 + 2.0 * schema.num_levels(d);
+  }
+  OLAPIDX_CHECK(num_queries > 0 &&
+                static_cast<double>(num_queries) <= total);
+
+  // Rejection-sample distinct queries, mirroring SampledZipfSliceQueries:
+  // each draw picks an independent role per dimension, uniform over the
+  // population without enumerating it.
+  Pcg32 rng(seed);
+  std::vector<HSliceQuery> sample;
+  sample.reserve(num_queries);
+  std::set<std::vector<int>> seen;
+  std::vector<int> key(static_cast<size_t>(n));
+  while (sample.size() < num_queries) {
+    std::vector<HDimRole> roles(static_cast<size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      const int levels = schema.num_levels(d);
+      const int c = static_cast<int>(
+          rng.NextBounded(static_cast<uint32_t>(1 + 2 * levels)));
+      key[static_cast<size_t>(d)] = c;
+      HDimRole& role = roles[static_cast<size_t>(d)];
+      if (c == 0) {
+        role.kind = HDimRole::kAbsent;
+      } else if (c <= levels) {
+        role.kind = HDimRole::kGroupBy;
+        role.level = c - 1;
+      } else {
+        role.kind = HDimRole::kSelect;
+        role.level = c - levels - 1;
+      }
+    }
+    if (!seen.insert(key).second) continue;
+    sample.emplace_back(HSliceQuery(std::move(roles)));
+  }
+
+  // Draw rank = heat rank: the k-th distinct query sampled gets the k-th
+  // Zipf mass.
+  ZipfSampler zipf(static_cast<uint32_t>(num_queries), skew);
+  std::vector<WeightedHQuery> out;
+  out.reserve(num_queries);
+  for (size_t k = 0; k < num_queries; ++k) {
+    out.push_back(WeightedHQuery{
+        std::move(sample[k]),
+        zipf.Probability(static_cast<uint32_t>(k))});
+  }
+  return out;
+}
+
+namespace {
+
+// The pruned-lattice hierarchical LatticeProvider: graph view ids are
+// dense in the retained set (ascending lattice-id order), answering views
+// resolve through the lattice-id → dense-id inverse, and views with more
+// than max_fat_dim active dimensions carry workload-derived candidate key
+// orders. Cost arithmetic mirrors HierarchicalLatticeProvider division for
+// division — every denominator is view_sizes[subcube id] from the same
+// AnalyticalSizes array — which is what makes the unpruned sparse build
+// bit-identical to the dense one.
+struct SparseHierarchicalLatticeProvider {
+  const HierarchicalSchema* schema;
+  const HierarchicalLattice* lattice;
+  const std::vector<WeightedHQuery>* workload;  // the *retained* workload
+  const SparseHierarchicalGraphOptions* options;
+  const std::vector<uint64_t>* view_ids;  // dense id -> lattice id
+  const std::vector<int32_t>* id_of;      // lattice id -> dense id or < 0
+  const std::vector<double>* sizes;       // full-lattice AnalyticalSizes
+  // Dense id -> candidate key orders; empty for fat views (canonical
+  // family, enumerated on the fly exactly like the dense provider).
+  const std::vector<std::vector<std::vector<int>>>* orders;
+  const std::vector<int>* levels_flat;  // dense id * n + d -> level
+  HierarchicalCubeGraph* out;
+  int n = 0;
+  uint64_t all_all_id = 0;  // lattice apex id = lattice num_views - 1
+  uint32_t base_id = 0;     // dense id of the lattice base view
+
+  struct Ctx {
+    std::vector<int> required;    // per dim: coarsest answering level
+    std::vector<int> lv;          // current view's level digits
+    std::vector<int64_t> delta;   // select dims: (sel_level − ALL)·stride
+    std::vector<char> is_select;  // per dim
+    std::vector<int64_t> local_delta;  // per active local bit, select only
+    uint64_t cone_size = 1;       // Π (required_d + 1)
+  };
+
+  uint32_t num_views() const {
+    return static_cast<uint32_t>(view_ids->size());
+  }
+  uint32_t BaseView() const { return base_id; }
+  double ViewSizeOf(uint32_t v) const { return (*sizes)[(*view_ids)[v]]; }
+
+  void InitGraph(QueryViewGraph& g) const {
+    g.SetIndexNamer(
+        MakeIndexNamer(*schema, *lattice, true, *view_ids, *orders));
+    if (options->compress_cost_columns) g.SetCompressedCostColumns();
+  }
+
+  void AddStructures(QueryViewGraph& g, uint32_t v, double size,
+                     double maintenance) const {
+    LevelVector levels = lattice->LevelsOf((*view_ids)[v]);
+    uint32_t gv = g.AddView(lattice->ViewName(levels), size);
+    OLAPIDX_CHECK(gv == v);
+    if (maintenance > 0.0) g.SetViewMaintenance(gv, maintenance);
+    const int m =
+        static_cast<int>(lattice->ActiveDimensions(levels).size());
+    const int64_t count =
+        m <= options->max_fat_dim
+            ? NumIndexesForActive(m, /*fat_indexes_only=*/true)
+            : static_cast<int64_t>((*orders)[v].size());
+    g.AddIndexesNamed(gv, static_cast<int32_t>(count), size, maintenance);
+    out->view_levels.push_back(std::move(levels));
+  }
+
+  size_t num_queries() const { return workload->size(); }
+
+  void AddQuery(QueryViewGraph& g, size_t qi, double default_cost) const {
+    const WeightedHQuery& wq = (*workload)[qi];
+    g.AddQuery(wq.query.ToString(*schema), default_cost, wq.frequency);
+    out->queries.push_back(wq.query);
+  }
+
+  Ctx MakeQueryContext() const {
+    Ctx ctx;
+    ctx.required.resize(static_cast<size_t>(n));
+    ctx.lv.resize(static_cast<size_t>(n));
+    ctx.delta.resize(static_cast<size_t>(n));
+    ctx.is_select.resize(static_cast<size_t>(n));
+    ctx.local_delta.reserve(static_cast<size_t>(n));
+    return ctx;
+  }
+
+  void BeginQuery(Ctx& ctx, size_t qi) const {
+    const HSliceQuery& q = (*workload)[qi].query;
+    ctx.cone_size = 1;
+    for (int d = 0; d < n; ++d) {
+      const HDimRole& role = q.role(d);
+      const auto sd = static_cast<size_t>(d);
+      ctx.required[sd] =
+          role.kind == HDimRole::kAbsent ? schema->all_level(d) : role.level;
+      ctx.is_select[sd] = role.kind == HDimRole::kSelect;
+      ctx.delta[sd] =
+          ctx.is_select[sd]
+              ? (static_cast<int64_t>(role.level) - schema->all_level(d)) *
+                    static_cast<int64_t>(lattice->stride(d))
+              : 0;
+      ctx.cone_size *= static_cast<uint64_t>(ctx.required[sd]) + 1;
+    }
+  }
+
+  template <typename Visit>
+  void ForEachAnsweringView(Ctx& ctx, Visit&& visit) const {
+    // Both branches emit ascending dense ids (view_ids is sorted) and
+    // leave ctx.lv holding the visited view's level digits; pick the
+    // cheaper enumeration. Unpruned lattices always take the odometer
+    // (the cone is a subset of the lattice), reproducing the dense
+    // provider's walk exactly.
+    if (ctx.cone_size <= view_ids->size()) {
+      std::fill(ctx.lv.begin(), ctx.lv.end(), 0);
+      uint64_t v = 0;
+      for (;;) {
+        const int32_t dense = (*id_of)[static_cast<size_t>(v)];
+        if (dense >= 0) visit(static_cast<uint32_t>(dense));
+        int d = 0;
+        while (d < n && ctx.lv[static_cast<size_t>(d)] ==
+                            ctx.required[static_cast<size_t>(d)]) {
+          v -= static_cast<uint64_t>(ctx.lv[static_cast<size_t>(d)]) *
+               lattice->stride(d);
+          ctx.lv[static_cast<size_t>(d)] = 0;
+          ++d;
+        }
+        if (d == n) break;
+        ++ctx.lv[static_cast<size_t>(d)];
+        v += lattice->stride(d);
+      }
+      return;
+    }
+    for (uint32_t dense = 0; dense < view_ids->size(); ++dense) {
+      const int* lv =
+          levels_flat->data() + size_t{dense} * static_cast<size_t>(n);
+      bool answers = true;
+      for (int d = 0; d < n; ++d) {
+        if (lv[d] > ctx.required[static_cast<size_t>(d)]) {
+          answers = false;
+          break;
+        }
+      }
+      if (!answers) continue;
+      std::copy(lv, lv + n, ctx.lv.begin());
+      visit(dense);
+    }
+  }
+
+  uint32_t IndexColumnClass(const Ctx& ctx, uint32_t v) const {
+    // Same class as the dense provider — the restricted-selection subcube
+    // id, shifted non-zero (its mixed-radix encoding pins both the
+    // selected active dimensions and their levels, so classmates share
+    // every denominator regardless of key family). 0 for the apex and for
+    // wide views whose candidate family is empty.
+    int64_t id = static_cast<int64_t>(all_all_id);
+    int m = 0;
+    for (int d = 0; d < n; ++d) {
+      const auto sd = static_cast<size_t>(d);
+      if (ctx.lv[sd] == schema->all_level(d)) continue;
+      ++m;
+      if (ctx.is_select[sd]) id += ctx.delta[sd];
+    }
+    if (m == 0) return 0;
+    if (m > options->max_fat_dim && (*orders)[v].empty()) return 0;
+    return static_cast<uint32_t>(id) + 1;
+  }
+
+  template <typename Emit>
+  void ForEachIndexCostClass(Ctx& ctx, uint32_t v,
+                             const double* /*view_size*/,
+                             Emit&& emit) const {
+    const double* sz = sizes->data();
+    ctx.local_delta.clear();
+    uint32_t sel_local = 0;
+    for (int d = 0; d < n; ++d) {
+      const auto sd = static_cast<size_t>(d);
+      if (ctx.lv[sd] == schema->all_level(d)) continue;
+      if (ctx.is_select[sd]) {
+        sel_local |= 1u << ctx.local_delta.size();
+      }
+      ctx.local_delta.push_back(ctx.delta[sd]);
+    }
+    const int m = static_cast<int>(ctx.local_delta.size());
+    if (m <= options->max_fat_dim) {
+      const uint32_t full = (1u << m) - 1;
+      WalkPrefixClasses(full, m, m, sel_local, 0,
+                        [&](int64_t rb, int64_t re, uint32_t prefix) {
+                          int64_t denom_id =
+                              static_cast<int64_t>(all_all_id);
+                          for (uint32_t rest = prefix; rest != 0;
+                               rest &= rest - 1) {
+                            denom_id += ctx.local_delta[static_cast<size_t>(
+                                std::countr_zero(rest))];
+                          }
+                          emit(rb, re, sz[denom_id]);
+                        });
+      return;
+    }
+    // Candidate family: each key serves its query at the longest leading
+    // run of selection dimensions; denominators are the same per-dimension
+    // stride deltas as the fat path.
+    const std::vector<std::vector<int>>& family = (*orders)[v];
+    for (size_t k = 0; k < family.size(); ++k) {
+      int64_t denom_id = static_cast<int64_t>(all_all_id);
+      for (int d : family[k]) {
+        if (!ctx.is_select[static_cast<size_t>(d)]) break;
+        denom_id += ctx.delta[static_cast<size_t>(d)];
+      }
+      emit(static_cast<int64_t>(k), static_cast<int64_t>(k) + 1,
+           sz[denom_id]);
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<SparseHierarchicalCubeGraph> TryBuildSparseHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const SparseHierarchicalGraphOptions& options) {
+  if (!(raw_rows >= 1.0)) {
+    return Status::InvalidArgument("raw_rows must be >= 1 (got " +
+                                   std::to_string(raw_rows) + ")");
+  }
+  if (!(options.raw_scan_penalty >= 1.0)) {
+    return Status::InvalidArgument("raw_scan_penalty must be >= 1 (got " +
+                                   std::to_string(options.raw_scan_penalty) +
+                                   ")");
+  }
+  if (options.maintenance_per_row < 0.0) {
+    return Status::InvalidArgument(
+        "maintenance_per_row must be non-negative (got " +
+        std::to_string(options.maintenance_per_row) + ")");
+  }
+  if (options.default_query_cost < 0.0) {
+    return Status::InvalidArgument(
+        "default_query_cost must be non-negative (got " +
+        std::to_string(options.default_query_cost) + ")");
+  }
+  if (options.max_fat_dim < 0 || options.max_fat_dim > 8) {
+    return Status::InvalidArgument(
+        "max_fat_dim must be in [0, 8] (got " +
+        std::to_string(options.max_fat_dim) + ")");
+  }
+  if (!(options.query_mass > 0.0) || options.query_mass > 1.0) {
+    return Status::InvalidArgument("query_mass must be in (0, 1]");
+  }
+  const int n = schema.num_dimensions();
+  const uint64_t num_views = schema.NumViews();
+  // The full lattice must still fit the view-id ceiling: index-edge column
+  // classes are keyed by lattice subcube ids even when most views are
+  // pruned away. The *structure* ceiling, by contrast, is checked against
+  // the retained census below.
+  if (num_views > kMaxHierarchicalViews) {
+    return Status::InvalidArgument(
+        "hierarchical lattice has " + std::to_string(num_views) +
+        " views, over the ceiling of " +
+        std::to_string(kMaxHierarchicalViews) +
+        "; coarsen or drop hierarchy levels");
+  }
+  if (Status s = ValidateHierarchicalWorkload(schema, workload); !s.ok()) {
+    return s;
+  }
+
+  SparseHierarchicalCubeGraph result;
+  SparseBuildStats& stats = result.stats;
+  stats.workload_queries = workload.size();
+
+  // --- 1. Query pruning (policy layer).
+  std::vector<double> frequency;
+  frequency.reserve(workload.size());
+  for (const WeightedHQuery& wq : workload) {
+    frequency.push_back(wq.frequency);
+  }
+  QueryPruneResult pruned = PruneQueriesByMass(
+      frequency, options.top_queries, options.query_mass);
+  std::vector<WeightedHQuery> retained;
+  retained.reserve(pruned.retained.size());
+  for (uint32_t qi : pruned.retained) {
+    retained.push_back(workload[qi]);
+  }
+  stats.total_mass = pruned.total_mass;
+  stats.retained_mass = pruned.retained_mass;
+  stats.dropped_mass = stats.total_mass - stats.retained_mass;
+  stats.retained_queries = retained.size();
+
+  HierarchicalLattice lattice(&schema);
+  const size_t nq = retained.size();
+  // Per retained query: coarsest answering level per dimension and the
+  // selected-dimension mask, hoisted for the cone walks and candidate
+  // classes below.
+  std::vector<int> required_flat(nq * static_cast<size_t>(n));
+  std::vector<uint32_t> sel_mask(nq, 0);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    for (int d = 0; d < n; ++d) {
+      const HDimRole& role = retained[qi].query.role(d);
+      required_flat[qi * static_cast<size_t>(n) + static_cast<size_t>(d)] =
+          role.kind == HDimRole::kAbsent ? schema.all_level(d) : role.level;
+      if (role.kind == HDimRole::kSelect) {
+        sel_mask[qi] |= 1u << d;
+      }
+    }
+  }
+
+  // --- 2. View retention (policy layer): each retained query's answer
+  // cone is the mixed-radix box [0, required_d] per dimension, walked as
+  // an odometer (ascending lattice ids).
+  std::vector<uint32_t> hot_order(nq);
+  std::iota(hot_order.begin(), hot_order.end(), 0u);
+  std::stable_sort(hot_order.begin(), hot_order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return retained[a].frequency > retained[b].frequency;
+                   });
+  std::vector<int> cone_lv(static_cast<size_t>(n));
+  ViewRetentionResult retention = RetainSupersetViews(
+      num_views, lattice.BaseView(), hot_order, options.max_views,
+      [&](uint32_t qi) {
+        return lattice.IdOf(retained[qi].query.RequiredLevels(schema));
+      },
+      [&](uint32_t qi, auto&& visit) {
+        const int* req = required_flat.data() +
+                         size_t{qi} * static_cast<size_t>(n);
+        std::fill(cone_lv.begin(), cone_lv.end(), 0);
+        uint64_t v = 0;
+        for (;;) {
+          if (!visit(v)) return;
+          int d = 0;
+          while (d < n && cone_lv[static_cast<size_t>(d)] == req[d]) {
+            v -= static_cast<uint64_t>(cone_lv[static_cast<size_t>(d)]) *
+                 lattice.stride(d);
+            cone_lv[static_cast<size_t>(d)] = 0;
+            ++d;
+          }
+          if (d == n) return;
+          ++cone_lv[static_cast<size_t>(d)];
+          v += lattice.stride(d);
+        }
+      });
+  const std::vector<uint64_t>& view_ids = retention.view_ids;
+  const std::vector<int32_t>& id_of = retention.id_of;
+  const size_t nv = view_ids.size();
+  stats.retained_views = nv;
+  stats.view_cap_hit = retention.cap_hit;
+  stats.views_dropped = retention.views_dropped;
+  stats.views_dropped_truncated = retention.views_dropped_truncated;
+
+  // --- 3. Candidate index families (policy layer) + retained structure
+  // census. Wide views get one key per distinct selection class of the
+  // retained answerable queries: selected dimensions leading (ascending),
+  // remaining active dimensions trailing (ascending).
+  std::vector<int> levels_flat(nv * static_cast<size_t>(n));
+  std::vector<uint32_t> active_mask(nv, 0);
+  for (size_t v = 0; v < nv; ++v) {
+    const LevelVector levels = lattice.LevelsOf(view_ids[v]);
+    for (int d = 0; d < n; ++d) {
+      const int level = levels.level(d);
+      levels_flat[v * static_cast<size_t>(n) + static_cast<size_t>(d)] =
+          level;
+      if (level != schema.all_level(d)) active_mask[v] |= 1u << d;
+    }
+  }
+  std::vector<std::vector<std::vector<int>>> orders(nv);
+  uint64_t total_structures = 0;
+  for (size_t v = 0; v < nv; ++v) {
+    const int m = std::popcount(active_mask[v]);
+    if (m <= options.max_fat_dim) {
+      ++stats.fat_views;
+      total_structures += 1 + static_cast<uint64_t>(NumIndexesForActive(
+                                  m, /*fat_indexes_only=*/true));
+    } else {
+      ++stats.candidate_views;
+      const int* lvf =
+          levels_flat.data() + v * static_cast<size_t>(n);
+      const std::vector<uint32_t> classes = CollectCandidateClasses(
+          nq, [&](size_t q) -> uint32_t {
+            const int* req =
+                required_flat.data() + q * static_cast<size_t>(n);
+            for (int d = 0; d < n; ++d) {
+              if (lvf[d] > req[d]) return 0;  // not answerable here
+            }
+            return sel_mask[q] & active_mask[v];
+          });
+      std::vector<std::vector<int>>& family = orders[v];
+      family.reserve(classes.size());
+      for (uint32_t p : classes) {
+        family.push_back(CandidateKeyOrder(p, active_mask[v]));
+      }
+      std::sort(family.begin(), family.end());
+      family.erase(std::unique(family.begin(), family.end()),
+                   family.end());
+      stats.candidate_indexes += family.size();
+      total_structures += 1 + family.size();
+    }
+    if (total_structures > kMaxHierarchicalStructures) {
+      return Status::InvalidArgument(
+          "retained hierarchical lattice carries over " +
+          std::to_string(kMaxHierarchicalStructures) +
+          " structures (views + indexes); prune harder (max_views / "
+          "query_mass / top_queries) or coarsen the hierarchy");
+    }
+  }
+
+  // --- 4. Build through the generic core.
+  const std::vector<double> sizes = lattice.AnalyticalSizes(raw_rows);
+  HierarchicalCubeGraph& out = result.hgraph;
+  out.all_levels = AllLevelsOf(schema);
+  out.fat_indexes_only = true;
+  out.view_levels.reserve(nv);
+  out.view_sizes.reserve(nv);
+  for (size_t v = 0; v < nv; ++v) {
+    out.view_sizes.push_back(sizes[view_ids[v]]);
+  }
+
+  SparseHierarchicalLatticeProvider provider{
+      &schema,
+      &lattice,
+      &retained,
+      &options,
+      &view_ids,
+      &id_of,
+      &sizes,
+      &orders,
+      &levels_flat,
+      &out,
+      n,
+      num_views - 1,
+      static_cast<uint32_t>(id_of[lattice.BaseView()])};
+  LatticeGraphOptions build;
+  build.default_query_cost = options.default_query_cost;
+  build.raw_scan_penalty = options.raw_scan_penalty;
+  build.maintenance_per_row = options.maintenance_per_row;
+  build.num_threads = options.num_threads;
+  build.cost_model = options.cost_model.get();
+  build.sink_window_bytes = options.sink_window_bytes;
+  BuildLatticeGraph(provider, build, out.graph, &stats.build);
+  out.index_orders = std::move(orders);
+
+  graph_build_metrics::SparseStats metric;
+  metric.workload_queries = stats.workload_queries;
+  metric.retained_queries = stats.retained_queries;
+  metric.retained_mass_permille =
+      stats.total_mass > 0.0
+          ? static_cast<uint64_t>(1000.0 * stats.retained_mass /
+                                  stats.total_mass)
+          : 1000;
+  metric.retained_views = stats.retained_views;
+  metric.views_dropped = stats.views_dropped;
+  metric.candidate_views = stats.candidate_views;
+  metric.candidate_indexes = stats.candidate_indexes;
+  graph_build_metrics::RecordSparseBuild(metric);
+  return result;
 }
 
 }  // namespace olapidx

@@ -17,11 +17,13 @@
 #ifndef OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
 #define OLAPIDX_HIERARCHY_HIERARCHICAL_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "core/pruning_policy.h"
 #include "core/query_view_graph.h"
 #include "cost/cost_model.h"
 #include "hierarchy/hierarchical_cube.h"
@@ -120,6 +122,67 @@ HierarchicalCubeGraph BuildHierarchicalCubeGraphReference(
 // Convenience: all hierarchical slice queries, equiprobable.
 std::vector<WeightedHQuery> UniformHWorkload(
     const HierarchicalSchema& schema);
+
+// A Zipf-weighted sample of `num_queries` distinct hierarchical slice
+// queries (each dimension independently absent / group-by / select at a
+// uniformly drawn level), the hierarchical counterpart of
+// SampledZipfSliceQueries: the k-th distinct query drawn gets the k-th
+// Zipf(skew) mass. Deterministic in `seed`.
+std::vector<WeightedHQuery> SampledZipfHWorkload(
+    const HierarchicalSchema& schema, size_t num_queries, double skew,
+    uint64_t seed);
+
+// The workload-pruned hierarchical construction path: the same pruning
+// policies as the flat sparse builder (core/pruning_policy.h — query mass /
+// top-k, superset-cone view retention with minimal-view exemption,
+// workload-derived candidate index families for wide views), composed over
+// the hierarchical lattice. Lifts the dense builder's n <= 8 wall: views
+// with more than `max_fat_dim` active dimensions carry one fat key per
+// distinct selection class of the retained answerable queries instead of
+// the full m! family, preserving every retained query's best cost exactly.
+//
+// The lattice itself must still fit the kMaxHierarchicalViews ceiling
+// (index-edge column classes are keyed by lattice subcube ids), but the
+// structure ceiling applies to the *retained* census, not the full
+// lattice's — pruned builds pass where dense ones overflow.
+//
+// When nothing is pruned — full workload, query_mass = 1, no caps, every
+// view within max_fat_dim — the result is bit-identical to
+// TryBuildHierarchicalCubeGraph (pinned by the equivalence test). Only the
+// paper's fat-index family is supported (no pruning-ablation mode).
+struct SparseHierarchicalGraphOptions {
+  // See SparseCubeGraphOptions for the pruning knobs' semantics.
+  size_t top_queries = 0;
+  double query_mass = 1.0;
+  size_t max_views = 1u << 16;
+  // Views with more *active* dimensions than this get the candidate
+  // family. Must be in [0, 8] (the fat-enumeration limit).
+  int max_fat_dim = 6;
+  bool compress_cost_columns = true;
+  // See SparseCubeGraphOptions::sink_window_bytes; 0 buffers.
+  size_t sink_window_bytes = size_t{1} << 18;
+  // See HierarchicalGraphOptions for the rest.
+  double default_query_cost = 0.0;
+  double raw_scan_penalty = 1.0;
+  double maintenance_per_row = 0.0;
+  size_t num_threads = 0;
+  std::shared_ptr<const CostModel> cost_model = nullptr;
+};
+
+struct SparseHierarchicalCubeGraph {
+  // Reuses the dense result type so the hierarchical advisor, checkpoints,
+  // and rendering work unchanged; graph view ids are dense in the
+  // *retained* view set (ascending lattice-id order), and index_orders
+  // holds the candidate families of wide views (empty per-view vectors for
+  // fat views, which decode on demand).
+  HierarchicalCubeGraph hgraph;
+  SparseBuildStats stats;
+};
+
+StatusOr<SparseHierarchicalCubeGraph> TryBuildSparseHierarchicalCubeGraph(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const SparseHierarchicalGraphOptions& options = {});
 
 }  // namespace olapidx
 

@@ -1,0 +1,25 @@
+#include "service/hierarchical_degrade.h"
+
+#include "common/metrics.h"
+
+namespace olapidx {
+
+StatusOr<HierarchicalAdvisor> BuildHierarchicalAdvisorDegraded(
+    const HierarchicalSchema& schema, double raw_rows,
+    const std::vector<WeightedHQuery>& workload,
+    const HierarchicalDegradeOptions& options, bool* degraded) {
+  *degraded = false;
+  StatusOr<HierarchicalAdvisor> dense =
+      HierarchicalAdvisor::Create(schema, raw_rows, workload, options.dense);
+  if (dense.ok() && dense->cube_graph().graph.CostTableBytes() <=
+                        options.memory_ceiling_bytes) {
+    return dense;
+  }
+  *degraded = true;
+  OLAPIDX_METRIC_COUNTER(degraded_builds, "service.degraded_builds");
+  degraded_builds.Add(1);
+  return HierarchicalAdvisor::CreateSparse(schema, raw_rows, workload,
+                                           options.sparse);
+}
+
+}  // namespace olapidx

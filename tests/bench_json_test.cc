@@ -158,6 +158,72 @@ TEST(BenchJsonValidatorTest, RejectsNonConformingDocuments) {
   expect_invalid(doc, "non-scalar run member");
 }
 
+TEST(BenchArgsTest, ParsesJsonAndRegisteredFlagsInBothSpellings) {
+  bench::BenchArgs args;
+  std::string error;
+  ASSERT_TRUE(bench::TryParseBenchArgs(
+      {"--json", "--max-dim=12", "--queries", "200"}, "demo",
+      {"max-dim", "queries"}, &args, &error))
+      << error;
+  EXPECT_TRUE(args.json);
+  EXPECT_EQ(args.json_path, "BENCH_demo.json");
+  EXPECT_EQ(args.GetInt("max-dim", 0), 12);
+  EXPECT_EQ(args.GetInt("queries", 0), 200);
+  EXPECT_EQ(args.GetInt("absent", 7), 7);
+
+  ASSERT_TRUE(bench::TryParseBenchArgs({"--json=out.json"}, "demo", {},
+                                       &args, &error))
+      << error;
+  EXPECT_EQ(args.json_path, "out.json");
+}
+
+TEST(BenchArgsTest, RejectsMalformedCommandLines) {
+  bench::BenchArgs args;
+  std::string error;
+  // A flag where the value should be is a missing value, not a value.
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--queries", "--json"}, "demo",
+                                        {"queries"}, &args, &error));
+  EXPECT_EQ(error, "missing value for --queries");
+  // Trailing flag with no value at all.
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--queries"}, "demo", {"queries"},
+                                        &args, &error));
+  // Empty "--flag=" value.
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--queries="}, "demo",
+                                        {"queries"}, &args, &error));
+  // Repeats are errors, not silent first-one-wins.
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--queries=1", "--queries=2"},
+                                        "demo", {"queries"}, &args,
+                                        &error));
+  EXPECT_EQ(error, "duplicate --queries");
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--json", "--json"}, "demo", {},
+                                        &args, &error));
+  EXPECT_EQ(error, "duplicate --json");
+  // Unregistered flags are unknown.
+  EXPECT_FALSE(bench::TryParseBenchArgs({"--bogus=7"}, "demo", {"queries"},
+                                        &args, &error));
+  EXPECT_EQ(error, "unknown flag --bogus=7");
+}
+
+TEST(BenchArgsTest, StrictNumericParsingRejectsGarbage) {
+  long l = 0;
+  EXPECT_TRUE(bench::ParseLongStrict("42", &l));
+  EXPECT_EQ(l, 42);
+  EXPECT_TRUE(bench::ParseLongStrict("-7", &l));
+  EXPECT_EQ(l, -7);
+  EXPECT_FALSE(bench::ParseLongStrict("12x", &l));
+  EXPECT_FALSE(bench::ParseLongStrict("", &l));
+  EXPECT_FALSE(bench::ParseLongStrict("1e3", &l));
+  EXPECT_FALSE(bench::ParseLongStrict("99999999999999999999999", &l));
+
+  double d = 0.0;
+  EXPECT_TRUE(bench::ParseDoubleStrict("1.5", &d));
+  EXPECT_EQ(d, 1.5);
+  EXPECT_TRUE(bench::ParseDoubleStrict("1e3", &d));
+  EXPECT_EQ(d, 1000.0);
+  EXPECT_FALSE(bench::ParseDoubleStrict("1.5skew", &d));
+  EXPECT_FALSE(bench::ParseDoubleStrict("", &d));
+}
+
 TEST(BenchGoldenTest, Fig2ScrubbedReportMatchesCheckedInGolden) {
   BenchJsonReporter rep("fig2_example");
   bench::FillFig2Report(rep);
